@@ -1,0 +1,21 @@
+// Command hpcadvisor is the command-line interface of the HPCAdvisor
+// reproduction, with the command set of the paper's Table II: deploy
+// create/list/shutdown, collect, plot, advice, and gui.
+//
+// Typical session:
+//
+//	hpcadvisor deploy create -c config.yaml
+//	hpcadvisor collect -c config.yaml
+//	hpcadvisor plot -o plots/
+//	hpcadvisor advice -app lammps
+package main
+
+import (
+	"os"
+
+	"hpcadvisor/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,73 @@
+// LAMMPS sweep: reproduces the paper's Figures 2-5 and Listing 4.
+//
+// The workload is the LAMMPS Lennard-Jones benchmark with the box scaled by
+// 30x (864M atoms, the paper's "atoms=860M"), swept over the paper's three
+// InfiniBand SKUs (HC44rs, HB120rs_v2, HB120rs_v3) at 1-16 nodes — up to
+// 1,920 cores. The example prints the execution-time series and ASCII charts
+// and writes the five SVG figures to ./lammps_plots.
+//
+// Run with: go run ./examples/lammps_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcadvisor"
+)
+
+const configYAML = `subscription: mysubscription
+skus:
+  - Standard_HC44rs
+  - Standard_HB120rs_v2
+  - Standard_HB120rs_v3
+rgprefix: lammpssweep
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "30"
+`
+
+func main() {
+	cfg, err := hpcadvisor.ParseConfig([]byte(configYAML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep: %d scenarios (3 VM types x 6 node counts), up to 1,920 cores\n\n",
+		cfg.ScenarioCount())
+
+	adv := hpcadvisor.New(cfg.Subscription)
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := adv.Collect(dep.Name, cfg, hpcadvisor.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collection: %d scenarios, %.1f hours of cloud time, $%.2f\n\n",
+		report.Completed, report.VirtualSeconds/3600, report.CollectionCostUSD)
+
+	filter := hpcadvisor.Filter{AppName: "lammps"}
+	plots := adv.Plots(filter)
+
+	// Figures 2, 4, 5 as terminal charts.
+	fmt.Println(hpcadvisor.RenderPlotASCII(plots.ExecTimeVsNodes, 64, 18))
+	fmt.Println(hpcadvisor.RenderPlotASCII(plots.Speedup, 64, 18))
+	fmt.Println(hpcadvisor.RenderPlotASCII(plots.Efficiency, 64, 18))
+
+	// All five figures as SVG files.
+	paths, err := adv.WritePlotsSVG("lammps_plots", filter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
+
+	// Listing 4: the advice table.
+	fmt.Println("\nadvice (paper Listing 4: 36s/$0.576@16 ... 173s/$0.519@3, all hb120rs_v3):")
+	fmt.Print(adv.AdviceTable(filter, hpcadvisor.ByTime))
+}

@@ -1,0 +1,67 @@
+// Quickstart: the smallest end-to-end HPCAdvisor session.
+//
+// It deploys an environment, sweeps a 256M-atom LAMMPS job over two
+// InfiniBand VM types and three node counts, and prints the advice table —
+// the Pareto front over execution time and cost, where more nodes buy speed
+// at a higher price.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcadvisor"
+)
+
+const configYAML = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: quickstart
+nnodes: [1, 2, 4]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "20"
+`
+
+func main() {
+	cfg, err := hpcadvisor.ParseConfig([]byte(configYAML))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	adv := hpcadvisor.New(cfg.Subscription)
+
+	// 1. Provision the cloud environment (resource group, vnet, storage,
+	//    batch service).
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployment: %s in %s\n\n", dep.Name, dep.Region)
+
+	// 2. Run every scenario of the sweep and collect the data.
+	report, err := adv.Collect(dep.Name, cfg, hpcadvisor.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d scenarios (cost of data collection: $%.2f)\n\n",
+		report.Completed, report.CollectionCostUSD)
+
+	// 3. Print the advice: the Pareto front over (execution time, cost).
+	fmt.Println("advice (fastest first):")
+	fmt.Print(adv.AdviceTable(hpcadvisor.Filter{AppName: "lammps"}, hpcadvisor.ByTime))
+
+	fmt.Println("\nadvice (cheapest first):")
+	fmt.Print(adv.AdviceTable(hpcadvisor.Filter{AppName: "lammps"}, hpcadvisor.ByCost))
+
+	// 4. Shut everything down, deleting all cloud resources.
+	if err := adv.DeployShutdown(cfg.Subscription, dep.Name); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nenvironment shut down")
+}

@@ -1,0 +1,77 @@
+// Spot collection: running the data-collection phase on spot (preemptible)
+// capacity.
+//
+// Spot VMs cost ~30% of on-demand in the simulation but can be reclaimed
+// mid-run, killing the scenario; the collector retries preempted scenarios.
+// The example runs the same sweep both ways and compares what the advice
+// cost to obtain — including the wasted work and replacement boots spot
+// preemptions cause.
+//
+// Run with: go run ./examples/spot_collection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcadvisor"
+)
+
+const configYAML = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+rgprefix: spotdemo
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "30"
+`
+
+func main() {
+	cfg, err := hpcadvisor.ParseConfig([]byte(configYAML))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type outcome struct {
+		label    string
+		report   *hpcadvisor.CollectReport
+		frontTop hpcadvisor.DataPoint
+	}
+	collect := func(label string, opts hpcadvisor.CollectOptions) outcome {
+		adv := hpcadvisor.New(cfg.Subscription)
+		dep, err := adv.DeployCreate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := adv.Collect(dep.Name, cfg, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		front := adv.Advice(hpcadvisor.Filter{}, hpcadvisor.ByTime)
+		if len(front) == 0 {
+			log.Fatal("no advice")
+		}
+		return outcome{label: label, report: report, frontTop: front[0]}
+	}
+
+	od := collect("on-demand", hpcadvisor.CollectOptions{})
+	spot := collect("spot", hpcadvisor.CollectOptions{UseSpot: true, MaxAttempts: 12})
+
+	fmt.Printf("%-10s %-10s %-9s %-12s %-14s %s\n",
+		"CAPACITY", "COMPLETED", "RETRIES", "CLOUD TIME", "COLLECTION $", "FASTEST CONFIG")
+	for _, o := range []outcome{od, spot} {
+		retries := o.report.Attempts - o.report.Completed - o.report.Failed
+		fmt.Printf("%-10s %-10d %-9d %-12s $%-13.2f %d x %s (%.0f s, $%.4f/run)\n",
+			o.label, o.report.Completed, retries,
+			fmt.Sprintf("%.1f h", o.report.VirtualSeconds/3600),
+			o.report.CollectionCostUSD,
+			o.frontTop.NNodes, o.frontTop.SKUAlias, o.frontTop.ExecTimeSec, o.frontTop.CostUSD)
+	}
+
+	saved := (od.report.CollectionCostUSD - spot.report.CollectionCostUSD) / od.report.CollectionCostUSD * 100
+	fmt.Printf("\nspot capacity cut the data-collection bill by %.0f%%, at the price of\n", saved)
+	fmt.Println("preemption retries and longer wall-clock time — the advice is identical.")
+}

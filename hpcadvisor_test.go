@@ -1,0 +1,69 @@
+package hpcadvisor_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpcadvisor"
+)
+
+// quickstartConfig is the documented quick-start configuration.
+const quickstartConfig = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+rgprefix: quickstart
+nnodes: [1, 2, 4]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "20"
+`
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	adv := hpcadvisor.New("mysubscription")
+	cfg, err := hpcadvisor.ParseConfig([]byte(quickstartConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := adv.Collect(dep.Name, cfg, hpcadvisor.CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 3 {
+		t.Fatalf("completed = %d", report.Completed)
+	}
+	table := adv.AdviceTable(hpcadvisor.Filter{}, hpcadvisor.ByTime)
+	if !strings.Contains(table, "hb120rs_v3") {
+		t.Errorf("table = %q", table)
+	}
+}
+
+func TestPublicAPIParetoHelpers(t *testing.T) {
+	pts := []hpcadvisor.DataPoint{
+		{ScenarioID: "a", ExecTimeSec: 10, CostUSD: 2, NNodes: 4, SKUAlias: "x"},
+		{ScenarioID: "b", ExecTimeSec: 20, CostUSD: 1, NNodes: 2, SKUAlias: "x"},
+		{ScenarioID: "c", ExecTimeSec: 30, CostUSD: 3, NNodes: 1, SKUAlias: "x"}, // dominated
+	}
+	front := hpcadvisor.ParetoFront(pts)
+	if len(front) != 2 {
+		t.Fatalf("front = %d", len(front))
+	}
+	table := hpcadvisor.FormatAdviceTable(front)
+	if !strings.Contains(table, "Exectime(s)") {
+		t.Errorf("table = %q", table)
+	}
+}
+
+func TestPublicAPIConfigErrors(t *testing.T) {
+	if _, err := hpcadvisor.ParseConfig([]byte("appname: x\n")); err == nil {
+		t.Error("incomplete config should fail")
+	}
+	if _, err := hpcadvisor.LoadConfig("/nonexistent/path.yaml"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,210 @@
+package hpcadvisor_test
+
+import (
+	"strings"
+	"testing"
+
+	"hpcadvisor"
+	"hpcadvisor/internal/core"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/scenario"
+)
+
+// TestFullWorkflowIntegration drives the complete tool lifecycle the way a
+// real user would across one long session: two applications collected into
+// one dataset, filtered plots and advice per application, recipes, what-if
+// repricing, sampler-pruned recollection, and teardown.
+func TestFullWorkflowIntegration(t *testing.T) {
+	adv := hpcadvisor.New("mysubscription")
+
+	lammpsCfg, err := hpcadvisor.ParseConfig([]byte(`subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: integ
+nnodes: [1, 2, 4, 8]
+appname: lammps
+region: southcentralus
+appinputs:
+  BOXFACTOR: "30"
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foamCfg, err := hpcadvisor.ParseConfig([]byte(`subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+rgprefix: integ
+nnodes: [2, 4, 8]
+appname: openfoam
+region: southcentralus
+appinputs:
+  mesh: "40 16 16"
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two deployments, two collections into the same advisor dataset.
+	dep1, err := adv.DeployCreate(lammpsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep2, err := adv.DeployCreate(foamCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := adv.Collect(dep1.Name, lammpsCfg, hpcadvisor.CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := adv.Collect(dep2.Name, foamCfg, hpcadvisor.CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Completed != 8 || r2.Completed != 3 {
+		t.Fatalf("collections: %d + %d", r1.Completed, r2.Completed)
+	}
+	if adv.Store.Len() != 11 {
+		t.Fatalf("dataset = %d points", adv.Store.Len())
+	}
+
+	// Per-application filtering keeps the two workloads apart.
+	lammpsPts := adv.Store.Select(dataset.Filter{AppName: "lammps"})
+	foamPts := adv.Store.Select(dataset.Filter{AppName: "openfoam"})
+	if len(lammpsPts) != 8 || len(foamPts) != 3 {
+		t.Fatalf("filters: %d lammps, %d openfoam", len(lammpsPts), len(foamPts))
+	}
+
+	// Plots per application have the right series counts.
+	lp := adv.Plots(hpcadvisor.Filter{AppName: "lammps"})
+	if len(lp.ExecTimeVsNodes.Series) != 2 {
+		t.Errorf("lammps series = %d, want 2 SKUs", len(lp.ExecTimeVsNodes.Series))
+	}
+	fp := adv.Plots(hpcadvisor.Filter{AppName: "openfoam"})
+	if len(fp.ExecTimeVsNodes.Series) != 1 {
+		t.Errorf("openfoam series = %d", len(fp.ExecTimeVsNodes.Series))
+	}
+
+	// Advice per application; the hc44rs rows never reach the LAMMPS front.
+	for _, row := range adv.Advice(hpcadvisor.Filter{AppName: "lammps"}, hpcadvisor.ByTime) {
+		if row.SKUAlias != "hb120rs_v3" {
+			t.Errorf("lammps front contains %s", row.SKUAlias)
+		}
+	}
+
+	// Recipes render for the combined front.
+	bundle, err := adv.AdviceRecipes(dataset.Filter{AppName: "lammps"}, pareto.ByTime, "southcentralus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bundle, "#SBATCH") {
+		t.Error("recipes missing")
+	}
+
+	// What-if: the advice under spot pricing keeps times, cuts costs.
+	spotRows, err := adv.RepriceAdvice(dataset.Filter{AppName: "lammps"}, pareto.ByTime, "southcentralus", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRows := adv.Advice(dataset.Filter{AppName: "lammps"}, hpcadvisor.ByTime)
+	if spotRows[0].CostUSD >= baseRows[0].CostUSD {
+		t.Error("spot repricing should be cheaper")
+	}
+
+	// A fresh advisor replays the same sweep with the discard sampler and
+	// reaches the same front for less money.
+	adv2 := hpcadvisor.New("mysubscription")
+	dep3, err := adv2.DeployCreate(lammpsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := adv2.Collect(dep3.Name, lammpsCfg, hpcadvisor.CollectOptions{Sampler: "discard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Skipped == 0 {
+		t.Error("discard sampler skipped nothing")
+	}
+	if recall := pareto.Recall(lammpsPts, adv2.Store.Select(dataset.Filter{})); recall != 1 {
+		t.Errorf("sampled front recall = %v", recall)
+	}
+
+	// Teardown deletes everything.
+	for _, name := range []string{dep1.Name, dep2.Name} {
+		if err := adv.DeployShutdown("mysubscription", name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	left, err := adv.DeployList("mysubscription", "integ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("deployments left: %v", left)
+	}
+}
+
+// TestTaskListPersistenceRoundTrip exercises save/load/resume of a partially
+// collected task list through the public-ish core surface, the mechanism the
+// CLI relies on between invocations.
+func TestTaskListPersistenceRoundTrip(t *testing.T) {
+	adv := hpcadvisor.New("mysubscription")
+	cfg, err := hpcadvisor.ParseConfig([]byte(`subscription: mysubscription
+skus: [Standard_HB120rs_v3]
+rgprefix: persist
+nnodes: [1, 2, 4]
+appname: gromacs
+region: southcentralus
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Collect(dep.Name, cfg, hpcadvisor.CollectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize the list and dataset, rebuild a fresh world, resume.
+	listData, err := adv.TaskList(dep.Name).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeData, err := adv.Store.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adv2 := core.New("mysubscription")
+	if err := adv2.RestoreDeployment(dep); err != nil {
+		t.Fatal(err)
+	}
+	list, err := scenario.Unmarshal(listData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := dataset.Unmarshal(storeData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv2.SetTaskList(dep.Name, list)
+	adv2.Store = store
+
+	report, err := adv2.Collect(dep.Name, cfg, core.CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 0 {
+		t.Errorf("resumed collection re-ran %d scenarios", report.Completed)
+	}
+	if adv2.Store.Len() != 3 {
+		t.Errorf("restored dataset = %d", adv2.Store.Len())
+	}
+	if adv2.AdviceTable(hpcadvisor.Filter{}, hpcadvisor.ByTime) == "" {
+		t.Error("advice unavailable after restore")
+	}
+}

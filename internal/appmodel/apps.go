@@ -1,0 +1,425 @@
+package appmodel
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// App models one application: it parses user-facing input parameters (the
+// "appinputs" of the paper's Listing 1) into a Workload and reports
+// application metrics after a run (the HPCADVISORVAR values of Listing 2).
+type App interface {
+	// Name is the registry key, e.g. "lammps".
+	Name() string
+	// Description is a one-line human description.
+	Description() string
+	// DefaultInput returns the input parameters assumed when the user
+	// provides none.
+	DefaultInput() map[string]string
+	// Parse validates input parameters and derives the workload.
+	Parse(input map[string]string) (Workload, error)
+	// Metrics returns the application-reported variables for a completed
+	// run, emitted on stdout as "HPCADVISORVAR key=value" lines.
+	Metrics(w Workload, p Profile) map[string]string
+}
+
+// Registry resolves application names to models.
+type Registry struct {
+	apps map[string]App
+}
+
+// ErrUnknownApp is wrapped by Registry.Get for unknown names.
+var ErrUnknownApp = fmt.Errorf("appmodel: unknown application")
+
+// NewRegistry returns a registry with the built-in applications: lammps,
+// openfoam, wrf, gromacs, namd, and matmul.
+func NewRegistry() *Registry {
+	r := &Registry{apps: make(map[string]App)}
+	for _, a := range []App{lammpsApp{}, openfoamApp{}, wrfApp{}, gromacsApp{}, namdApp{}, matmulApp{}} {
+		r.Register(a)
+	}
+	return r
+}
+
+// Register adds (or replaces) an application model.
+func (r *Registry) Register(a App) { r.apps[strings.ToLower(a.Name())] = a }
+
+// Get resolves an application by name, case-insensitively.
+func (r *Registry) Get(name string) (App, error) {
+	if a, ok := r.apps[strings.ToLower(name)]; ok {
+		return a, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownApp, name)
+}
+
+// Names lists the registered applications, sorted.
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.apps))
+	for k := range r.apps {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FormatUnits renders a unit count compactly ("864M", "8.0M", "32K"),
+// matching the style of the paper's plot subtitles ("atoms=860M").
+func FormatUnits(u float64) string {
+	switch {
+	case u >= 1e9:
+		return trimZero(u/1e9) + "B"
+	case u >= 1e6:
+		return trimZero(u/1e6) + "M"
+	case u >= 1e3:
+		return trimZero(u/1e3) + "K"
+	}
+	return strconv.FormatFloat(u, 'f', -1, 64)
+}
+
+func trimZero(v float64) string {
+	if v >= 100 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	s := strconv.FormatFloat(v, 'f', 1, 64)
+	return strings.TrimSuffix(s, ".0")
+}
+
+func inputOr(input map[string]string, def map[string]string, keys ...string) string {
+	for _, k := range keys {
+		if v, ok := lookupFold(input, k); ok {
+			return v
+		}
+	}
+	for _, k := range keys {
+		if v, ok := lookupFold(def, k); ok {
+			return v
+		}
+	}
+	return ""
+}
+
+func lookupFold(m map[string]string, key string) (string, bool) {
+	if v, ok := m[key]; ok {
+		return v, true
+	}
+	for k, v := range m {
+		if strings.EqualFold(k, key) {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+func parsePositiveFloat(name, s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("appmodel: %s must be a positive number, got %q", name, s)
+	}
+	return v, nil
+}
+
+//
+// LAMMPS — Lennard-Jones benchmark ("atomic fluid with Lennard-Jones
+// potential"). The paper's Listing 2 scales the in.lj box by BOXFACTOR in
+// each dimension; the stock input has 32,000 atoms and 100 steps, so
+// BOXFACTOR=30 yields 864M atoms (the paper quotes "800 million atoms" and
+// the figures label "atoms=860M").
+//
+
+type lammpsApp struct{}
+
+func (lammpsApp) Name() string        { return "lammps" }
+func (lammpsApp) Description() string { return "LAMMPS Lennard-Jones atomic fluid benchmark" }
+func (lammpsApp) DefaultInput() map[string]string {
+	return map[string]string{"BOXFACTOR": "30"}
+}
+
+const (
+	lammpsBaseAtoms = 32000
+	lammpsSteps     = 100
+)
+
+func (a lammpsApp) Parse(input map[string]string) (Workload, error) {
+	bf, err := parsePositiveFloat("BOXFACTOR", inputOr(input, a.DefaultInput(), "BOXFACTOR", "boxfactor"))
+	if err != nil {
+		return Workload{}, err
+	}
+	atoms := lammpsBaseAtoms * bf * bf * bf
+	return Workload{
+		AppName:   "lammps",
+		Units:     atoms,
+		Steps:     lammpsSteps,
+		InputDesc: "atoms=" + FormatUnits(atoms),
+		Params: ModelParams{
+			RatePerCore:   1.319e6, // atom-steps/s/core, Skylake reference
+			BytesPerUnit:  200,     // positions+velocities+forces+neighbors
+			MemBeta:       0.85,
+			MemExp:        8,
+			SyncSigma:     3.2e-3,
+			HaloBytes:     150,
+			SerialSeconds: 2,
+		},
+	}, nil
+}
+
+func (lammpsApp) Metrics(w Workload, p Profile) map[string]string {
+	return map[string]string{
+		"APPEXECTIME": strconv.FormatFloat(p.ExecSeconds, 'f', 0, 64),
+		"LAMMPSATOMS": strconv.FormatFloat(w.Units, 'f', 0, 64),
+		"LAMMPSSTEPS": strconv.Itoa(lammpsSteps),
+	}
+}
+
+//
+// OpenFOAM — motorBike tutorial driven by blockMesh background dimensions.
+// The paper's Listing 3 uses BLOCKMESH dimensions "40 16 16" for the 8M-cell
+// motorBike case; cells scale with the product of the dimensions after
+// snappyHexMesh refinement.
+//
+
+type openfoamApp struct{}
+
+func (openfoamApp) Name() string        { return "openfoam" }
+func (openfoamApp) Description() string { return "OpenFOAM motorBike incompressible CFD (simpleFoam)" }
+func (openfoamApp) DefaultInput() map[string]string {
+	return map[string]string{"BLOCKMESH_DIMENSIONS": "40 16 16"}
+}
+
+const (
+	openfoamCellsPerBlock = 780 // snappyHexMesh refinement multiplier
+	openfoamIterations    = 500
+)
+
+func (a openfoamApp) Parse(input map[string]string) (Workload, error) {
+	dims := inputOr(input, a.DefaultInput(), "BLOCKMESH_DIMENSIONS", "blockmesh_dimensions", "mesh")
+	fields := strings.Fields(dims)
+	if len(fields) != 3 {
+		return Workload{}, fmt.Errorf("appmodel: BLOCKMESH_DIMENSIONS needs three numbers (\"x y z\"), got %q", dims)
+	}
+	prod := 1.0
+	for _, f := range fields {
+		v, err := parsePositiveFloat("BLOCKMESH_DIMENSIONS", f)
+		if err != nil {
+			return Workload{}, err
+		}
+		prod *= v
+	}
+	cells := openfoamCellsPerBlock * prod
+	return Workload{
+		AppName:   "openfoam",
+		Units:     cells,
+		Steps:     openfoamIterations,
+		InputDesc: "cells=" + FormatUnits(cells),
+		Params: ModelParams{
+			RatePerCore:   2.19e5, // cell-iterations/s/core
+			BytesPerUnit:  1000,
+			MemBeta:       0.25,
+			MemExp:        4,
+			SyncSigma:     3.5e-3, // pressure-solve collectives per iteration
+			HaloBytes:     800,
+			SerialSeconds: 3,
+		},
+	}, nil
+}
+
+func (openfoamApp) Metrics(w Workload, p Profile) map[string]string {
+	return map[string]string{
+		"APPEXECTIME": strconv.FormatFloat(p.ExecSeconds, 'f', 0, 64),
+		"FOAMCELLS":   strconv.FormatFloat(w.Units, 'f', 0, 64),
+		"FOAMITERS":   strconv.Itoa(openfoamIterations),
+	}
+}
+
+//
+// WRF — numerical weather prediction on a CONUS-like domain parameterized by
+// horizontal resolution in kilometers. Finer resolution grows the grid
+// quadratically and shrinks the time step.
+//
+
+type wrfApp struct{}
+
+func (wrfApp) Name() string        { return "wrf" }
+func (wrfApp) Description() string { return "WRF regional weather forecast (CONUS-like domain)" }
+func (wrfApp) DefaultInput() map[string]string {
+	return map[string]string{"RESOLUTION": "2.5"}
+}
+
+func (a wrfApp) Parse(input map[string]string) (Workload, error) {
+	res, err := parsePositiveFloat("RESOLUTION", inputOr(input, a.DefaultInput(), "RESOLUTION", "resolution"))
+	if err != nil {
+		return Workload{}, err
+	}
+	points := 5.41e8 / (res * res) // ~86.6M points at 2.5 km
+	steps := 240 * (2.5 / res)     // CFL: halving dx halves dt
+	return Workload{
+		AppName:   "wrf",
+		Units:     points,
+		Steps:     steps,
+		InputDesc: fmt.Sprintf("res=%gkm", res),
+		Params: ModelParams{
+			RatePerCore:   1.5e5,
+			BytesPerUnit:  2000,
+			MemBeta:       0.6,
+			MemExp:        4,
+			SyncSigma:     4.0e-3,
+			HaloBytes:     2500,
+			SerialSeconds: 10,
+		},
+	}, nil
+}
+
+func (wrfApp) Metrics(w Workload, p Profile) map[string]string {
+	return map[string]string{
+		"APPEXECTIME":   strconv.FormatFloat(p.ExecSeconds, 'f', 0, 64),
+		"WRFGRIDPOINTS": strconv.FormatFloat(w.Units, 'f', 0, 64),
+		"WRFTIMESTEPS":  strconv.FormatFloat(w.Steps, 'f', 0, 64),
+	}
+}
+
+//
+// GROMACS — molecular dynamics parameterized by atom count and MD steps.
+//
+
+type gromacsApp struct{}
+
+func (gromacsApp) Name() string        { return "gromacs" }
+func (gromacsApp) Description() string { return "GROMACS molecular dynamics (PME electrostatics)" }
+func (gromacsApp) DefaultInput() map[string]string {
+	return map[string]string{"ATOMS": "1400000", "MDSTEPS": "10000"}
+}
+
+func (a gromacsApp) Parse(input map[string]string) (Workload, error) {
+	atoms, err := parsePositiveFloat("ATOMS", inputOr(input, a.DefaultInput(), "ATOMS", "atoms"))
+	if err != nil {
+		return Workload{}, err
+	}
+	steps, err := parsePositiveFloat("MDSTEPS", inputOr(input, a.DefaultInput(), "MDSTEPS", "mdsteps"))
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		AppName:   "gromacs",
+		Units:     atoms,
+		Steps:     steps,
+		InputDesc: "atoms=" + FormatUnits(atoms),
+		Params: ModelParams{
+			RatePerCore:   8.0e5,
+			BytesPerUnit:  400,
+			MemBeta:       0.4,
+			MemExp:        4,
+			SyncSigma:     5.0e-5, // sub-millisecond MD steps
+			HaloBytes:     120,
+			SerialSeconds: 3,
+		},
+	}, nil
+}
+
+func (gromacsApp) Metrics(w Workload, p Profile) map[string]string {
+	// ns/day at a 2 fs time step, the metric GROMACS users watch.
+	simNS := w.Steps * 2e-6
+	nsPerDay := 0.0
+	if p.ExecSeconds > 0 {
+		nsPerDay = simNS * 86400 / p.ExecSeconds
+	}
+	return map[string]string{
+		"APPEXECTIME": strconv.FormatFloat(p.ExecSeconds, 'f', 0, 64),
+		"GMXATOMS":    strconv.FormatFloat(w.Units, 'f', 0, 64),
+		"GMXNSPERDAY": strconv.FormatFloat(nsPerDay, 'f', 2, 64),
+	}
+}
+
+//
+// NAMD — molecular dynamics; the default is the STMV benchmark system.
+//
+
+type namdApp struct{}
+
+func (namdApp) Name() string        { return "namd" }
+func (namdApp) Description() string { return "NAMD molecular dynamics (STMV benchmark)" }
+func (namdApp) DefaultInput() map[string]string {
+	return map[string]string{"ATOMS": "1066628", "TIMESTEPS": "2000"}
+}
+
+func (a namdApp) Parse(input map[string]string) (Workload, error) {
+	atoms, err := parsePositiveFloat("ATOMS", inputOr(input, a.DefaultInput(), "ATOMS", "atoms"))
+	if err != nil {
+		return Workload{}, err
+	}
+	steps, err := parsePositiveFloat("TIMESTEPS", inputOr(input, a.DefaultInput(), "TIMESTEPS", "timesteps"))
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		AppName:   "namd",
+		Units:     atoms,
+		Steps:     steps,
+		InputDesc: "atoms=" + FormatUnits(atoms),
+		Params: ModelParams{
+			RatePerCore:   1.0e5,
+			BytesPerUnit:  600,
+			MemBeta:       0.5,
+			MemExp:        4,
+			SyncSigma:     5.0e-4,
+			HaloBytes:     100,
+			SerialSeconds: 5,
+		},
+	}, nil
+}
+
+func (namdApp) Metrics(w Workload, p Profile) map[string]string {
+	return map[string]string{
+		"APPEXECTIME": strconv.FormatFloat(p.ExecSeconds, 'f', 0, 64),
+		"NAMDATOMS":   strconv.FormatFloat(w.Units, 'f', 0, 64),
+	}
+}
+
+//
+// matmul — dense matrix multiplication, the "matrix size" example the paper
+// mentions for application inputs. Useful as a fast quickstart app; it
+// scales poorly across Ethernet nodes, illustrating interconnect choice.
+//
+
+type matmulApp struct{}
+
+func (matmulApp) Name() string        { return "matmul" }
+func (matmulApp) Description() string { return "dense matrix multiplication (C = A x B)" }
+func (matmulApp) DefaultInput() map[string]string {
+	return map[string]string{"MATRIXSIZE": "4096"}
+}
+
+func (a matmulApp) Parse(input map[string]string) (Workload, error) {
+	n, err := parsePositiveFloat("MATRIXSIZE", inputOr(input, a.DefaultInput(), "MATRIXSIZE", "matrixsize", "size"))
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		AppName:   "matmul",
+		Units:     n * n, // elements
+		Steps:     n,     // each element accumulates n multiply-adds
+		InputDesc: fmt.Sprintf("n=%.0f", n),
+		Params: ModelParams{
+			RatePerCore:   2.0e8, // element-updates/s/core
+			BytesPerUnit:  24,    // three matrices of float64
+			MemBeta:       0.9,
+			MemExp:        3,
+			SyncSigma:     1.0e-5,
+			HaloBytes:     400,
+			SerialSeconds: 0.5,
+		},
+	}, nil
+}
+
+func (matmulApp) Metrics(w Workload, p Profile) map[string]string {
+	n := float64(int(w.Steps))
+	gflops := 0.0
+	if p.ExecSeconds > 0 {
+		gflops = 2 * n * n * n / p.ExecSeconds / 1e9
+	}
+	return map[string]string{
+		"APPEXECTIME":  strconv.FormatFloat(p.ExecSeconds, 'f', 1, 64),
+		"MATRIXSIZE":   strconv.FormatFloat(n, 'f', 0, 64),
+		"MATMULGFLOPS": strconv.FormatFloat(gflops, 'f', 1, 64),
+	}
+}

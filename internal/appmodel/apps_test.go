@@ -1,0 +1,199 @@
+package appmodel
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"hpcadvisor/internal/catalog"
+)
+
+// Shape tests for the applications beyond the calibrated LAMMPS/OpenFOAM
+// pair: each must behave the way its real counterpart is known to.
+
+func TestWRFResolutionScaling(t *testing.T) {
+	// Halving the grid spacing quadruples the points and doubles the steps:
+	// ~8x the work.
+	coarse := mustParse(t, "wrf", map[string]string{"RESOLUTION": "5"})
+	fine := mustParse(t, "wrf", map[string]string{"RESOLUTION": "2.5"})
+	if r := fine.Units / coarse.Units; math.Abs(r-4) > 1e-9 {
+		t.Errorf("points ratio = %v, want 4", r)
+	}
+	if r := fine.Steps / coarse.Steps; math.Abs(r-2) > 1e-9 {
+		t.Errorf("steps ratio = %v, want 2", r)
+	}
+	v3 := cat.MustLookup("hb120rs_v3")
+	tc := mustSim(t, coarse, v3, 4, 120).ExecSeconds
+	tf := mustSim(t, fine, v3, 4, 120).ExecSeconds
+	if ratio := tf / tc; ratio < 5 || ratio > 12 {
+		t.Errorf("time ratio = %.1f, want ~8x work", ratio)
+	}
+}
+
+func TestWRFDefaultIsConusLike(t *testing.T) {
+	w := mustParse(t, "wrf", nil)
+	if w.Units < 5e7 || w.Units > 2e8 {
+		t.Errorf("default grid = %g points, want ~87M (CONUS 2.5km)", w.Units)
+	}
+	if w.InputDesc != "res=2.5km" {
+		t.Errorf("desc = %q", w.InputDesc)
+	}
+}
+
+func TestGROMACSNsPerDayMetric(t *testing.T) {
+	reg := NewRegistry()
+	a, _ := reg.Get("gromacs")
+	w := mustParse(t, "gromacs", nil)
+	v3 := cat.MustLookup("hb120rs_v3")
+	p2 := mustSim(t, w, v3, 2, 120)
+	p8 := mustSim(t, w, v3, 8, 120)
+	ns2, err := strconv.ParseFloat(a.Metrics(w, p2)["GMXNSPERDAY"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns8, err := strconv.ParseFloat(a.Metrics(w, p8)["GMXNSPERDAY"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns8 <= ns2 {
+		t.Errorf("ns/day should grow with nodes: %v -> %v", ns2, ns8)
+	}
+	// Sanity: 1.4M atoms on 240 Milan cores lands in a plausible MD range.
+	if ns2 < 1 || ns2 > 500 {
+		t.Errorf("ns/day = %v implausible", ns2)
+	}
+}
+
+func TestSmallMDSystemsSaturate(t *testing.T) {
+	// STMV (~1M atoms) over 1,920 cores is ~555 atoms/core: scaling must
+	// flatten well below ideal — the domain insight the multiapp example
+	// surfaces.
+	w := mustParse(t, "namd", nil)
+	v3 := cat.MustLookup("hb120rs_v3")
+	t1 := mustSim(t, w, v3, 1, 120).ExecSeconds
+	t16 := mustSim(t, w, v3, 16, 120).ExecSeconds
+	speedup := t1 / t16
+	if speedup > 10 {
+		t.Errorf("NAMD STMV speedup @16 = %.1f, should saturate below 10", speedup)
+	}
+	if speedup < 2 {
+		t.Errorf("NAMD STMV speedup @16 = %.1f, should still improve somewhat", speedup)
+	}
+}
+
+func TestMatmulInterconnectSensitivity(t *testing.T) {
+	// The same matmul on two nodes suffers far more on Ethernet (30 us)
+	// than the equivalent cores on InfiniBand (1.4 us): the sync term is
+	// latency-scaled.
+	w := mustParse(t, "matmul", map[string]string{"MATRIXSIZE": "8192"})
+	eth := cat.MustLookup("d64s_v5")
+	ib := cat.MustLookup("hb120rs_v3")
+	pEth := mustSim(t, w, eth, 2, 32)
+	pIB := mustSim(t, w, ib, 2, 32)
+	if pEth.CommSeconds <= pIB.CommSeconds*5 {
+		t.Errorf("ethernet comm %.2fs should dwarf InfiniBand %.2fs", pEth.CommSeconds, pIB.CommSeconds)
+	}
+}
+
+func TestMatmulGflopsMetric(t *testing.T) {
+	reg := NewRegistry()
+	a, _ := reg.Get("matmul")
+	w := mustParse(t, "matmul", map[string]string{"MATRIXSIZE": "4096"})
+	sku := cat.MustLookup("d64s_v5")
+	p := mustSim(t, w, sku, 1, 32)
+	g, err := strconv.ParseFloat(a.Metrics(w, p)["MATMULGFLOPS"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2n^3 flops over the measured time must reproduce the metric.
+	want := 2 * math.Pow(4096, 3) / p.ExecSeconds / 1e9
+	if math.Abs(g-want)/want > 0.01 {
+		t.Errorf("gflops = %v, want %v", g, want)
+	}
+}
+
+func TestNewerSKUGenerationWins(t *testing.T) {
+	// HBv4 (Genoa-X) must beat HBv3 on every app at equal node count —
+	// more cores, stronger cores, faster interconnect.
+	reg := NewRegistry()
+	v3 := cat.MustLookup("hb120rs_v3")
+	v4 := cat.MustLookup("hb176rs_v4")
+	for _, name := range []string{"lammps", "openfoam", "wrf", "gromacs", "namd"} {
+		a, _ := reg.Get(name)
+		w, err := a.Parse(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p3, err := Simulate(w, v3, 4, v3.PhysicalCores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p4, err := Simulate(w, v4, 4, v4.PhysicalCores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p4.ExecSeconds >= p3.ExecSeconds {
+			t.Errorf("%s: HBv4 %.1fs not faster than HBv3 %.1fs", name, p4.ExecSeconds, p3.ExecSeconds)
+		}
+	}
+}
+
+// Property: for every app, doubling the problem size never decreases the
+// execution time at fixed resources.
+func TestPropertyWorkMonotonicity(t *testing.T) {
+	reg := NewRegistry()
+	v3 := cat.MustLookup("hb120rs_v3")
+	grow := map[string]func(f float64) map[string]string{
+		"lammps":  func(f float64) map[string]string { return map[string]string{"BOXFACTOR": format(4 + 4*f)} },
+		"gromacs": func(f float64) map[string]string { return map[string]string{"ATOMS": format(1e6 * (1 + f))} },
+		"namd":    func(f float64) map[string]string { return map[string]string{"ATOMS": format(1e6 * (1 + f))} },
+		"matmul":  func(f float64) map[string]string { return map[string]string{"MATRIXSIZE": format(1024 * (1 + f))} },
+	}
+	for name, mk := range grow {
+		a, _ := reg.Get(name)
+		f := func(raw uint8) bool {
+			scale := float64(raw%16) + 1
+			w1, err1 := a.Parse(mk(scale))
+			w2, err2 := a.Parse(mk(scale * 2))
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			p1, err1 := Simulate(w1, v3, 2, 120)
+			p2, err2 := Simulate(w2, v3, 2, 120)
+			if err1 != nil || err2 != nil {
+				return true // OOM at huge sizes is acceptable
+			}
+			return p2.ExecSeconds >= p1.ExecSeconds*0.99
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func format(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// Property: jitter stays within its amplitude for arbitrary cluster shapes.
+func TestPropertyJitterBounded(t *testing.T) {
+	w := mustParse(t, "gromacs", nil)
+	skus := []catalog.SKU{
+		cat.MustLookup("hb120rs_v3"),
+		cat.MustLookup("hc44rs"),
+		cat.MustLookup("d64s_v5"),
+	}
+	f := func(skuRaw, nRaw, ppnRaw uint8) bool {
+		sku := skus[int(skuRaw)%len(skus)]
+		n := int(nRaw%32) + 1
+		ppn := int(ppnRaw)%sku.PhysicalCores + 1
+		p, err := Simulate(w, sku, n, ppn)
+		if err != nil {
+			return true
+		}
+		base := p.SerialSeconds + p.CompSeconds + p.CommSeconds
+		return math.Abs(p.ExecSeconds-base) <= base*jitterAmp+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

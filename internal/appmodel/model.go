@@ -1,0 +1,245 @@
+// Package appmodel provides analytical performance models for the HPC
+// applications the paper evaluates (LAMMPS, OpenFOAM, WRF, GROMACS, NAMD)
+// plus a matrix-multiplication demo app.
+//
+// The paper runs the real applications on real InfiniBand clusters; this
+// reproduction substitutes a behavioural model with three terms:
+//
+//	T = serial + compute + communication
+//
+//	compute = Units*Steps / (ranks * rate * CoreScore) * mem(ws)
+//	mem(ws) = 1 + beta / (1 + (wsc/ws)^k)      (memory-pressure factor)
+//	comm    = sync + halo
+//	sync    = Steps * sigma * log2(ranks) * (latency/latRef)
+//	halo    = Steps * ppn * haloBytes(u) * interFrac / linkBandwidth
+//
+// The memory-pressure factor mem(ws) rises when the per-rank working set ws
+// exceeds wsc (a few hundred MB per rank, proportional to the SKU's per-rank
+// memory bandwidth). Adding nodes shrinks ws, removes the pressure, and
+// produces the super-linear speedups the paper reports in Figure 5
+// (efficiency up to ~1.7 for the 860M-atom LAMMPS workload). The sync term
+// is a phenomenological per-step synchronization + imbalance overhead that
+// grows with log2(ranks) and makes strong scaling flatten, matching the
+// OpenFOAM advice table (Listing 3) where an 8M-cell case stops scaling
+// around 16 nodes.
+//
+// Constants are calibrated so the paper's published anchor points hold in
+// shape and magnitude: Listing 4 (LAMMPS ~36 s on 16x HB120rs_v3,
+// near-flat cost along the front), Listing 3 (OpenFOAM front cost rising
+// steeply with nodes), Figures 2-5 (magnitudes, who wins, super-linearity).
+package appmodel
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"hpcadvisor/internal/catalog"
+)
+
+// ModelParams are the per-application constants of the behavioural model.
+type ModelParams struct {
+	// RatePerCore is unit-steps per second per core at CoreScore 1.0 under
+	// low memory pressure (e.g. atom-steps/s/core for MD codes).
+	RatePerCore float64
+	// BytesPerUnit is the per-unit working-set contribution in bytes.
+	BytesPerUnit float64
+	// MemBeta is the maximum additional slowdown from memory pressure
+	// (mem factor saturates at 1+MemBeta).
+	MemBeta float64
+	// MemExp is the steepness of the memory-pressure sigmoid.
+	MemExp float64
+	// SyncSigma is the per-step synchronization/imbalance overhead in
+	// seconds, applied as sigma * log2(ranks) per step.
+	SyncSigma float64
+	// HaloBytes is bytes exchanged per surface unit (u^(2/3)) per rank per
+	// step.
+	HaloBytes float64
+	// SerialSeconds is fixed startup/IO time independent of scale.
+	SerialSeconds float64
+}
+
+// memKappa converts per-rank memory bandwidth into the working-set knee wsc:
+// wsc = memKappa seconds of streaming at the per-rank bandwidth, scaled by
+// the rank's share of last-level cache. Calibrated so HB120rs_v3 at full ppn
+// (4 MB of L3 per rank) has wsc ~ 0.85 GB, which reproduces the paper's
+// super-linear LAMMPS speedups.
+const memKappa = 0.2914
+
+// cacheRefBytes is the per-rank L3 share at the calibration point
+// (HB120rs_v3 at ppn=120) and cacheExp how strongly extra cache per rank
+// relieves pressure. Running fewer processes per node leaves each rank more
+// cache, raising the knee — the qualitative effect of the paper's
+// "processes per resource" (ppr) knob.
+const (
+	cacheRefBytes = 4e6
+	cacheExp      = 0.3
+)
+
+// latRefUS is the reference interconnect latency (HDR InfiniBand) against
+// which SyncSigma is calibrated.
+const latRefUS = 1.4
+
+// jitterAmp is the amplitude of the deterministic per-scenario jitter. It is
+// kept below 1% so the identity of the Pareto front is stable while repeated
+// sweeps still scatter like measurements.
+const jitterAmp = 0.008
+
+// Workload is a fully parsed application workload ready to simulate.
+type Workload struct {
+	// AppName identifies the application ("lammps", "openfoam", ...).
+	AppName string
+	// Units is the problem size in the application's natural unit (atoms,
+	// cells, grid points, matrix elements).
+	Units float64
+	// Steps is the number of time steps / solver iterations.
+	Steps float64
+	// Params holds the model constants.
+	Params ModelParams
+	// InputDesc is a canonical one-line description of the input, used in
+	// plot subtitles and jitter seeding (e.g. "atoms=864M").
+	InputDesc string
+}
+
+// Profile is the outcome of simulating a workload on a cluster shape.
+type Profile struct {
+	// ExecSeconds is total wall-clock execution time.
+	ExecSeconds float64
+	// CompSeconds, CommSeconds, SerialSeconds decompose ExecSeconds
+	// (before jitter).
+	CompSeconds   float64
+	CommSeconds   float64
+	SerialSeconds float64
+	// MemFactor is the memory-pressure multiplier applied to compute.
+	MemFactor float64
+	// CPUUtil, MemBWUtil, NetUtil are utilization estimates in [0,1] used
+	// by the infrastructure monitor.
+	CPUUtil   float64
+	MemBWUtil float64
+	NetUtil   float64
+}
+
+// SimError describes an invalid or infeasible simulation request.
+type SimError struct{ Msg string }
+
+func (e *SimError) Error() string { return "appmodel: " + e.Msg }
+
+// Simulate predicts the execution profile of workload w on nodes x ppn
+// ranks of the given SKU. It returns an error for infeasible requests
+// (zero ranks, ppn above the core count, or a working set that does not fit
+// in node memory — the simulated equivalent of an OOM-killed job).
+func Simulate(w Workload, sku catalog.SKU, nodes, ppn int) (Profile, error) {
+	if nodes < 1 {
+		return Profile{}, &SimError{Msg: fmt.Sprintf("nodes must be >= 1, got %d", nodes)}
+	}
+	if ppn < 1 {
+		return Profile{}, &SimError{Msg: fmt.Sprintf("ppn must be >= 1, got %d", ppn)}
+	}
+	if ppn > sku.PhysicalCores {
+		return Profile{}, &SimError{Msg: fmt.Sprintf("ppn %d exceeds %s core count %d", ppn, sku.Name, sku.PhysicalCores)}
+	}
+	if w.Units <= 0 || w.Steps <= 0 {
+		return Profile{}, &SimError{Msg: "workload has nonpositive size"}
+	}
+	p := w.Params
+
+	// Out-of-memory check: total working set spread across nodes, with a
+	// 10% headroom for the OS and runtime.
+	perNodeBytes := w.Units * p.BytesPerUnit / float64(nodes)
+	if perNodeBytes > 0.9*sku.MemoryGB*1e9 {
+		return Profile{}, &SimError{Msg: fmt.Sprintf(
+			"working set %.0f GB/node exceeds %s memory %.0f GB (out of memory)",
+			perNodeBytes/1e9, sku.Name, sku.MemoryGB)}
+	}
+
+	ranks := float64(nodes * ppn)
+
+	// Memory-pressure factor from the per-rank working set.
+	ws := w.Units * p.BytesPerUnit / ranks
+	perRankBW := sku.MemBWGBs * 1e9 / float64(ppn)
+	cachePerRank := sku.L3CacheMB * 1e6 / float64(ppn)
+	wsc := memKappa * perRankBW * math.Pow(cachePerRank/cacheRefBytes, cacheExp)
+	memFactor := 1.0
+	if p.MemBeta > 0 && ws > 0 {
+		memFactor = 1 + p.MemBeta/(1+math.Pow(wsc/ws, p.MemExp))
+	}
+
+	comp := w.Units * w.Steps / (ranks * p.RatePerCore * sku.CoreScore) * memFactor
+
+	// Communication only exists across ranks; single-rank runs skip it.
+	var sync, halo float64
+	if ranks > 1 {
+		latFactor := sku.Interconnect.LatencyUS / latRefUS
+		sync = w.Steps * p.SyncSigma * math.Log2(ranks) * latFactor
+	}
+	if nodes > 1 {
+		u := w.Units / ranks
+		surface := math.Pow(u, 2.0/3.0)
+		interFrac := 1 - math.Pow(1/float64(nodes), 1.0/3.0)
+		linkBps := sku.Interconnect.BandwidthGbps * 1e9 / 8
+		halo = w.Steps * float64(ppn) * p.HaloBytes * surface * interFrac / linkBps
+	}
+	comm := sync + halo
+
+	total := p.SerialSeconds + comp + comm
+	jit := jitterFraction(w.AppName, w.InputDesc, sku.Name, nodes, ppn)
+	exec := total * (1 + jit)
+
+	prof := Profile{
+		ExecSeconds:   exec,
+		CompSeconds:   comp,
+		CommSeconds:   comm,
+		SerialSeconds: p.SerialSeconds,
+		MemFactor:     memFactor,
+	}
+	if total > 0 {
+		ideal := comp / memFactor
+		prof.CPUUtil = clamp01(ideal / total)
+		prof.NetUtil = clamp01(comm / total)
+		if p.MemBeta > 0 {
+			prof.MemBWUtil = clamp01((memFactor - 1) / p.MemBeta)
+		}
+	}
+	return prof, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// jitterFraction derives a deterministic pseudo-random fraction in
+// [-jitterAmp, +jitterAmp] from the scenario identity, so repeated runs of
+// the same scenario reproduce the same "measured" time while distinct
+// scenarios scatter realistically.
+func jitterFraction(app, input, sku string, nodes, ppn int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d", app, input, sku, nodes, ppn)
+	v := h.Sum64()
+	// Map to [0,1) then to [-amp, +amp].
+	u := float64(v%1_000_000) / 1_000_000
+	return (2*u - 1) * jitterAmp
+}
+
+// Speedup computes s(n) = t1/tn, the quantity plotted in the paper's
+// Figure 4.
+func Speedup(t1, tn float64) float64 {
+	if tn <= 0 {
+		return 0
+	}
+	return t1 / tn
+}
+
+// Efficiency computes e(n) = speedup/n, the quantity plotted in the paper's
+// Figure 5. Values above 1 indicate super-linear speedup.
+func Efficiency(t1, tn float64, nodes int) float64 {
+	if nodes <= 0 {
+		return 0
+	}
+	return Speedup(t1, tn) / float64(nodes)
+}

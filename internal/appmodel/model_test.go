@@ -1,0 +1,428 @@
+package appmodel
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcadvisor/internal/catalog"
+)
+
+var cat = catalog.Default()
+
+func mustParse(t *testing.T, app string, input map[string]string) Workload {
+	t.Helper()
+	a, err := NewRegistry().Get(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := a.Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mustSim(t *testing.T, w Workload, sku catalog.SKU, nodes, ppn int) Profile {
+	t.Helper()
+	p, err := Simulate(w, sku, nodes, ppn)
+	if err != nil {
+		t.Fatalf("Simulate(%s, %s, n=%d): %v", w.AppName, sku.Name, nodes, err)
+	}
+	return p
+}
+
+func TestRegistryHasPaperApps(t *testing.T) {
+	r := NewRegistry()
+	// The paper reports testing WRF, OpenFOAM, GROMACS, LAMMPS, and NAMD.
+	for _, name := range []string{"wrf", "openfoam", "gromacs", "lammps", "namd", "matmul"} {
+		a, err := r.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Errorf("Get(%q).Name() = %q", name, a.Name())
+		}
+		if a.Description() == "" {
+			t.Errorf("%s has no description", name)
+		}
+		if len(a.DefaultInput()) == 0 {
+			t.Errorf("%s has no default input", name)
+		}
+		// Default input must parse.
+		if _, err := a.Parse(nil); err != nil {
+			t.Errorf("%s default parse: %v", name, err)
+		}
+	}
+	if _, err := r.Get("fortnite"); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if got := len(r.Names()); got != 6 {
+		t.Errorf("Names() has %d entries, want 6", got)
+	}
+}
+
+func TestLAMMPSBoxFactor30Is864MAtoms(t *testing.T) {
+	// Paper: "we multiply the box dimensions by 30 to obtain 800 million
+	// atoms" (in.lj base is 32,000 atoms; 30^3 * 32000 = 864M, the figures
+	// round to 860M).
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	if w.Units != 864e6 {
+		t.Errorf("atoms = %g, want 864e6", w.Units)
+	}
+	if w.InputDesc != "atoms=864M" {
+		t.Errorf("InputDesc = %q", w.InputDesc)
+	}
+}
+
+func TestOpenFOAMListing3MeshIs8MCells(t *testing.T) {
+	// Paper: BLOCKMESH DIMENSIONS "40 16 16" yields the 8M-cell motorBike.
+	w := mustParse(t, "openfoam", map[string]string{"BLOCKMESH_DIMENSIONS": "40 16 16"})
+	if w.Units < 7.5e6 || w.Units > 8.5e6 {
+		t.Errorf("cells = %g, want ~8e6", w.Units)
+	}
+	// Listing 1 spells the key "mesh"; both must work.
+	w2 := mustParse(t, "openfoam", map[string]string{"mesh": "40 16 16"})
+	if w2.Units != w.Units {
+		t.Errorf("mesh key parse differs: %g vs %g", w2.Units, w.Units)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		app   string
+		input map[string]string
+	}{
+		{"lammps", map[string]string{"BOXFACTOR": "zero"}},
+		{"lammps", map[string]string{"BOXFACTOR": "-3"}},
+		{"openfoam", map[string]string{"mesh": "40 16"}},
+		{"openfoam", map[string]string{"mesh": "a b c"}},
+		{"wrf", map[string]string{"RESOLUTION": "0"}},
+		{"gromacs", map[string]string{"ATOMS": "NaN..."}},
+		{"namd", map[string]string{"TIMESTEPS": "-1"}},
+		{"matmul", map[string]string{"MATRIXSIZE": "big"}},
+	}
+	for _, c := range cases {
+		a, _ := r.Get(c.app)
+		if _, err := a.Parse(c.input); err == nil {
+			t.Errorf("%s.Parse(%v) should fail", c.app, c.input)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	w := mustParse(t, "lammps", nil)
+	sku := cat.MustLookup("hb120rs_v3")
+	if _, err := Simulate(w, sku, 0, 120); err == nil {
+		t.Error("nodes=0 should fail")
+	}
+	if _, err := Simulate(w, sku, 1, 0); err == nil {
+		t.Error("ppn=0 should fail")
+	}
+	if _, err := Simulate(w, sku, 1, 121); err == nil {
+		t.Error("ppn above core count should fail")
+	}
+	bad := w
+	bad.Units = 0
+	if _, err := Simulate(bad, sku, 1, 120); err == nil {
+		t.Error("zero-size workload should fail")
+	}
+}
+
+func TestOutOfMemoryFails(t *testing.T) {
+	// A 100x box factor is 3.2e9 atoms * 200 B = 640 GB per node at n=1:
+	// more than any single SKU holds.
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "100"})
+	sku := cat.MustLookup("hb120rs_v3")
+	_, err := Simulate(w, sku, 1, 120)
+	if err == nil {
+		t.Fatal("expected OOM failure")
+	}
+	if !strings.Contains(err.Error(), "memory") {
+		t.Errorf("error %q should mention memory", err)
+	}
+	// Spreading over 32 nodes fits.
+	if _, err := Simulate(w, sku, 32, 120); err != nil {
+		t.Errorf("32-node run should fit: %v", err)
+	}
+}
+
+func TestExecTimeDecreasesWithNodes(t *testing.T) {
+	// Paper Figure 2 shape: execution time is monotone decreasing in node
+	// count for every SKU over the paper's range.
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	for _, skuName := range []string{"hc44rs", "hb120rs_v2", "hb120rs_v3"} {
+		sku := cat.MustLookup(skuName)
+		prev := math.Inf(1)
+		for _, n := range []int{1, 2, 3, 4, 8, 16} {
+			p := mustSim(t, w, sku, n, sku.PhysicalCores)
+			if p.ExecSeconds >= prev {
+				t.Errorf("%s: T(%d)=%.1f not below previous %.1f", skuName, n, p.ExecSeconds, prev)
+			}
+			prev = p.ExecSeconds
+		}
+	}
+}
+
+func TestFigure2MagnitudeAndOrdering(t *testing.T) {
+	// Shape anchors from the paper: hb120rs_v3 is fastest at equal node
+	// count; times run from tens of seconds (16 nodes HB) to thousands
+	// (small counts on hc44rs).
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	v2 := cat.MustLookup("hb120rs_v2")
+	hc := cat.MustLookup("hc44rs")
+	for _, n := range []int{2, 4, 8, 16} {
+		tv3 := mustSim(t, w, v3, n, 120).ExecSeconds
+		tv2 := mustSim(t, w, v2, n, 120).ExecSeconds
+		thc := mustSim(t, w, hc, n, 44).ExecSeconds
+		if !(tv3 < tv2 && tv2 < thc) {
+			t.Errorf("n=%d ordering broken: v3=%.0f v2=%.0f hc=%.0f", n, tv3, tv2, thc)
+		}
+	}
+	t16 := mustSim(t, w, v3, 16, 120).ExecSeconds
+	if t16 < 25 || t16 > 60 {
+		t.Errorf("v3 @16 nodes = %.1f s, want paper magnitude ~36 s", t16)
+	}
+	t1hc := mustSim(t, w, hc, 1, 44).ExecSeconds
+	if t1hc < 1500 || t1hc > 4000 {
+		t.Errorf("hc44rs @1 node = %.0f s, want thousands of seconds", t1hc)
+	}
+}
+
+func TestListing4AnchorTimes(t *testing.T) {
+	// Paper Listing 4 (LAMMPS advice, hb120rs_v3): 36 s @16, 69 s @8,
+	// 132 s @4, 173 s @3. The model must land within 15% of each anchor.
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	anchors := map[int]float64{16: 36, 8: 69, 4: 132, 3: 173}
+	for n, want := range anchors {
+		got := mustSim(t, w, v3, n, 120).ExecSeconds
+		if rel := math.Abs(got-want) / want; rel > 0.15 {
+			t.Errorf("T(%d) = %.1f s, paper %.0f s (off by %.0f%%)", n, got, want, rel*100)
+		}
+	}
+}
+
+func TestFigure5SuperLinearEfficiency(t *testing.T) {
+	// Paper Figure 5 shows efficiency above 1 (super-linear speedup) for
+	// the 860M-atom LAMMPS workload, peaking around 1.6-1.7.
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	t1 := mustSim(t, w, v3, 1, 120).ExecSeconds
+	peak := 0.0
+	for _, n := range []int{2, 3, 4, 8, 16} {
+		tn := mustSim(t, w, v3, n, 120).ExecSeconds
+		eff := Efficiency(t1, tn, n)
+		if eff > peak {
+			peak = eff
+		}
+	}
+	if peak <= 1.0 {
+		t.Fatalf("no super-linear efficiency observed (peak %.2f)", peak)
+	}
+	if peak < 1.3 || peak > 2.0 {
+		t.Errorf("peak efficiency %.2f outside plausible paper range [1.3, 2.0]", peak)
+	}
+	// Efficiency declines again at the largest scale.
+	t16 := mustSim(t, w, v3, 16, 120).ExecSeconds
+	if Efficiency(t1, t16, 16) >= peak {
+		t.Error("efficiency should decline by 16 nodes")
+	}
+}
+
+func TestFigure4SpeedupMagnitude(t *testing.T) {
+	// Paper Figure 4 tops out around 26x at 16 nodes.
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	t1 := mustSim(t, w, v3, 1, 120).ExecSeconds
+	t16 := mustSim(t, w, v3, 16, 120).ExecSeconds
+	s := Speedup(t1, t16)
+	if s < 18 || s > 30 {
+		t.Errorf("speedup @16 = %.1f, want paper magnitude ~26", s)
+	}
+}
+
+func TestOpenFOAMScalingFlattens(t *testing.T) {
+	// Listing 3 shape: the 8M-cell OpenFOAM case is communication bound;
+	// T(3)/T(16) is below ~2.2 even though node count grows 5.3x.
+	w := mustParse(t, "openfoam", map[string]string{"mesh": "40 16 16"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	t3 := mustSim(t, w, v3, 3, 120).ExecSeconds
+	t16 := mustSim(t, w, v3, 16, 120).ExecSeconds
+	ratio := t3 / t16
+	if ratio < 1.2 || ratio > 2.6 {
+		t.Errorf("T(3)/T(16) = %.2f, want flattened scaling in [1.2, 2.6]", ratio)
+	}
+	if t16 < 20 || t16 > 60 {
+		t.Errorf("OpenFOAM T(16) = %.1f s, paper magnitude ~34 s", t16)
+	}
+}
+
+func TestCommunicationGrowsWithNodes(t *testing.T) {
+	w := mustParse(t, "openfoam", nil)
+	v3 := cat.MustLookup("hb120rs_v3")
+	p2 := mustSim(t, w, v3, 2, 120)
+	p16 := mustSim(t, w, v3, 16, 120)
+	if p16.CommSeconds <= p2.CommSeconds {
+		t.Errorf("comm @16 (%.2f) should exceed comm @2 (%.2f)", p16.CommSeconds, p2.CommSeconds)
+	}
+	if p16.NetUtil <= p2.NetUtil {
+		t.Errorf("net util @16 (%.2f) should exceed @2 (%.2f)", p16.NetUtil, p2.NetUtil)
+	}
+}
+
+func TestMemoryPressureDropsWithScale(t *testing.T) {
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	p1 := mustSim(t, w, v3, 1, 120)
+	p16 := mustSim(t, w, v3, 16, 120)
+	if p1.MemFactor <= p16.MemFactor {
+		t.Errorf("mem factor should fall with scale: %f vs %f", p1.MemFactor, p16.MemFactor)
+	}
+	if p1.MemFactor < 1.5 {
+		t.Errorf("single-node 864M-atom run should be memory pressured, factor %.2f", p1.MemFactor)
+	}
+	if p16.MemFactor > 1.1 {
+		t.Errorf("16-node run should be pressure free, factor %.2f", p16.MemFactor)
+	}
+	if p1.MemBWUtil <= p16.MemBWUtil {
+		t.Error("memory-bandwidth utilization should fall with scale")
+	}
+}
+
+func TestFewerProcessesPerNodeReducesPressure(t *testing.T) {
+	// Halving ppn halves compute throughput but doubles per-rank bandwidth;
+	// the model must reflect the paper's ppr knob qualitatively.
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "30"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	full := mustSim(t, w, v3, 2, 120)
+	half := mustSim(t, w, v3, 2, 60)
+	if half.MemFactor >= full.MemFactor {
+		t.Errorf("half ppn mem factor %.3f should be below full %.3f", half.MemFactor, full.MemFactor)
+	}
+	if half.ExecSeconds <= full.ExecSeconds {
+		t.Error("with pressure mostly relieved, halving ranks should still cost time overall")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	w := mustParse(t, "gromacs", nil)
+	v3 := cat.MustLookup("hb120rs_v3")
+	a := mustSim(t, w, v3, 4, 120)
+	b := mustSim(t, w, v3, 4, 120)
+	if a.ExecSeconds != b.ExecSeconds {
+		t.Error("simulation must be deterministic")
+	}
+	base := a.SerialSeconds + a.CompSeconds + a.CommSeconds
+	if math.Abs(a.ExecSeconds-base)/base > jitterAmp+1e-9 {
+		t.Errorf("jitter exceeds amplitude: exec %.3f vs base %.3f", a.ExecSeconds, base)
+	}
+}
+
+func TestProfileDecomposition(t *testing.T) {
+	w := mustParse(t, "wrf", nil)
+	v3 := cat.MustLookup("hb120rs_v3")
+	p := mustSim(t, w, v3, 4, 120)
+	base := p.SerialSeconds + p.CompSeconds + p.CommSeconds
+	if base <= 0 {
+		t.Fatal("empty decomposition")
+	}
+	if math.Abs(p.ExecSeconds-base)/base > 0.02 {
+		t.Errorf("decomposition %f far from exec %f", base, p.ExecSeconds)
+	}
+	for name, u := range map[string]float64{"cpu": p.CPUUtil, "membw": p.MemBWUtil, "net": p.NetUtil} {
+		if u < 0 || u > 1 {
+			t.Errorf("%s utilization %f outside [0,1]", name, u)
+		}
+	}
+}
+
+func TestMetricsEmitted(t *testing.T) {
+	r := NewRegistry()
+	v3 := cat.MustLookup("hb120rs_v3")
+	for _, name := range r.Names() {
+		a, _ := r.Get(name)
+		w, err := a.Parse(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p, err := Simulate(w, v3, 2, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := a.Metrics(w, p)
+		if _, ok := m["APPEXECTIME"]; !ok {
+			t.Errorf("%s metrics missing APPEXECTIME (paper Listing 2 contract)", name)
+		}
+		for k, v := range m {
+			if k == "" || v == "" {
+				t.Errorf("%s has empty metric %q=%q", name, k, v)
+			}
+			if strings.ContainsAny(k, " =\n") {
+				t.Errorf("%s metric key %q not shell-safe", name, k)
+			}
+		}
+	}
+}
+
+func TestFormatUnits(t *testing.T) {
+	cases := map[float64]string{
+		864e6:   "864M",
+		8e6:     "8M",
+		7.99e6:  "8M",
+		1.066e6: "1.1M",
+		32000:   "32K",
+		512:     "512",
+		3.2e9:   "3.2B",
+	}
+	for in, want := range cases {
+		if got := FormatUnits(in); got != want {
+			t.Errorf("FormatUnits(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Property: more nodes never increases compute time, and exec time is
+// always positive and finite.
+func TestPropertyScalingMonotonicity(t *testing.T) {
+	w := mustParse(t, "lammps", map[string]string{"BOXFACTOR": "12"})
+	v3 := cat.MustLookup("hb120rs_v3")
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%63) + 1
+		p1, err := Simulate(w, v3, n, 120)
+		if err != nil {
+			return false
+		}
+		p2, err := Simulate(w, v3, n+1, 120)
+		if err != nil {
+			return false
+		}
+		ok := p1.ExecSeconds > 0 && !math.IsInf(p1.ExecSeconds, 0) && !math.IsNaN(p1.ExecSeconds)
+		return ok && p2.CompSeconds <= p1.CompSeconds*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: doubling the LAMMPS box factor multiplies atoms by 8.
+func TestPropertyLAMMPSCubicScaling(t *testing.T) {
+	r := NewRegistry()
+	a, _ := r.Get("lammps")
+	f := func(bfRaw uint8) bool {
+		bf := float64(bfRaw%20) + 1
+		w1, err1 := a.Parse(map[string]string{"BOXFACTOR": strconv.FormatFloat(bf, 'f', -1, 64)})
+		w2, err2 := a.Parse(map[string]string{"BOXFACTOR": strconv.FormatFloat(2*bf, 'f', -1, 64)})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(w2.Units/w1.Units-8) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

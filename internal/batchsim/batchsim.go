@@ -1,0 +1,516 @@
+// Package batchsim simulates the batch/orchestration service the paper's
+// back-end uses (Azure Batch): pools of identical VMs keyed by SKU, node
+// provisioning with boot latency, per-pool setup tasks, and multi-instance
+// (MPI) compute tasks that gang-schedule several nodes at once.
+//
+// It implements exactly the surface Algorithm 1 of the paper needs:
+//
+//	create pool(vmtype) / resize pool / delete pool
+//	create setup task / create compute task / execute / wait
+//
+// All durations run on the shared virtual clock, and a vclock.Meter records
+// billed node-seconds per pool (nodes are billed from provisioning start,
+// including boot and idle time, as in the real service), which feeds the
+// total data-collection cost accounting.
+package batchsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/cloudsim"
+	"hpcadvisor/internal/vclock"
+)
+
+// NodeState is the lifecycle state of a pool node.
+type NodeState string
+
+// Node states.
+const (
+	NodeBooting NodeState = "booting"
+	NodeIdle    NodeState = "idle"
+	NodeBusy    NodeState = "busy"
+)
+
+// TaskStatus is the lifecycle state of a task, mirroring the paper's task
+// list states (pending, failed, completed) plus running.
+type TaskStatus string
+
+// Task states.
+const (
+	TaskPending   TaskStatus = "pending"
+	TaskRunning   TaskStatus = "running"
+	TaskCompleted TaskStatus = "completed"
+	TaskFailed    TaskStatus = "failed"
+)
+
+// Errors returned by the service.
+var (
+	ErrPoolNotFound = fmt.Errorf("batchsim: pool not found")
+	ErrPoolExists   = fmt.Errorf("batchsim: pool already exists")
+	ErrTaskTooWide  = fmt.Errorf("batchsim: task requires more nodes than pool target")
+	ErrPoolBusy     = fmt.Errorf("batchsim: pool has running tasks")
+	ErrTaskNotFound = fmt.Errorf("batchsim: task not found")
+)
+
+// TaskContext is handed to the task function when the task starts.
+type TaskContext struct {
+	// SKU of the nodes the task runs on.
+	SKU catalog.SKU
+	// NodeIDs are the gang-scheduled nodes, the basis for the hostlist.
+	NodeIDs []string
+	// StartedAt is the virtual start time.
+	StartedAt time.Duration
+}
+
+// TaskResult is what a task function produces: how long the work takes on
+// the virtual clock, its stdout, and its exit code.
+type TaskResult struct {
+	DurationSeconds float64
+	Stdout          string
+	ExitCode        int
+}
+
+// TaskFunc computes the outcome of a task. It is called at task start; the
+// task then occupies its nodes for DurationSeconds of virtual time.
+type TaskFunc func(tc TaskContext) TaskResult
+
+// TaskSpec describes a task to submit.
+type TaskSpec struct {
+	Name string
+	// NodesRequired is the multi-instance width (1 for a plain task).
+	NodesRequired int
+	Run           TaskFunc
+}
+
+// Task is a submitted task.
+type Task struct {
+	ID     string
+	Spec   TaskSpec
+	Status TaskStatus
+	Result TaskResult
+
+	SubmittedAt time.Duration
+	StartedAt   time.Duration
+	CompletedAt time.Duration
+	NodeIDs     []string
+}
+
+// Terminal reports whether the task reached a final state.
+func (t *Task) Terminal() bool { return t.Status == TaskCompleted || t.Status == TaskFailed }
+
+type node struct {
+	id    string
+	state NodeState
+}
+
+// Pool is a set of identical nodes executing tasks.
+type Pool struct {
+	ID  string
+	SKU catalog.SKU
+	// SetupSeconds is charged on every node after boot before it can run
+	// tasks — the paper's per-pool application setup task.
+	SetupSeconds float64
+	// Spot marks low-priority capacity: cheaper, but tasks can be
+	// preempted mid-run and must be retried.
+	Spot bool
+
+	svc     *Service
+	target  int
+	nodes   []*node
+	queue   []*Task
+	nextNum int
+}
+
+// TargetNodes returns the current resize target.
+func (p *Pool) TargetNodes() int { return p.target }
+
+// CountNodes returns the number of provisioned (billed) nodes.
+func (p *Pool) CountNodes() int { return len(p.nodes) }
+
+// IdleNodes returns how many nodes are ready for work.
+func (p *Pool) IdleNodes() int {
+	n := 0
+	for _, nd := range p.nodes {
+		if nd.state == NodeIdle {
+			n++
+		}
+	}
+	return n
+}
+
+// RunningTasks returns the number of tasks currently executing.
+func (p *Pool) RunningTasks() int {
+	n := 0
+	for _, t := range p.queue {
+		if t.Status == TaskRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Service is the batch service bound to one deployment (subscription +
+// resource group).
+type Service struct {
+	Clock *vclock.Clock
+	Meter *vclock.Meter
+
+	cloud  *cloudsim.Cloud
+	subID  string
+	rgName string
+
+	pools    map[string]*Pool
+	tasks    map[string]*Task
+	nextTask int
+}
+
+// New creates a batch service for a deployed resource group.
+func New(clock *vclock.Clock, cloud *cloudsim.Cloud, subID, rgName string) *Service {
+	return &Service{
+		Clock:  clock,
+		Meter:  vclock.NewMeter(),
+		cloud:  cloud,
+		subID:  subID,
+		rgName: rgName,
+		pools:  make(map[string]*Pool),
+		tasks:  make(map[string]*Task),
+	}
+}
+
+// CreatePool provisions an empty pool for a SKU. Nodes are added by Resize,
+// matching Algorithm 1 ("create a batch service with no resources", then
+// grow per task).
+func (s *Service) CreatePool(id, skuName string, setupSeconds float64) (*Pool, error) {
+	return s.createPool(id, skuName, setupSeconds, false)
+}
+
+// CreateSpotPool provisions a pool of low-priority (spot) capacity: billed
+// at the spot rate but subject to preemption — a running task can be killed
+// partway through and its node reclaimed.
+func (s *Service) CreateSpotPool(id, skuName string, setupSeconds float64) (*Pool, error) {
+	return s.createPool(id, skuName, setupSeconds, true)
+}
+
+func (s *Service) createPool(id, skuName string, setupSeconds float64, spot bool) (*Pool, error) {
+	if _, ok := s.pools[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrPoolExists, id)
+	}
+	sku, err := s.cloud.ValidateSKUForPool(s.subID, s.rgName, skuName, 0)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{ID: id, SKU: sku, SetupSeconds: setupSeconds, Spot: spot, svc: s}
+	s.pools[id] = p
+	s.meter(p)
+	return p, nil
+}
+
+// Pool resolves a pool by ID.
+func (s *Service) Pool(id string) (*Pool, error) {
+	if p, ok := s.pools[id]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrPoolNotFound, id)
+}
+
+// PoolIDs lists pools, sorted.
+func (s *Service) PoolIDs() []string {
+	out := make([]string, 0, len(s.pools))
+	for id := range s.pools {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resize grows or shrinks the pool to target nodes. Growth reserves quota
+// and boots nodes (boot + setup latency before they are usable); shrink
+// releases idle and booting nodes immediately but never running ones.
+func (s *Service) Resize(poolID string, target int) error {
+	p, err := s.Pool(poolID)
+	if err != nil {
+		return err
+	}
+	if target < 0 {
+		return fmt.Errorf("batchsim: negative resize target %d", target)
+	}
+	sub, err := s.cloud.Subscription(s.subID)
+	if err != nil {
+		return err
+	}
+	switch {
+	case target > len(p.nodes):
+		add := target - len(p.nodes)
+		rg, err := s.cloud.ResourceGroup(s.subID, s.rgName)
+		if err != nil {
+			return err
+		}
+		if err := sub.ReserveCores(rg.Region, p.SKU.Family, add*p.SKU.PhysicalCores); err != nil {
+			return err
+		}
+		for i := 0; i < add; i++ {
+			p.nextNum++
+			nd := &node{id: fmt.Sprintf("%s-node-%03d", p.ID, p.nextNum), state: NodeBooting}
+			p.nodes = append(p.nodes, nd)
+			bootDur := vclock.Seconds(p.SKU.BootSeconds + p.SetupSeconds)
+			s.Clock.Schedule(bootDur, func() {
+				if nd.state == NodeBooting {
+					nd.state = NodeIdle
+					s.trySchedule(p)
+				}
+			})
+		}
+		s.meter(p)
+	case target < len(p.nodes):
+		removable := len(p.nodes) - target
+		kept := p.nodes[:0]
+		for _, nd := range p.nodes {
+			if removable > 0 && nd.state != NodeBusy {
+				removable--
+				nd.state = "removed"
+				continue
+			}
+			kept = append(kept, nd)
+		}
+		released := len(p.nodes) - len(kept)
+		p.nodes = kept
+		if released > 0 {
+			rg, err := s.cloud.ResourceGroup(s.subID, s.rgName)
+			if err != nil {
+				return err
+			}
+			sub.ReleaseCores(rg.Region, p.SKU.Family, released*p.SKU.PhysicalCores)
+		}
+		s.meter(p)
+		if removable > 0 {
+			return fmt.Errorf("%w: %d busy nodes could not be removed", ErrPoolBusy, removable)
+		}
+	}
+	p.target = target
+	return nil
+}
+
+// DeletePool removes a pool with no running tasks, releasing its quota.
+func (s *Service) DeletePool(poolID string) error {
+	p, err := s.Pool(poolID)
+	if err != nil {
+		return err
+	}
+	if p.RunningTasks() > 0 {
+		return fmt.Errorf("%w: %q", ErrPoolBusy, poolID)
+	}
+	if err := s.Resize(poolID, 0); err != nil {
+		return err
+	}
+	s.Meter.StopInterval(s.meterKey(p), s.Clock.Now())
+	delete(s.pools, poolID)
+	return nil
+}
+
+// Submit queues a task on a pool. The task runs when enough nodes are idle.
+func (s *Service) Submit(poolID string, spec TaskSpec) (*Task, error) {
+	p, err := s.Pool(poolID)
+	if err != nil {
+		return nil, err
+	}
+	if spec.NodesRequired < 1 {
+		spec.NodesRequired = 1
+	}
+	if spec.NodesRequired > p.target {
+		return nil, fmt.Errorf("%w: needs %d, pool target %d", ErrTaskTooWide, spec.NodesRequired, p.target)
+	}
+	s.nextTask++
+	t := &Task{
+		ID:          fmt.Sprintf("task-%05d", s.nextTask),
+		Spec:        spec,
+		Status:      TaskPending,
+		SubmittedAt: s.Clock.Now(),
+	}
+	s.tasks[t.ID] = t
+	p.queue = append(p.queue, t)
+	s.trySchedule(p)
+	return t, nil
+}
+
+// Task resolves a task by ID.
+func (s *Service) Task(id string) (*Task, error) {
+	if t, ok := s.tasks[id]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrTaskNotFound, id)
+}
+
+// Wait drives the virtual clock until the task terminates. It returns an
+// error if the clock runs dry before completion (a deadlock such as a task
+// wider than its pool can ever satisfy).
+func (s *Service) Wait(t *Task) error {
+	for !t.Terminal() {
+		if !s.Clock.Step() {
+			return fmt.Errorf("batchsim: clock exhausted while waiting for %s (status %s)", t.ID, t.Status)
+		}
+	}
+	return nil
+}
+
+// RunToCompletion submits a task and waits for it.
+func (s *Service) RunToCompletion(poolID string, spec TaskSpec) (*Task, error) {
+	t, err := s.Submit(poolID, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Wait(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// trySchedule starts queued tasks FIFO while enough idle nodes exist.
+func (s *Service) trySchedule(p *Pool) {
+	for {
+		var next *Task
+		for _, t := range p.queue {
+			if t.Status == TaskPending {
+				next = t
+				break
+			}
+		}
+		if next == nil {
+			return
+		}
+		var idle []*node
+		for _, nd := range p.nodes {
+			if nd.state == NodeIdle {
+				idle = append(idle, nd)
+			}
+		}
+		if len(idle) < next.Spec.NodesRequired {
+			return
+		}
+		gang := idle[:next.Spec.NodesRequired]
+		ids := make([]string, len(gang))
+		for i, nd := range gang {
+			nd.state = NodeBusy
+			ids[i] = nd.id
+		}
+		next.Status = TaskRunning
+		next.StartedAt = s.Clock.Now()
+		next.NodeIDs = ids
+		result := next.Spec.Run(TaskContext{SKU: p.SKU, NodeIDs: ids, StartedAt: s.Clock.Now()})
+		if result.DurationSeconds < 0 {
+			result.DurationSeconds = 0
+		}
+		// Spot capacity can be reclaimed mid-run: the task dies partway
+		// through with the conventional SIGKILL exit code, and the
+		// reclaimed node is replaced (boot + setup latency again).
+		preempted := false
+		if p.Spot && result.ExitCode == 0 {
+			if frac, hit := preemption(next.ID, s.Clock.Now()); hit {
+				preempted = true
+				result = TaskResult{
+					DurationSeconds: result.DurationSeconds * frac,
+					Stdout:          "Simulation did not complete successfully.\nnode preempted: spot capacity reclaimed\n",
+					ExitCode:        137,
+				}
+			}
+		}
+		task := next
+		s.Clock.Schedule(vclock.Seconds(result.DurationSeconds), func() {
+			task.Result = result
+			task.CompletedAt = s.Clock.Now()
+			if result.ExitCode == 0 {
+				task.Status = TaskCompleted
+			} else {
+				task.Status = TaskFailed
+			}
+			if preempted {
+				s.reclaimAndReplace(p, gang[0])
+			}
+			for _, nd := range gang {
+				if nd.state == NodeBusy {
+					nd.state = NodeIdle
+				}
+			}
+			s.trySchedule(p)
+		})
+	}
+}
+
+// preemptProbability is the chance a spot task loses a node mid-run.
+const preemptProbability = 0.25
+
+// preemption deterministically decides whether a spot task starting at the
+// given virtual time is reclaimed, and how far through its run. Retried
+// attempts start at different times, so they re-roll.
+func preemption(taskID string, at time.Duration) (fraction float64, hit bool) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", taskID, at)
+	u := float64(h.Sum64()%1_000_000) / 1_000_000
+	if u >= preemptProbability {
+		return 0, false
+	}
+	// The reclaim lands between 20% and 80% of the way through the run.
+	return 0.2 + 0.6*(u/preemptProbability), true
+}
+
+// reclaimAndReplace removes a preempted node and boots its replacement,
+// keeping the pool at target (billed through the reclaim, then again from
+// replacement provisioning — spot economics include wasted work).
+func (s *Service) reclaimAndReplace(p *Pool, victim *node) {
+	kept := p.nodes[:0]
+	for _, nd := range p.nodes {
+		if nd != victim {
+			kept = append(kept, nd)
+		}
+	}
+	p.nodes = kept
+	victim.state = "removed"
+	p.nextNum++
+	nd := &node{id: fmt.Sprintf("%s-node-%03d", p.ID, p.nextNum), state: NodeBooting}
+	p.nodes = append(p.nodes, nd)
+	s.Clock.Schedule(vclock.Seconds(p.SKU.BootSeconds+p.SetupSeconds), func() {
+		if nd.state == NodeBooting {
+			nd.state = NodeIdle
+			s.trySchedule(p)
+		}
+	})
+	s.meter(p)
+}
+
+func (s *Service) meterKey(p *Pool) string { return p.SKU.Name + "/" + p.ID }
+
+// meter re-opens the node-seconds interval at the current node count.
+func (s *Service) meter(p *Pool) {
+	s.Meter.StartInterval(s.meterKey(p), s.Clock.Now(), float64(len(p.nodes)))
+}
+
+// NodeSecondsBySKU aggregates billed node-seconds per SKU name across pools,
+// including deleted ones. Open intervals are included up to the current
+// virtual time.
+func (s *Service) NodeSecondsBySKU() map[string]float64 {
+	// Close and reopen intervals so usage is current.
+	for _, p := range s.pools {
+		s.meter(p)
+	}
+	out := make(map[string]float64)
+	for _, key := range s.Meter.Keys() {
+		sku := key
+		if i := indexByte(key, '/'); i >= 0 {
+			sku = key[:i]
+		}
+		out[sku] += s.Meter.Total(key)
+	}
+	return out
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,161 @@
+package batchsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hpcadvisor/internal/vclock"
+)
+
+func TestSpotPoolCreation(t *testing.T) {
+	f := newFixture(t)
+	p, err := f.svc.CreateSpotPool("spot", "Standard_HB120rs_v3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Spot {
+		t.Error("pool should be marked spot")
+	}
+	od, err := f.svc.CreatePool("od", "Standard_HB120rs_v3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.Spot {
+		t.Error("regular pool should not be spot")
+	}
+}
+
+func TestPreemptionDeterministicAndBounded(t *testing.T) {
+	hits := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		frac, hit := preemption("task-x", time.Duration(i)*time.Second)
+		frac2, hit2 := preemption("task-x", time.Duration(i)*time.Second)
+		if hit != hit2 || frac != frac2 {
+			t.Fatal("preemption must be deterministic")
+		}
+		if hit {
+			hits++
+			if frac < 0.2 || frac > 0.8 {
+				t.Fatalf("fraction %f outside [0.2, 0.8]", frac)
+			}
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.18 || rate > 0.32 {
+		t.Errorf("preemption rate %.3f far from %.2f", rate, preemptProbability)
+	}
+}
+
+func TestSpotTaskPreemptionLifecycle(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.svc.CreateSpotPool("p", "Standard_HB120rs_v3", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Resize("p", 2); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Run() // boot
+
+	// Run tasks until one is preempted (deterministic, so scan a window).
+	var preemptedTask *Task
+	for i := 0; i < 40 && preemptedTask == nil; i++ {
+		task, err := f.svc.RunToCompletion("p", TaskSpec{
+			Name:          "spot-work",
+			NodesRequired: 2,
+			Run:           constantTask(100),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Status == TaskFailed {
+			preemptedTask = task
+		}
+	}
+	if preemptedTask == nil {
+		t.Fatal("no preemption observed in 40 spot tasks (expected ~25% rate)")
+	}
+	if preemptedTask.Result.ExitCode != 137 {
+		t.Errorf("exit = %d, want 137 (SIGKILL convention)", preemptedTask.Result.ExitCode)
+	}
+	if !strings.Contains(preemptedTask.Result.Stdout, "preempted") {
+		t.Errorf("stdout = %q", preemptedTask.Result.Stdout)
+	}
+	// The preempted run consumed part of the full duration.
+	ran := (preemptedTask.CompletedAt - preemptedTask.StartedAt).Seconds()
+	if ran <= 0 || ran >= 100 {
+		t.Errorf("preempted run lasted %.0f s, want partial progress", ran)
+	}
+	// The pool replaced the reclaimed node: count returns to target after
+	// the replacement boots.
+	f.clock.Run()
+	p, _ := f.svc.Pool("p")
+	if p.CountNodes() != 2 {
+		t.Errorf("nodes = %d after replacement, want 2", p.CountNodes())
+	}
+	if p.IdleNodes() != 2 {
+		t.Errorf("idle = %d, want 2", p.IdleNodes())
+	}
+}
+
+func TestOnDemandPoolNeverPreempts(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.svc.CreatePool("p", "Standard_HB120rs_v3", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Resize("p", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		task, err := f.svc.RunToCompletion("p", TaskSpec{NodesRequired: 1, Run: constantTask(50)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if task.Status != TaskCompleted {
+			t.Fatalf("on-demand task %d failed: %q", i, task.Result.Stdout)
+		}
+	}
+}
+
+func TestSpotPreemptionDoesNotMaskRealFailures(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.svc.CreateSpotPool("p", "Standard_HB120rs_v3", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Resize("p", 1); err != nil {
+		t.Fatal(err)
+	}
+	task, err := f.svc.RunToCompletion("p", TaskSpec{
+		NodesRequired: 1,
+		Run: func(tc TaskContext) TaskResult {
+			return TaskResult{DurationSeconds: 5, Stdout: "boom\n", ExitCode: 2}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The application failure is reported verbatim, not converted into a
+	// preemption.
+	if task.Result.ExitCode != 2 || !strings.Contains(task.Result.Stdout, "boom") {
+		t.Errorf("result = %+v", task.Result)
+	}
+}
+
+func TestSpotRetryRerollsPreemption(t *testing.T) {
+	// The preemption decision hashes (task ID, start time), so a retried
+	// attempt starting later re-rolls: across a window of start times both
+	// outcomes occur for the same task ID.
+	sawHit, sawMiss := false, false
+	for i := 0; i < 200; i++ {
+		_, hit := preemption("task-00042", vclock.Seconds(float64(i*37)))
+		if hit {
+			sawHit = true
+		} else {
+			sawMiss = true
+		}
+	}
+	if !sawHit || !sawMiss {
+		t.Errorf("reroll broken: hit=%v miss=%v", sawHit, sawMiss)
+	}
+}

@@ -1,0 +1,254 @@
+// Package catalog describes the virtual machine types (SKUs) available to
+// the simulated cloud. Each SKU carries the hardware attributes the
+// application performance models need: core count, memory size and
+// bandwidth, last-level cache, a relative per-core application throughput
+// score, and the interconnect.
+//
+// The catalog includes the three SKUs evaluated in the paper (Standard_HC44rs,
+// Standard_HB120rs_v2, Standard_HB120rs_v3) with their real published
+// hardware characteristics, plus a wider set of HPC and general-purpose
+// SKUs so sweeps beyond the paper's are possible.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InterconnectKind classifies the network between nodes of a pool.
+type InterconnectKind string
+
+// Interconnect kinds, from slowest to fastest.
+const (
+	Ethernet InterconnectKind = "ethernet"
+	IBEDR    InterconnectKind = "ib-edr" // InfiniBand EDR, 100 Gb/s
+	IBHDR    InterconnectKind = "ib-hdr" // InfiniBand HDR, 200 Gb/s
+	IBNDR    InterconnectKind = "ib-ndr" // InfiniBand NDR, 400 Gb/s
+)
+
+// Interconnect describes the inter-node network of a SKU.
+type Interconnect struct {
+	Kind          InterconnectKind
+	BandwidthGbps float64 // per-node injection bandwidth
+	LatencyUS     float64 // one-way small-message latency, microseconds
+}
+
+// RDMA reports whether the interconnect supports RDMA (any InfiniBand
+// flavor). Non-RDMA SKUs are rejected for multi-node MPI pools, matching the
+// constraint Azure Batch imposes on inter-node communication pools.
+func (ic Interconnect) RDMA() bool { return ic.Kind != Ethernet }
+
+// SKU is one virtual machine type.
+type SKU struct {
+	// Name is the full resource name, e.g. "Standard_HB120rs_v3".
+	Name string
+	// Alias is the short label used in plots and advice tables, e.g.
+	// "hb120rs_v3" (the paper's figures use this form).
+	Alias string
+	// Family groups SKUs for quota accounting, e.g. "HBv3".
+	Family string
+	// PhysicalCores is the number of physical cores exposed to the guest
+	// (HPC SKUs disable SMT, so this equals the vCPU count).
+	PhysicalCores int
+	// MemoryGB is the RAM size.
+	MemoryGB float64
+	// MemBWGBs is the sustainable memory bandwidth (STREAM triad scale).
+	MemBWGBs float64
+	// L3CacheMB is the total last-level cache.
+	L3CacheMB float64
+	// CoreScore is the relative per-core application throughput versus the
+	// HC44rs Skylake baseline (1.0).
+	CoreScore float64
+	// Interconnect is the inter-node network.
+	Interconnect Interconnect
+	// Regions where the SKU can be provisioned.
+	Regions []string
+	// BootSeconds is the typical node provisioning + boot latency.
+	BootSeconds float64
+}
+
+// String implements fmt.Stringer.
+func (s SKU) String() string {
+	return fmt.Sprintf("%s (%d cores, %.0f GB, %s)", s.Name, s.PhysicalCores, s.MemoryGB, s.Interconnect.Kind)
+}
+
+// TotalCores returns cores for n nodes of this SKU.
+func (s SKU) TotalCores(n int) int { return s.PhysicalCores * n }
+
+// AvailableIn reports whether the SKU can be provisioned in region.
+func (s SKU) AvailableIn(region string) bool {
+	for _, r := range s.Regions {
+		if r == region {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog is a queryable set of SKUs.
+type Catalog struct {
+	skus map[string]SKU // keyed by canonical lower-case name
+}
+
+// ErrUnknownSKU is returned (wrapped) when a SKU name is not in the catalog.
+var ErrUnknownSKU = fmt.Errorf("catalog: unknown SKU")
+
+// New builds a catalog from the given SKUs.
+func New(skus []SKU) *Catalog {
+	c := &Catalog{skus: make(map[string]SKU, len(skus))}
+	for _, s := range skus {
+		c.skus[canonical(s.Name)] = s
+	}
+	return c
+}
+
+// Default returns the built-in catalog.
+func Default() *Catalog { return New(builtinSKUs()) }
+
+func canonical(name string) string {
+	n := strings.ToLower(name)
+	n = strings.TrimPrefix(n, "standard_")
+	return n
+}
+
+// Lookup resolves a SKU by full name ("Standard_HB120rs_v3") or alias
+// ("hb120rs_v3"), case-insensitively.
+func (c *Catalog) Lookup(name string) (SKU, error) {
+	if s, ok := c.skus[canonical(name)]; ok {
+		return s, nil
+	}
+	return SKU{}, fmt.Errorf("%w: %q", ErrUnknownSKU, name)
+}
+
+// MustLookup is Lookup for statically known names; it panics on failure.
+func (c *Catalog) MustLookup(name string) SKU {
+	s, err := c.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all SKU names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.skus))
+	for _, s := range c.skus {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InRegion returns the SKUs available in region, sorted by name.
+func (c *Catalog) InRegion(region string) []SKU {
+	var out []SKU
+	for _, s := range c.skus {
+		if s.AvailableIn(region) {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of SKUs in the catalog.
+func (c *Catalog) Len() int { return len(c.skus) }
+
+// hpcRegions are regions with HPC (InfiniBand) capacity in the simulation.
+var hpcRegions = []string{"southcentralus", "eastus", "westeurope"}
+
+// allRegions adds regions with only general-purpose capacity.
+var allRegions = []string{"southcentralus", "eastus", "westeurope", "westus2", "northeurope"}
+
+// builtinSKUs returns the default SKU set. Hardware attributes for the HB/HC
+// series follow Azure's published specifications; CoreScore is a relative
+// application-throughput calibration used by the performance models.
+func builtinSKUs() []SKU {
+	return []SKU{
+		// --- The three SKUs evaluated in the paper ---
+		{
+			Name: "Standard_HC44rs", Alias: "hc44rs", Family: "HC",
+			PhysicalCores: 44, MemoryGB: 352, MemBWGBs: 190, L3CacheMB: 66,
+			CoreScore:    1.00, // Intel Xeon Platinum 8168 (Skylake)
+			Interconnect: Interconnect{Kind: IBEDR, BandwidthGbps: 100, LatencyUS: 1.7},
+			Regions:      hpcRegions, BootSeconds: 300,
+		},
+		{
+			Name: "Standard_HB120rs_v2", Alias: "hb120rs_v2", Family: "HBv2",
+			PhysicalCores: 120, MemoryGB: 456, MemBWGBs: 350, L3CacheMB: 480,
+			CoreScore:    0.92, // AMD EPYC 7V12 (Rome)
+			Interconnect: Interconnect{Kind: IBHDR, BandwidthGbps: 200, LatencyUS: 1.5},
+			Regions:      hpcRegions, BootSeconds: 300,
+		},
+		{
+			Name: "Standard_HB120rs_v3", Alias: "hb120rs_v3", Family: "HBv3",
+			PhysicalCores: 120, MemoryGB: 448, MemBWGBs: 350, L3CacheMB: 480,
+			CoreScore:    1.05, // AMD EPYC 7V73X (Milan-X)
+			Interconnect: Interconnect{Kind: IBHDR, BandwidthGbps: 200, LatencyUS: 1.4},
+			Regions:      hpcRegions, BootSeconds: 300,
+		},
+
+		// --- Newer HPC SKUs for wider sweeps ---
+		{
+			Name: "Standard_HB176rs_v4", Alias: "hb176rs_v4", Family: "HBv4",
+			PhysicalCores: 176, MemoryGB: 768, MemBWGBs: 780, L3CacheMB: 2304,
+			CoreScore:    1.45, // AMD EPYC 9V33X (Genoa-X)
+			Interconnect: Interconnect{Kind: IBNDR, BandwidthGbps: 400, LatencyUS: 1.2},
+			Regions:      []string{"southcentralus", "eastus"}, BootSeconds: 300,
+		},
+		{
+			Name: "Standard_HX176rs", Alias: "hx176rs", Family: "HX",
+			PhysicalCores: 176, MemoryGB: 1408, MemBWGBs: 780, L3CacheMB: 2304,
+			CoreScore:    1.45,
+			Interconnect: Interconnect{Kind: IBNDR, BandwidthGbps: 400, LatencyUS: 1.2},
+			Regions:      []string{"eastus"}, BootSeconds: 300,
+		},
+
+		// --- General purpose / compute optimized (no RDMA) ---
+		{
+			Name: "Standard_D64s_v5", Alias: "d64s_v5", Family: "Dsv5",
+			PhysicalCores: 32, MemoryGB: 256, MemBWGBs: 120, L3CacheMB: 48,
+			CoreScore:    1.10, // Ice Lake, SMT on (64 vCPU = 32 cores)
+			Interconnect: Interconnect{Kind: Ethernet, BandwidthGbps: 30, LatencyUS: 30},
+			Regions:      allRegions, BootSeconds: 120,
+		},
+		{
+			Name: "Standard_E64s_v5", Alias: "e64s_v5", Family: "Esv5",
+			PhysicalCores: 32, MemoryGB: 512, MemBWGBs: 120, L3CacheMB: 48,
+			CoreScore:    1.10,
+			Interconnect: Interconnect{Kind: Ethernet, BandwidthGbps: 30, LatencyUS: 30},
+			Regions:      allRegions, BootSeconds: 120,
+		},
+		{
+			Name: "Standard_F72s_v2", Alias: "f72s_v2", Family: "Fsv2",
+			PhysicalCores: 36, MemoryGB: 144, MemBWGBs: 110, L3CacheMB: 50,
+			CoreScore:    1.02,
+			Interconnect: Interconnect{Kind: Ethernet, BandwidthGbps: 30, LatencyUS: 30},
+			Regions:      allRegions, BootSeconds: 120,
+		},
+		{
+			Name: "Standard_F64s_v2", Alias: "f64s_v2", Family: "Fsv2",
+			PhysicalCores: 32, MemoryGB: 128, MemBWGBs: 110, L3CacheMB: 44,
+			CoreScore:    1.02,
+			Interconnect: Interconnect{Kind: Ethernet, BandwidthGbps: 30, LatencyUS: 30},
+			Regions:      allRegions, BootSeconds: 120,
+		},
+
+		// --- Older HPC generations, still useful for crossover studies ---
+		{
+			Name: "Standard_HB60rs", Alias: "hb60rs", Family: "HB",
+			PhysicalCores: 60, MemoryGB: 228, MemBWGBs: 260, L3CacheMB: 240,
+			CoreScore:    0.78, // AMD EPYC 7551 (Naples)
+			Interconnect: Interconnect{Kind: IBEDR, BandwidthGbps: 100, LatencyUS: 1.7},
+			Regions:      hpcRegions, BootSeconds: 300,
+		},
+		{
+			Name: "Standard_H16r", Alias: "h16r", Family: "H",
+			PhysicalCores: 16, MemoryGB: 112, MemBWGBs: 75, L3CacheMB: 40,
+			CoreScore:    0.85, // Intel Xeon E5-2667 v3 (Haswell)
+			Interconnect: Interconnect{Kind: IBEDR, BandwidthGbps: 56, LatencyUS: 2.6},
+			Regions:      []string{"southcentralus", "westeurope"}, BootSeconds: 300,
+		},
+	}
+}

@@ -1,0 +1,198 @@
+package catalog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestDefaultContainsPaperSKUs(t *testing.T) {
+	c := Default()
+	for _, name := range []string{"Standard_HC44rs", "Standard_HB120rs_v2", "Standard_HB120rs_v3"} {
+		s, err := c.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("Lookup(%q).Name = %q", name, s.Name)
+		}
+		if !s.Interconnect.RDMA() {
+			t.Errorf("%s should be RDMA capable", name)
+		}
+	}
+}
+
+func TestPaperSKUCoreCounts(t *testing.T) {
+	// The paper describes the three VM types as having 44, 120, and 120
+	// cores, reaching 1,920 cores at 16 nodes of the HB types.
+	c := Default()
+	cases := map[string]int{
+		"hc44rs":     44,
+		"hb120rs_v2": 120,
+		"hb120rs_v3": 120,
+	}
+	for alias, cores := range cases {
+		s := c.MustLookup(alias)
+		if s.PhysicalCores != cores {
+			t.Errorf("%s cores = %d, want %d", alias, s.PhysicalCores, cores)
+		}
+	}
+	if got := c.MustLookup("hb120rs_v3").TotalCores(16); got != 1920 {
+		t.Errorf("16x hb120rs_v3 = %d cores, want 1920", got)
+	}
+}
+
+func TestLookupIsCaseAndPrefixInsensitive(t *testing.T) {
+	c := Default()
+	variants := []string{
+		"Standard_HB120rs_v3", "standard_hb120rs_v3", "HB120rs_v3", "hb120rs_v3", "HB120RS_V3",
+	}
+	for _, v := range variants {
+		if _, err := c.Lookup(v); err != nil {
+			t.Errorf("Lookup(%q) failed: %v", v, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	c := Default()
+	_, err := c.Lookup("Standard_Nonexistent_v9")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, ErrUnknownSKU) {
+		t.Errorf("error %v should wrap ErrUnknownSKU", err)
+	}
+	if !strings.Contains(err.Error(), "Nonexistent") {
+		t.Errorf("error %v should name the SKU", err)
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup on unknown SKU should panic")
+		}
+	}()
+	Default().MustLookup("nope")
+}
+
+func TestRegionFiltering(t *testing.T) {
+	c := Default()
+	south := c.InRegion("southcentralus")
+	if len(south) == 0 {
+		t.Fatal("no SKUs in southcentralus")
+	}
+	foundHB := false
+	for _, s := range south {
+		if s.Alias == "hb120rs_v3" {
+			foundHB = true
+		}
+		if !s.AvailableIn("southcentralus") {
+			t.Errorf("%s returned by InRegion but not AvailableIn", s.Name)
+		}
+	}
+	if !foundHB {
+		t.Error("hb120rs_v3 missing from southcentralus")
+	}
+	if got := c.InRegion("no-such-region"); len(got) != 0 {
+		t.Errorf("InRegion(bogus) = %d SKUs", len(got))
+	}
+	// westus2 has no InfiniBand capacity in the simulation.
+	for _, s := range c.InRegion("westus2") {
+		if s.Interconnect.RDMA() {
+			t.Errorf("%s is RDMA but listed in westus2", s.Name)
+		}
+	}
+}
+
+func TestInterconnectRDMA(t *testing.T) {
+	if (Interconnect{Kind: Ethernet}).RDMA() {
+		t.Error("ethernet is not RDMA")
+	}
+	for _, k := range []InterconnectKind{IBEDR, IBHDR, IBNDR} {
+		if !(Interconnect{Kind: k}).RDMA() {
+			t.Errorf("%s should be RDMA", k)
+		}
+	}
+}
+
+func TestCatalogInvariants(t *testing.T) {
+	c := Default()
+	if c.Len() < 8 {
+		t.Fatalf("catalog has %d SKUs, want at least 8", c.Len())
+	}
+	seenAlias := map[string]bool{}
+	for _, name := range c.Names() {
+		s := c.MustLookup(name)
+		if s.PhysicalCores <= 0 {
+			t.Errorf("%s: nonpositive cores", name)
+		}
+		if s.MemoryGB <= 0 || s.MemBWGBs <= 0 || s.L3CacheMB <= 0 {
+			t.Errorf("%s: nonpositive memory attributes", name)
+		}
+		if s.CoreScore <= 0 {
+			t.Errorf("%s: nonpositive core score", name)
+		}
+		if s.Interconnect.BandwidthGbps <= 0 || s.Interconnect.LatencyUS <= 0 {
+			t.Errorf("%s: nonpositive interconnect attributes", name)
+		}
+		if len(s.Regions) == 0 {
+			t.Errorf("%s: no regions", name)
+		}
+		if s.BootSeconds <= 0 {
+			t.Errorf("%s: nonpositive boot time", name)
+		}
+		if !strings.HasPrefix(s.Name, "Standard_") {
+			t.Errorf("%s: name should carry Standard_ prefix", name)
+		}
+		if s.Alias == "" || strings.Contains(s.Alias, "Standard") {
+			t.Errorf("%s: bad alias %q", name, s.Alias)
+		}
+		if seenAlias[s.Alias] {
+			t.Errorf("duplicate alias %q", s.Alias)
+		}
+		seenAlias[s.Alias] = true
+		// Memory-bandwidth ranking sanity: HBM-class SKUs not modeled, but
+		// per-core bandwidth must be physically plausible (0.5-10 GB/s/core).
+		perCore := s.MemBWGBs / float64(s.PhysicalCores)
+		if perCore < 0.5 || perCore > 10 {
+			t.Errorf("%s: %.2f GB/s per core is implausible", name, perCore)
+		}
+	}
+}
+
+func TestRelativePerformanceOrdering(t *testing.T) {
+	// The paper's figures show hb120rs_v3 beating hb120rs_v2 at equal node
+	// counts; the catalog must make v3 at least as strong per core.
+	c := Default()
+	v2 := c.MustLookup("hb120rs_v2")
+	v3 := c.MustLookup("hb120rs_v3")
+	if v3.CoreScore <= v2.CoreScore {
+		t.Errorf("v3 core score %.2f should exceed v2 %.2f", v3.CoreScore, v2.CoreScore)
+	}
+	hc := c.MustLookup("hc44rs")
+	if hc.PhysicalCores >= v2.PhysicalCores {
+		t.Error("hc44rs should have fewer cores than hb120rs_v2")
+	}
+}
+
+func TestSKUStringer(t *testing.T) {
+	s := Default().MustLookup("hb120rs_v3")
+	str := s.String()
+	for _, want := range []string{"Standard_HB120rs_v3", "120", "ib-hdr"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestCustomCatalog(t *testing.T) {
+	c := New([]SKU{{Name: "Standard_Test_v1", Alias: "test_v1", PhysicalCores: 8}})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, err := c.Lookup("test_v1"); err != nil {
+		t.Fatalf("alias lookup failed: %v", err)
+	}
+}

@@ -1,0 +1,489 @@
+// Package cli implements the HPCAdvisor command-line interface with the
+// command set of the paper's Table II:
+//
+//	deploy create    Creates a cloud deployment
+//	deploy list      Lists all previous and current cloud deployments
+//	deploy shutdown  Shuts down a given cloud deployment, deleting all its resources
+//	collect          Collects data, i.e. runs all scenarios on a given deployment
+//	plot             Generates plots using a given data filter
+//	advice           Generates advice (i.e. Pareto front) using a given data filter
+//	gui              Starts the GUI mode
+//
+// Because the cloud is simulated in-process, the CLI persists its world
+// state between invocations in a state directory (default ".hpcadvisor"):
+// the deployment records, the scenario task lists, and the dataset. Each
+// invocation rehydrates the simulation from that state.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hpcadvisor/internal/collector"
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/core"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/deploy"
+	"hpcadvisor/internal/gui"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/scenario"
+)
+
+// Run executes the CLI and returns a process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	c := &CLI{Stdout: stdout, Stderr: stderr, StateDir: ".hpcadvisor"}
+	if err := c.run(args); err != nil {
+		fmt.Fprintf(stderr, "hpcadvisor: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// CLI carries the IO and state location of one invocation.
+type CLI struct {
+	Stdout   io.Writer
+	Stderr   io.Writer
+	StateDir string
+
+	// ServeGUI is invoked by the gui command; tests replace it to avoid
+	// binding a real listener.
+	ServeGUI func(addr string, adv *core.Advisor, cfg *config.Config) error
+}
+
+const usage = `usage: hpcadvisor [-state dir] <command> [options]
+
+commands (paper Table II):
+  deploy create -c config.yaml     create a cloud deployment
+  deploy list -c config.yaml       list previous and current deployments
+  deploy shutdown -n name -c cfg   shut down a deployment, deleting resources
+  collect -c config.yaml [-n name] [-sampler S] [-spot] [-budget USD]
+                                   run the scenarios on a deployment; -sampler
+                                   prunes (discard/perffactor/bottleneck/
+                                   combined), -spot uses preemptible capacity,
+                                   -budget switches to adaptive best-value mode
+  plot [-app A] [-sku S] [-o dir] [-ascii]
+                                   generate plots from collected data
+  advice [-app A] [-sort time|cost] [-recipes]
+                                   generate advice (Pareto front); -recipes
+                                   adds a Slurm script + cluster recipe per row
+  gui [-addr :8199] -c config.yaml start the GUI mode
+  apps                             list available application models
+`
+
+func (c *CLI) run(args []string) error {
+	global := flag.NewFlagSet("hpcadvisor", flag.ContinueOnError)
+	global.SetOutput(c.Stderr)
+	stateDir := global.String("state", c.StateDir, "state directory")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	c.StateDir = *stateDir
+	rest := global.Args()
+	if len(rest) == 0 {
+		fmt.Fprint(c.Stdout, usage)
+		return nil
+	}
+	switch rest[0] {
+	case "deploy":
+		return c.cmdDeploy(rest[1:])
+	case "collect":
+		return c.cmdCollect(rest[1:])
+	case "plot":
+		return c.cmdPlot(rest[1:])
+	case "advice":
+		return c.cmdAdvice(rest[1:])
+	case "gui":
+		return c.cmdGUI(rest[1:])
+	case "apps":
+		return c.cmdApps()
+	case "help", "-h", "--help":
+		fmt.Fprint(c.Stdout, usage)
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (run 'hpcadvisor help')", rest[0])
+}
+
+//
+// State persistence
+//
+
+type state struct {
+	Deployments []*deploy.Deployment `json:"deployments"`
+}
+
+func (c *CLI) statePath(name string) string { return filepath.Join(c.StateDir, name) }
+
+func (c *CLI) loadState() (*state, error) {
+	var st state
+	data, err := os.ReadFile(c.statePath("deployments.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &st, nil
+		}
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("corrupt state file: %w", err)
+	}
+	return &st, nil
+}
+
+func (c *CLI) saveState(st *state) error {
+	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.statePath("deployments.json"), data, 0o644)
+}
+
+// advisorFor rehydrates the simulation: recreates recorded deployments,
+// loads the dataset and task lists.
+func (c *CLI) advisorFor(subscription string, st *state) (*core.Advisor, error) {
+	if subscription == "" && len(st.Deployments) > 0 {
+		subscription = st.Deployments[0].SubscriptionID
+	}
+	if subscription == "" {
+		return nil, fmt.Errorf("no subscription known; pass a config with -c")
+	}
+	adv := core.New(subscription)
+	for _, d := range st.Deployments {
+		if err := adv.RestoreDeployment(d); err != nil {
+			return nil, fmt.Errorf("restoring deployment %s: %w", d.Name, err)
+		}
+		listPath := c.statePath("tasks-" + d.Name + ".json")
+		if list, err := scenario.LoadFile(listPath); err == nil {
+			list.ResetRunning()
+			adv.SetTaskList(d.Name, list)
+		}
+	}
+	store, err := dataset.LoadFile(c.statePath("dataset.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	adv.Store = store
+	return adv, nil
+}
+
+func (c *CLI) persistAfterCollect(adv *core.Advisor, deployment string) error {
+	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
+		return err
+	}
+	if list := adv.TaskList(deployment); list != nil {
+		if err := list.SaveFile(c.statePath("tasks-" + deployment + ".json")); err != nil {
+			return err
+		}
+	}
+	return adv.Store.SaveFile(c.statePath("dataset.jsonl"))
+}
+
+//
+// Commands
+//
+
+func (c *CLI) cmdDeploy(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("deploy needs a subcommand: create, list, or shutdown")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("deploy "+sub, flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	cfgPath := fs.String("c", "", "configuration file")
+	name := fs.String("n", "", "deployment name")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	st, err := c.loadState()
+	if err != nil {
+		return err
+	}
+	switch sub {
+	case "create":
+		cfg, err := c.requireConfig(*cfgPath)
+		if err != nil {
+			return err
+		}
+		adv, err := c.advisorFor(cfg.Subscription, st)
+		if err != nil {
+			return err
+		}
+		d, err := adv.DeployCreate(cfg)
+		if err != nil {
+			return err
+		}
+		st.Deployments = append(st.Deployments, d)
+		if err := c.saveState(st); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Stdout, "deployment created: %s (region %s", d.Name, d.Region)
+		if d.JumpboxIP != "" {
+			fmt.Fprintf(c.Stdout, ", jumpbox %s", d.JumpboxIP)
+		}
+		fmt.Fprintln(c.Stdout, ")")
+		return nil
+	case "list":
+		if len(st.Deployments) == 0 {
+			fmt.Fprintln(c.Stdout, "no deployments")
+			return nil
+		}
+		fmt.Fprintf(c.Stdout, "%-28s %-16s %-10s %s\n", "NAME", "REGION", "STORAGE", "BATCH")
+		for _, d := range st.Deployments {
+			fmt.Fprintf(c.Stdout, "%-28s %-16s %-10s %s\n", d.Name, d.Region, d.StorageAccount, d.BatchAccount)
+		}
+		return nil
+	case "shutdown":
+		if *name == "" {
+			return fmt.Errorf("deploy shutdown requires -n name")
+		}
+		adv, err := c.advisorFor("", st)
+		if err != nil {
+			return err
+		}
+		if err := adv.DeployShutdown(subscriptionOf(st, *name), *name); err != nil {
+			return err
+		}
+		kept := st.Deployments[:0]
+		for _, d := range st.Deployments {
+			if d.Name != *name {
+				kept = append(kept, d)
+			}
+		}
+		st.Deployments = kept
+		_ = os.Remove(c.statePath("tasks-" + *name + ".json"))
+		if err := c.saveState(st); err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Stdout, "deployment %s shut down\n", *name)
+		return nil
+	}
+	return fmt.Errorf("unknown deploy subcommand %q", sub)
+}
+
+func subscriptionOf(st *state, name string) string {
+	for _, d := range st.Deployments {
+		if d.Name == name {
+			return d.SubscriptionID
+		}
+	}
+	if len(st.Deployments) > 0 {
+		return st.Deployments[0].SubscriptionID
+	}
+	return ""
+}
+
+func (c *CLI) cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	cfgPath := fs.String("c", "", "configuration file")
+	name := fs.String("n", "", "deployment name (default: most recent)")
+	samplerName := fs.String("sampler", "full", "scenario sampler: full, discard, perffactor, bottleneck, combined")
+	deleteAfter := fs.Bool("delete-pools", false, "delete pools instead of resizing to zero")
+	attempts := fs.Int("attempts", 1, "attempts per scenario")
+	useSpot := fs.Bool("spot", false, "collect on spot (preemptible) capacity; combine with -attempts > 1")
+	budget := fs.Float64("budget", 0, "adaptive mode: collect best-value scenarios until this USD budget is spent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := c.requireConfig(*cfgPath)
+	if err != nil {
+		return err
+	}
+	st, err := c.loadState()
+	if err != nil {
+		return err
+	}
+	adv, err := c.advisorFor(cfg.Subscription, st)
+	if err != nil {
+		return err
+	}
+	target := *name
+	if target == "" {
+		if len(st.Deployments) == 0 {
+			return fmt.Errorf("no deployments; run 'hpcadvisor deploy create' first")
+		}
+		target = st.Deployments[len(st.Deployments)-1].Name
+	}
+	opts := core.CollectOptions{
+		Sampler:         *samplerName,
+		DeletePoolAfter: *deleteAfter,
+		MaxAttempts:     *attempts,
+		UseSpot:         *useSpot,
+		Progress: func(t *scenario.Task) {
+			if t.Status == scenario.StatusRunning {
+				return
+			}
+			fmt.Fprintf(c.Stdout, "  [%s] %s\n", t.Status, t.ID)
+		},
+	}
+	var report *collector.Report
+	if *budget > 0 {
+		fmt.Fprintf(c.Stdout, "adaptive collection on %s (budget $%.2f, %d candidate scenarios)\n",
+			target, *budget, cfg.ScenarioCount())
+		report, err = adv.CollectAdaptive(target, cfg, *budget, opts)
+	} else {
+		fmt.Fprintf(c.Stdout, "collecting %d scenarios on %s (sampler: %s)\n",
+			cfg.ScenarioCount(), target, *samplerName)
+		report, err = adv.Collect(target, cfg, opts)
+	}
+	if err != nil {
+		return err
+	}
+	if err := c.persistAfterCollect(adv, target); err != nil {
+		return err
+	}
+	fmt.Fprintf(c.Stdout,
+		"collection done: %d completed, %d failed, %d skipped\n"+
+			"cloud time: %.0f s, collection cost: $%.2f\n",
+		report.Completed, report.Failed, report.Skipped,
+		report.VirtualSeconds, report.CollectionCostUSD)
+	return nil
+}
+
+func (c *CLI) filterFlags(fs *flag.FlagSet) (app, sku, input *string) {
+	app = fs.String("app", "", "filter: application name")
+	sku = fs.String("sku", "", "filter: SKU name or alias")
+	input = fs.String("input", "", "filter: input description (e.g. atoms=864M)")
+	return
+}
+
+func (c *CLI) cmdPlot(args []string) error {
+	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	app, sku, input := c.filterFlags(fs)
+	outDir := fs.String("o", ".", "output directory for SVG files")
+	ascii := fs.Bool("ascii", false, "print ASCII charts instead of writing SVGs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := c.loadState()
+	if err != nil {
+		return err
+	}
+	adv, err := c.advisorFor("", st)
+	if err != nil {
+		return err
+	}
+	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
+	if adv.Store.Len() == 0 {
+		return fmt.Errorf("dataset is empty; run 'hpcadvisor collect' first")
+	}
+	if *ascii {
+		for _, p := range adv.Plots(f).All() {
+			fmt.Fprintln(c.Stdout, plot.RenderASCII(p, 72, 20))
+		}
+		return nil
+	}
+	paths, err := adv.WritePlotsSVG(*outDir, f)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fmt.Fprintf(c.Stdout, "wrote %s\n", p)
+	}
+	return nil
+}
+
+func (c *CLI) cmdAdvice(args []string) error {
+	fs := flag.NewFlagSet("advice", flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	app, sku, input := c.filterFlags(fs)
+	sortBy := fs.String("sort", "time", "sort advice by 'time' or 'cost'")
+	withRecipes := fs.Bool("recipes", false, "emit a Slurm script and cluster recipe per advice row")
+	region := fs.String("region", "southcentralus", "pricing region for recipes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := c.loadState()
+	if err != nil {
+		return err
+	}
+	adv, err := c.advisorFor("", st)
+	if err != nil {
+		return err
+	}
+	order := pareto.ByTime
+	switch *sortBy {
+	case "time":
+	case "cost":
+		order = pareto.ByCost
+	default:
+		return fmt.Errorf("unknown sort %q (want time or cost)", *sortBy)
+	}
+	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
+	rows := adv.Advice(f, order)
+	if len(rows) == 0 {
+		return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
+	}
+	fmt.Fprint(c.Stdout, pareto.FormatAdviceTable(rows))
+	if *withRecipes {
+		bundle, err := adv.AdviceRecipes(f, order, *region)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(c.Stdout)
+		fmt.Fprint(c.Stdout, bundle)
+	}
+	return nil
+}
+
+func (c *CLI) cmdGUI(args []string) error {
+	fs := flag.NewFlagSet("gui", flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	addr := fs.String("addr", ":8199", "listen address")
+	cfgPath := fs.String("c", "", "configuration file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := c.requireConfig(*cfgPath)
+	if err != nil {
+		return err
+	}
+	st, err := c.loadState()
+	if err != nil {
+		return err
+	}
+	adv, err := c.advisorFor(cfg.Subscription, st)
+	if err != nil {
+		return err
+	}
+	serve := c.ServeGUI
+	if serve == nil {
+		serve = func(addr string, adv *core.Advisor, cfg *config.Config) error {
+			fmt.Fprintf(c.Stdout, "hpcadvisor GUI listening on %s\n", addr)
+			return gui.ListenAndServe(addr, adv, cfg)
+		}
+	}
+	return serve(*addr, adv, cfg)
+}
+
+func (c *CLI) cmdApps() error {
+	adv := core.New("enumeration")
+	fmt.Fprintf(c.Stdout, "%-10s %s\n", "NAME", "DESCRIPTION")
+	for _, name := range adv.Apps.Names() {
+		a, err := adv.Apps.Get(name)
+		if err != nil {
+			return err
+		}
+		var defaults []string
+		for k, v := range a.DefaultInput() {
+			defaults = append(defaults, k+"="+v)
+		}
+		fmt.Fprintf(c.Stdout, "%-10s %s (defaults: %s)\n", name, a.Description(), strings.Join(defaults, " "))
+	}
+	return nil
+}
+
+func (c *CLI) requireConfig(path string) (*config.Config, error) {
+	if path == "" {
+		return nil, fmt.Errorf("a configuration file is required (-c config.yaml)")
+	}
+	return config.Load(path)
+}

@@ -1,0 +1,325 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/core"
+)
+
+const testConfig = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+rgprefix: clitest
+nnodes: [1, 2]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "10"
+`
+
+type run struct {
+	out, err bytes.Buffer
+	code     int
+}
+
+func exec(t *testing.T, stateDir string, args ...string) *run {
+	t.Helper()
+	r := &run{}
+	full := append([]string{"-state", stateDir}, args...)
+	r.code = Run(full, &r.out, &r.err)
+	return r
+}
+
+func writeConfig(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "config.yaml")
+	if err := os.WriteFile(path, []byte(testConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTableIICLICommands(t *testing.T) {
+	// The full command set of the paper's Table II, exercised in sequence
+	// across separate invocations (state persists in the state dir).
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+
+	// deploy create
+	r := exec(t, state, "deploy", "create", "-c", cfg)
+	if r.code != 0 {
+		t.Fatalf("deploy create failed: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "deployment created: clitest-") {
+		t.Errorf("create output = %q", r.out.String())
+	}
+
+	// deploy list
+	r = exec(t, state, "deploy", "list", "-c", cfg)
+	if r.code != 0 || !strings.Contains(r.out.String(), "clitest-") {
+		t.Errorf("deploy list = %q (%s)", r.out.String(), r.err.String())
+	}
+
+	// collect
+	r = exec(t, state, "collect", "-c", cfg)
+	if r.code != 0 {
+		t.Fatalf("collect failed: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "2 completed") {
+		t.Errorf("collect output = %q", r.out.String())
+	}
+	if !strings.Contains(r.out.String(), "collection cost: $") {
+		t.Errorf("collect should report cost: %q", r.out.String())
+	}
+
+	// plot (SVG files)
+	plotDir := filepath.Join(dir, "plots")
+	r = exec(t, state, "plot", "-o", plotDir)
+	if r.code != 0 {
+		t.Fatalf("plot failed: %s", r.err.String())
+	}
+	files, _ := filepath.Glob(filepath.Join(plotDir, "*.svg"))
+	if len(files) != 5 {
+		t.Errorf("plot files = %v", files)
+	}
+
+	// plot -ascii
+	r = exec(t, state, "plot", "-ascii")
+	if r.code != 0 || !strings.Contains(r.out.String(), "Exectime") {
+		t.Errorf("ascii plot = %q", r.out.String())
+	}
+
+	// advice
+	r = exec(t, state, "advice", "-app", "lammps")
+	if r.code != 0 {
+		t.Fatalf("advice failed: %s", r.err.String())
+	}
+	for _, want := range []string{"Exectime(s)", "Cost($)", "Nodes", "SKU", "hb120rs_v3"} {
+		if !strings.Contains(r.out.String(), want) {
+			t.Errorf("advice output missing %q:\n%s", want, r.out.String())
+		}
+	}
+
+	// advice sorted by cost
+	r = exec(t, state, "advice", "-sort", "cost")
+	if r.code != 0 {
+		t.Fatalf("advice -sort cost failed: %s", r.err.String())
+	}
+
+	// deploy shutdown
+	name := deployedName(t, state)
+	r = exec(t, state, "deploy", "shutdown", "-n", name, "-c", cfg)
+	if r.code != 0 {
+		t.Fatalf("shutdown failed: %s", r.err.String())
+	}
+	r = exec(t, state, "deploy", "list", "-c", cfg)
+	if !strings.Contains(r.out.String(), "no deployments") {
+		t.Errorf("after shutdown list = %q", r.out.String())
+	}
+}
+
+func deployedName(t *testing.T, stateDir string) string {
+	t.Helper()
+	c := &CLI{StateDir: stateDir}
+	st, err := c.loadState()
+	if err != nil || len(st.Deployments) == 0 {
+		t.Fatalf("state unreadable: %v", err)
+	}
+	return st.Deployments[0].Name
+}
+
+func TestCollectResumeAcrossInvocations(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfg)
+	exec(t, state, "collect", "-c", cfg)
+	// Second collect: the persisted task list shows nothing pending.
+	r := exec(t, state, "collect", "-c", cfg)
+	if r.code != 0 {
+		t.Fatalf("second collect failed: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "0 completed") {
+		t.Errorf("resume output = %q", r.out.String())
+	}
+}
+
+func TestCollectWithSamplerFlag(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfg)
+	r := exec(t, state, "collect", "-c", cfg, "-sampler", "discard")
+	if r.code != 0 {
+		t.Fatalf("sampler collect failed: %s", r.err.String())
+	}
+	r = exec(t, state, "collect", "-c", cfg, "-sampler", "bogus")
+	if r.code == 0 {
+		t.Error("bogus sampler should fail")
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfgPath := writeConfig(t, dir)
+
+	// No args prints usage.
+	r := exec(t, state)
+	if r.code != 0 || !strings.Contains(r.out.String(), "deploy create") {
+		t.Errorf("usage output = %q", r.out.String())
+	}
+	// help command too.
+	r = exec(t, state, "help")
+	if r.code != 0 || !strings.Contains(r.out.String(), "Table II") {
+		t.Errorf("help = %q", r.out.String())
+	}
+	// Unknown command.
+	if r = exec(t, state, "frobnicate"); r.code == 0 {
+		t.Error("unknown command should fail")
+	}
+	// Missing config.
+	if r = exec(t, state, "deploy", "create"); r.code == 0 {
+		t.Error("create without config should fail")
+	}
+	// deploy without subcommand.
+	if r = exec(t, state, "deploy"); r.code == 0 {
+		t.Error("bare deploy should fail")
+	}
+	// shutdown without name.
+	if r = exec(t, state, "deploy", "shutdown", "-c", cfgPath); r.code == 0 {
+		t.Error("shutdown without -n should fail")
+	}
+	// collect without deployment.
+	if r = exec(t, state, "collect", "-c", cfgPath); r.code == 0 {
+		t.Error("collect without deployment should fail")
+	}
+	// plot with empty dataset.
+	if r = exec(t, state, "plot"); r.code == 0 {
+		t.Error("plot without data should fail")
+	}
+	// advice with empty dataset.
+	if r = exec(t, state, "advice"); r.code == 0 {
+		t.Error("advice without data should fail")
+	}
+	// advice with a bad sort needs data first, so check flag error directly.
+	exec(t, state, "deploy", "create", "-c", cfgPath)
+	exec(t, state, "collect", "-c", cfgPath)
+	if r = exec(t, state, "advice", "-sort", "speed"); r.code == 0 {
+		t.Error("bad sort should fail")
+	}
+}
+
+func TestAppsCommand(t *testing.T) {
+	r := exec(t, t.TempDir(), "apps")
+	if r.code != 0 {
+		t.Fatalf("apps failed: %s", r.err.String())
+	}
+	for _, want := range []string{"lammps", "openfoam", "wrf", "gromacs", "namd", "matmul"} {
+		if !strings.Contains(r.out.String(), want) {
+			t.Errorf("apps output missing %q", want)
+		}
+	}
+}
+
+func TestGUICommandWiring(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfgPath := writeConfig(t, dir)
+	var out, errb bytes.Buffer
+	c := &CLI{Stdout: &out, Stderr: &errb, StateDir: state}
+	served := ""
+	c.ServeGUI = func(addr string, adv *core.Advisor, cfg *config.Config) error {
+		served = addr
+		if adv == nil || cfg == nil {
+			t.Error("gui received nil advisor or config")
+		}
+		return nil
+	}
+	if err := c.run([]string{"gui", "-addr", ":9999", "-c", cfgPath}); err != nil {
+		t.Fatalf("gui: %v", err)
+	}
+	if served != ":9999" {
+		t.Errorf("served addr = %q", served)
+	}
+}
+
+func TestCorruptStateSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	if err := os.MkdirAll(state, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(state, "deployments.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := writeConfig(t, dir)
+	r := exec(t, state, "deploy", "create", "-c", cfgPath)
+	if r.code == 0 {
+		t.Error("corrupt state should fail")
+	}
+	if !strings.Contains(r.err.String(), "corrupt state") {
+		t.Errorf("error = %q", r.err.String())
+	}
+}
+
+func TestAdviceRecipesFlag(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfg)
+	exec(t, state, "collect", "-c", cfg)
+	r := exec(t, state, "advice", "-recipes")
+	if r.code != 0 {
+		t.Fatalf("advice -recipes failed: %s", r.err.String())
+	}
+	for _, want := range []string{"#SBATCH --nodes=", "vm_type: Standard_HB120rs_v3", "srun --mpi=pmix"} {
+		if !strings.Contains(r.out.String(), want) {
+			t.Errorf("recipes output missing %q", want)
+		}
+	}
+	// Bad pricing region fails cleanly.
+	if r = exec(t, state, "advice", "-recipes", "-region", "atlantis"); r.code == 0 {
+		t.Error("bad region should fail")
+	}
+}
+
+func TestCollectSpotFlag(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfg)
+	r := exec(t, state, "collect", "-c", cfg, "-spot", "-attempts", "10")
+	if r.code != 0 {
+		t.Fatalf("spot collect failed: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "2 completed") {
+		t.Errorf("spot collect output = %q", r.out.String())
+	}
+}
+
+func TestCollectBudgetFlag(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfg)
+	r := exec(t, state, "collect", "-c", cfg, "-budget", "2.0")
+	if r.code != 0 {
+		t.Fatalf("budget collect failed: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "adaptive collection") {
+		t.Errorf("output = %q", r.out.String())
+	}
+	// Advice exists from whatever was collected within budget.
+	r = exec(t, state, "advice")
+	if r.code != 0 {
+		t.Fatalf("advice after budget collect: %s", r.err.String())
+	}
+}

@@ -1,0 +1,509 @@
+// Package cloudsim simulates the cloud control plane HPCAdvisor deploys
+// into. It models the Azure Resource Manager surface the paper's back-end
+// uses (Section III-B): subscriptions, resource groups, virtual networks and
+// subnets, storage accounts, batch accounts, jumpbox VMs, and vnet peering —
+// with provisioning latencies on a virtual clock, per-family core quotas,
+// regional SKU availability, and injectable faults.
+//
+// The simulator deliberately enforces the same ordering constraints the real
+// control plane does (a subnet needs a vnet, a batch account needs a storage
+// account, a jumpbox needs a subnet) so the deployment logic in
+// internal/deploy is exercised realistically.
+package cloudsim
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/vclock"
+)
+
+// Provisioning latencies charged against the virtual clock.
+const (
+	latResourceGroup  = 2 * time.Second
+	latVNet           = 8 * time.Second
+	latSubnet         = 3 * time.Second
+	latStorageAccount = 35 * time.Second
+	latBatchAccount   = 70 * time.Second
+	latJumpbox        = 95 * time.Second
+	latPeering        = 12 * time.Second
+)
+
+// DefaultQuotaCores is the per-family, per-region core quota granted to new
+// subscriptions.
+const DefaultQuotaCores = 10000
+
+// Error kinds mirror the control-plane failure classes deployment code must
+// handle.
+var (
+	ErrNotFound      = fmt.Errorf("cloudsim: not found")
+	ErrAlreadyExists = fmt.Errorf("cloudsim: already exists")
+	ErrQuotaExceeded = fmt.Errorf("cloudsim: quota exceeded")
+	ErrRegion        = fmt.Errorf("cloudsim: not available in region")
+	ErrInvalidName   = fmt.Errorf("cloudsim: invalid name")
+	ErrDependency    = fmt.Errorf("cloudsim: missing dependency")
+)
+
+// Cloud is the simulated control plane. Create one per simulation; all
+// methods are driven by (and advance) the shared virtual clock.
+type Cloud struct {
+	Clock   *vclock.Clock
+	Catalog *catalog.Catalog
+
+	subs   map[string]*Subscription
+	faults map[string]error // operation name -> error to inject once
+	// storage account names are globally unique across subscriptions
+	storageNames map[string]bool
+}
+
+// New creates a cloud with one subscription of the given ID.
+func New(clock *vclock.Clock, cat *catalog.Catalog, subscriptionID string) *Cloud {
+	c := &Cloud{
+		Clock:        clock,
+		Catalog:      cat,
+		subs:         make(map[string]*Subscription),
+		faults:       make(map[string]error),
+		storageNames: make(map[string]bool),
+	}
+	c.AddSubscription(subscriptionID)
+	return c
+}
+
+// AddSubscription registers another subscription.
+func (c *Cloud) AddSubscription(id string) *Subscription {
+	s := &Subscription{
+		ID:     id,
+		groups: make(map[string]*ResourceGroup),
+		quota:  make(map[string]int),
+		usage:  make(map[string]int),
+	}
+	c.subs[id] = s
+	return s
+}
+
+// Subscription resolves a subscription by ID.
+func (c *Cloud) Subscription(id string) (*Subscription, error) {
+	if s, ok := c.subs[id]; ok {
+		return s, nil
+	}
+	return nil, fmt.Errorf("%w: subscription %q", ErrNotFound, id)
+}
+
+// InjectFault arranges for the next call of the named operation
+// ("CreateResourceGroup", "CreateStorageAccount", ...) to fail with err.
+func (c *Cloud) InjectFault(op string, err error) { c.faults[op] = err }
+
+func (c *Cloud) takeFault(op string) error {
+	if err, ok := c.faults[op]; ok {
+		delete(c.faults, op)
+		return err
+	}
+	return nil
+}
+
+// Subscription owns resource groups and quota.
+type Subscription struct {
+	ID     string
+	groups map[string]*ResourceGroup
+	quota  map[string]int // "region/family" -> cores
+	usage  map[string]int
+}
+
+func quotaKey(region, family string) string { return region + "/" + family }
+
+// SetQuota overrides the core quota for a family in a region.
+func (s *Subscription) SetQuota(region, family string, cores int) {
+	s.quota[quotaKey(region, family)] = cores
+}
+
+// QuotaRemaining reports unreserved cores for a family in a region.
+func (s *Subscription) QuotaRemaining(region, family string) int {
+	k := quotaKey(region, family)
+	q, ok := s.quota[k]
+	if !ok {
+		q = DefaultQuotaCores
+	}
+	return q - s.usage[k]
+}
+
+// ReserveCores claims quota; callers must release it when nodes are freed.
+func (s *Subscription) ReserveCores(region, family string, cores int) error {
+	if cores <= 0 {
+		return nil
+	}
+	if s.QuotaRemaining(region, family) < cores {
+		return fmt.Errorf("%w: %d cores requested, %d remaining for %s in %s",
+			ErrQuotaExceeded, cores, s.QuotaRemaining(region, family), family, region)
+	}
+	s.usage[quotaKey(region, family)] += cores
+	return nil
+}
+
+// ReleaseCores returns quota.
+func (s *Subscription) ReleaseCores(region, family string, cores int) {
+	k := quotaKey(region, family)
+	s.usage[k] -= cores
+	if s.usage[k] < 0 {
+		s.usage[k] = 0
+	}
+}
+
+// ResourceGroup is the container for all deployment resources.
+type ResourceGroup struct {
+	Name      string
+	Region    string
+	CreatedAt time.Duration
+
+	vnets    map[string]*VNet
+	storage  map[string]*StorageAccount
+	batch    map[string]*BatchAccount
+	vms      map[string]*VM
+	peerings map[string]*Peering
+}
+
+// VNet is a virtual network with subnets.
+type VNet struct {
+	Name    string
+	CIDR    string
+	subnets map[string]*Subnet
+}
+
+// Subnet is an address-space slice of a vnet.
+type Subnet struct {
+	Name string
+	CIDR string
+}
+
+// StorageAccount holds batch artifacts and the NFS share.
+type StorageAccount struct {
+	Name string
+	// Files is a simple path -> content store standing in for blob/NFS.
+	Files map[string][]byte
+}
+
+// BatchAccount anchors the batch service; pools are managed by batchsim.
+type BatchAccount struct {
+	Name           string
+	StorageAccount string
+}
+
+// VM is a standalone virtual machine (the optional jumpbox).
+type VM struct {
+	Name      string
+	SKU       string
+	Subnet    string
+	PrivateIP string
+}
+
+// Peering links two vnets (e.g. the deployment vnet to a user's VPN vnet).
+type Peering struct {
+	Name       string
+	LocalVNet  string
+	RemoteRG   string
+	RemoteVNet string
+}
+
+var rgNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,90}$`)
+var storageNameRE = regexp.MustCompile(`^[a-z0-9]{3,24}$`)
+
+// CreateResourceGroup provisions a resource group in region.
+func (c *Cloud) CreateResourceGroup(subID, name, region string) (*ResourceGroup, error) {
+	if err := c.takeFault("CreateResourceGroup"); err != nil {
+		return nil, err
+	}
+	sub, err := c.Subscription(subID)
+	if err != nil {
+		return nil, err
+	}
+	if !rgNameRE.MatchString(name) {
+		return nil, fmt.Errorf("%w: resource group %q", ErrInvalidName, name)
+	}
+	if _, ok := sub.groups[name]; ok {
+		return nil, fmt.Errorf("%w: resource group %q", ErrAlreadyExists, name)
+	}
+	c.Clock.Advance(latResourceGroup)
+	rg := &ResourceGroup{
+		Name: name, Region: region, CreatedAt: c.Clock.Now(),
+		vnets:    make(map[string]*VNet),
+		storage:  make(map[string]*StorageAccount),
+		batch:    make(map[string]*BatchAccount),
+		vms:      make(map[string]*VM),
+		peerings: make(map[string]*Peering),
+	}
+	sub.groups[name] = rg
+	return rg, nil
+}
+
+// ResourceGroup resolves a group by name.
+func (c *Cloud) ResourceGroup(subID, name string) (*ResourceGroup, error) {
+	sub, err := c.Subscription(subID)
+	if err != nil {
+		return nil, err
+	}
+	if rg, ok := sub.groups[name]; ok {
+		return rg, nil
+	}
+	return nil, fmt.Errorf("%w: resource group %q", ErrNotFound, name)
+}
+
+// ListResourceGroups returns group names with the given prefix, sorted.
+func (c *Cloud) ListResourceGroups(subID, prefix string) ([]string, error) {
+	sub, err := c.Subscription(subID)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for name := range sub.groups {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DeleteResourceGroup removes the group and everything in it (cascade), the
+// operation behind the paper's "shutdown" command.
+func (c *Cloud) DeleteResourceGroup(subID, name string) error {
+	if err := c.takeFault("DeleteResourceGroup"); err != nil {
+		return err
+	}
+	sub, err := c.Subscription(subID)
+	if err != nil {
+		return err
+	}
+	rg, ok := sub.groups[name]
+	if !ok {
+		return fmt.Errorf("%w: resource group %q", ErrNotFound, name)
+	}
+	// Deleting a group takes time proportional to its contents.
+	n := len(rg.vnets) + len(rg.storage) + len(rg.batch) + len(rg.vms) + len(rg.peerings)
+	c.Clock.Advance(time.Duration(n+1) * 10 * time.Second)
+	for name := range rg.storage {
+		delete(c.storageNames, name)
+	}
+	delete(sub.groups, name)
+	return nil
+}
+
+// CreateVNet provisions a virtual network in the group.
+func (c *Cloud) CreateVNet(subID, rgName, name, cidr string) (*VNet, error) {
+	if err := c.takeFault("CreateVNet"); err != nil {
+		return nil, err
+	}
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := rg.vnets[name]; ok {
+		return nil, fmt.Errorf("%w: vnet %q", ErrAlreadyExists, name)
+	}
+	c.Clock.Advance(latVNet)
+	v := &VNet{Name: name, CIDR: cidr, subnets: make(map[string]*Subnet)}
+	rg.vnets[name] = v
+	return v, nil
+}
+
+// CreateSubnet provisions a subnet inside an existing vnet.
+func (c *Cloud) CreateSubnet(subID, rgName, vnetName, name, cidr string) (*Subnet, error) {
+	if err := c.takeFault("CreateSubnet"); err != nil {
+		return nil, err
+	}
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := rg.vnets[vnetName]
+	if !ok {
+		return nil, fmt.Errorf("%w: vnet %q required for subnet", ErrDependency, vnetName)
+	}
+	if _, ok := v.subnets[name]; ok {
+		return nil, fmt.Errorf("%w: subnet %q", ErrAlreadyExists, name)
+	}
+	c.Clock.Advance(latSubnet)
+	s := &Subnet{Name: name, CIDR: cidr}
+	v.subnets[name] = s
+	return s, nil
+}
+
+// CreateStorageAccount provisions a storage account. Names are globally
+// unique, 3-24 lowercase alphanumerics, as in the real control plane.
+func (c *Cloud) CreateStorageAccount(subID, rgName, name string) (*StorageAccount, error) {
+	if err := c.takeFault("CreateStorageAccount"); err != nil {
+		return nil, err
+	}
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return nil, err
+	}
+	if !storageNameRE.MatchString(name) {
+		return nil, fmt.Errorf("%w: storage account %q (need 3-24 lowercase alphanumerics)", ErrInvalidName, name)
+	}
+	if c.storageNames[name] {
+		return nil, fmt.Errorf("%w: storage account %q (global namespace)", ErrAlreadyExists, name)
+	}
+	c.Clock.Advance(latStorageAccount)
+	sa := &StorageAccount{Name: name, Files: make(map[string][]byte)}
+	rg.storage[name] = sa
+	c.storageNames[name] = true
+	return sa, nil
+}
+
+// CreateBatchAccount provisions the batch service anchor; it requires an
+// existing storage account in the same group.
+func (c *Cloud) CreateBatchAccount(subID, rgName, name, storageName string) (*BatchAccount, error) {
+	if err := c.takeFault("CreateBatchAccount"); err != nil {
+		return nil, err
+	}
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := rg.storage[storageName]; !ok {
+		return nil, fmt.Errorf("%w: storage account %q required for batch account", ErrDependency, storageName)
+	}
+	if _, ok := rg.batch[name]; ok {
+		return nil, fmt.Errorf("%w: batch account %q", ErrAlreadyExists, name)
+	}
+	c.Clock.Advance(latBatchAccount)
+	ba := &BatchAccount{Name: name, StorageAccount: storageName}
+	rg.batch[name] = ba
+	return ba, nil
+}
+
+// CreateJumpbox provisions the optional jumpbox VM on a subnet.
+func (c *Cloud) CreateJumpbox(subID, rgName, name, vnetName, subnetName, sku string) (*VM, error) {
+	if err := c.takeFault("CreateJumpbox"); err != nil {
+		return nil, err
+	}
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := rg.vnets[vnetName]
+	if !ok {
+		return nil, fmt.Errorf("%w: vnet %q required for VM", ErrDependency, vnetName)
+	}
+	if _, ok := v.subnets[subnetName]; !ok {
+		return nil, fmt.Errorf("%w: subnet %q required for VM", ErrDependency, subnetName)
+	}
+	if _, ok := rg.vms[name]; ok {
+		return nil, fmt.Errorf("%w: VM %q", ErrAlreadyExists, name)
+	}
+	if s, err := c.Catalog.Lookup(sku); err != nil {
+		return nil, err
+	} else if !s.AvailableIn(rg.Region) {
+		return nil, fmt.Errorf("%w: %s in %s", ErrRegion, sku, rg.Region)
+	}
+	c.Clock.Advance(latJumpbox)
+	vm := &VM{
+		Name: name, SKU: sku, Subnet: subnetName,
+		PrivateIP: fmt.Sprintf("10.0.0.%d", 4+len(rg.vms)),
+	}
+	rg.vms[name] = vm
+	return vm, nil
+}
+
+// PeerVNets links a local vnet to a remote one (the paper's optional VPN
+// peering).
+func (c *Cloud) PeerVNets(subID, rgName, localVNet, remoteRG, remoteVNet string) (*Peering, error) {
+	if err := c.takeFault("PeerVNets"); err != nil {
+		return nil, err
+	}
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := rg.vnets[localVNet]; !ok {
+		return nil, fmt.Errorf("%w: local vnet %q", ErrDependency, localVNet)
+	}
+	remote, err := c.ResourceGroup(subID, remoteRG)
+	if err != nil {
+		return nil, fmt.Errorf("%w: remote resource group %q", ErrDependency, remoteRG)
+	}
+	if _, ok := remote.vnets[remoteVNet]; !ok {
+		return nil, fmt.Errorf("%w: remote vnet %q", ErrDependency, remoteVNet)
+	}
+	name := localVNet + "-to-" + remoteVNet
+	if _, ok := rg.peerings[name]; ok {
+		return nil, fmt.Errorf("%w: peering %q", ErrAlreadyExists, name)
+	}
+	c.Clock.Advance(latPeering)
+	p := &Peering{Name: name, LocalVNet: localVNet, RemoteRG: remoteRG, RemoteVNet: remoteVNet}
+	rg.peerings[name] = p
+	return p, nil
+}
+
+// ValidateSKUForPool checks regional availability and quota for a pool of
+// nodes x sku; batchsim calls this before provisioning nodes.
+func (c *Cloud) ValidateSKUForPool(subID, rgName, skuName string, nodes int) (catalog.SKU, error) {
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return catalog.SKU{}, err
+	}
+	sku, err := c.Catalog.Lookup(skuName)
+	if err != nil {
+		return catalog.SKU{}, err
+	}
+	if !sku.AvailableIn(rg.Region) {
+		return catalog.SKU{}, fmt.Errorf("%w: %s in %s", ErrRegion, sku.Name, rg.Region)
+	}
+	return sku, nil
+}
+
+// Inventory summarizes a resource group for "deploy list" output.
+type Inventory struct {
+	Name, Region                        string
+	VNets, Subnets, Storage, Batch, VMs int
+	Peerings                            int
+	StorageAccountNames, BatchAccounts  []string
+	JumpboxNames                        []string
+}
+
+// Inventory returns a summary of the group's contents.
+func (rg *ResourceGroup) Inventory() Inventory {
+	inv := Inventory{Name: rg.Name, Region: rg.Region}
+	inv.VNets = len(rg.vnets)
+	for _, v := range rg.vnets {
+		inv.Subnets += len(v.subnets)
+	}
+	inv.Storage = len(rg.storage)
+	inv.Batch = len(rg.batch)
+	inv.VMs = len(rg.vms)
+	inv.Peerings = len(rg.peerings)
+	for n := range rg.storage {
+		inv.StorageAccountNames = append(inv.StorageAccountNames, n)
+	}
+	for n := range rg.batch {
+		inv.BatchAccounts = append(inv.BatchAccounts, n)
+	}
+	for n := range rg.vms {
+		inv.JumpboxNames = append(inv.JumpboxNames, n)
+	}
+	sort.Strings(inv.StorageAccountNames)
+	sort.Strings(inv.BatchAccounts)
+	sort.Strings(inv.JumpboxNames)
+	return inv
+}
+
+// VNetNames lists the group's vnets, sorted.
+func (rg *ResourceGroup) VNetNames() []string {
+	out := make([]string, 0, len(rg.vnets))
+	for n := range rg.vnets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Storage returns a storage account in the group.
+func (rg *ResourceGroup) Storage(name string) (*StorageAccount, error) {
+	if sa, ok := rg.storage[name]; ok {
+		return sa, nil
+	}
+	return nil, fmt.Errorf("%w: storage account %q", ErrNotFound, name)
+}

@@ -1,0 +1,271 @@
+package cloudsim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/vclock"
+)
+
+func newCloud() *Cloud {
+	return New(vclock.New(), catalog.Default(), "sub1")
+}
+
+// deployLandingZone performs the paper's Section III-B provisioning
+// sequence: resource group -> vnet + subnet -> storage -> batch.
+func deployLandingZone(t *testing.T, c *Cloud, rg string) {
+	t.Helper()
+	if _, err := c.CreateResourceGroup("sub1", rg, "southcentralus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateVNet("sub1", rg, "vnet1", "10.0.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSubnet("sub1", rg, "vnet1", "compute", "10.0.0.0/20"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateStorageAccount("sub1", rg, "hpcadvstore1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateBatchAccount("sub1", rg, "batch1", "hpcadvstore1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionIIIBDeploymentSequence(t *testing.T) {
+	c := newCloud()
+	before := c.Clock.Now()
+	deployLandingZone(t, c, "hpcadvisortest1")
+	if c.Clock.Now() <= before {
+		t.Error("provisioning should consume virtual time")
+	}
+	rg, err := c.ResourceGroup("sub1", "hpcadvisortest1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := rg.Inventory()
+	if inv.VNets != 1 || inv.Subnets != 1 || inv.Storage != 1 || inv.Batch != 1 {
+		t.Errorf("inventory = %+v", inv)
+	}
+}
+
+func TestOrderingConstraints(t *testing.T) {
+	c := newCloud()
+	if _, err := c.CreateResourceGroup("sub1", "rg1", "eastus"); err != nil {
+		t.Fatal(err)
+	}
+	// Subnet before vnet fails.
+	if _, err := c.CreateSubnet("sub1", "rg1", "missing", "s", "10.0.0.0/24"); !errors.Is(err, ErrDependency) {
+		t.Errorf("subnet without vnet: %v", err)
+	}
+	// Batch account before storage fails.
+	if _, err := c.CreateBatchAccount("sub1", "rg1", "b", "missing"); !errors.Is(err, ErrDependency) {
+		t.Errorf("batch without storage: %v", err)
+	}
+	// Jumpbox before subnet fails.
+	if _, err := c.CreateVNet("sub1", "rg1", "v", "10.0.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateJumpbox("sub1", "rg1", "jb", "v", "missing", "Standard_D64s_v5"); !errors.Is(err, ErrDependency) {
+		t.Errorf("jumpbox without subnet: %v", err)
+	}
+}
+
+func TestJumpboxCreation(t *testing.T) {
+	c := newCloud()
+	deployLandingZone(t, c, "rg1")
+	vm, err := c.CreateJumpbox("sub1", "rg1", "jumpbox", "vnet1", "compute", "Standard_D64s_v5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.PrivateIP == "" {
+		t.Error("jumpbox needs a private IP")
+	}
+	// Unknown SKU rejected.
+	if _, err := c.CreateJumpbox("sub1", "rg1", "jb2", "vnet1", "compute", "Standard_Bogus"); err == nil {
+		t.Error("bogus SKU should fail")
+	}
+}
+
+func TestRegionAvailabilityEnforced(t *testing.T) {
+	c := newCloud()
+	// westus2 has no InfiniBand SKUs in the simulation.
+	if _, err := c.CreateResourceGroup("sub1", "rgw", "westus2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ValidateSKUForPool("sub1", "rgw", "Standard_HB120rs_v3", 2); !errors.Is(err, ErrRegion) {
+		t.Errorf("HB in westus2: %v", err)
+	}
+	if _, err := c.ValidateSKUForPool("sub1", "rgw", "Standard_D64s_v5", 2); err != nil {
+		t.Errorf("D64s in westus2 should work: %v", err)
+	}
+}
+
+func TestNameCollisions(t *testing.T) {
+	c := newCloud()
+	deployLandingZone(t, c, "rg1")
+	if _, err := c.CreateResourceGroup("sub1", "rg1", "eastus"); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("dup rg: %v", err)
+	}
+	if _, err := c.CreateVNet("sub1", "rg1", "vnet1", "10.1.0.0/16"); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("dup vnet: %v", err)
+	}
+	// Storage names are globally unique even across groups.
+	if _, err := c.CreateResourceGroup("sub1", "rg2", "eastus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateStorageAccount("sub1", "rg2", "hpcadvstore1"); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("dup storage name: %v", err)
+	}
+}
+
+func TestStorageNameValidation(t *testing.T) {
+	c := newCloud()
+	if _, err := c.CreateResourceGroup("sub1", "rg1", "eastus"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"UPPER", "ab", "has-dash", "waytoolongname0123456789x"} {
+		if _, err := c.CreateStorageAccount("sub1", "rg1", bad); !errors.Is(err, ErrInvalidName) {
+			t.Errorf("storage name %q: %v", bad, err)
+		}
+	}
+}
+
+func TestListAndDeleteResourceGroups(t *testing.T) {
+	c := newCloud()
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("hpcadvisor%d", i)
+		if _, err := c.CreateResourceGroup("sub1", name, "eastus"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.CreateResourceGroup("sub1", "other", "eastus"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ListResourceGroups("sub1", "hpcadvisor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("list = %v", got)
+	}
+	if err := c.DeleteResourceGroup("sub1", "hpcadvisor1"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.ListResourceGroups("sub1", "hpcadvisor")
+	if len(got) != 2 {
+		t.Fatalf("after delete: %v", got)
+	}
+	if err := c.DeleteResourceGroup("sub1", "hpcadvisor1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestDeleteReleasesGlobalStorageName(t *testing.T) {
+	c := newCloud()
+	deployLandingZone(t, c, "rg1")
+	if err := c.DeleteResourceGroup("sub1", "rg1"); err != nil {
+		t.Fatal(err)
+	}
+	// The name can be reused after cascade delete.
+	if _, err := c.CreateResourceGroup("sub1", "rg2", "eastus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateStorageAccount("sub1", "rg2", "hpcadvstore1"); err != nil {
+		t.Errorf("name should be free again: %v", err)
+	}
+}
+
+func TestQuotaReserveRelease(t *testing.T) {
+	c := newCloud()
+	sub, _ := c.Subscription("sub1")
+	sub.SetQuota("eastus", "HBv3", 500)
+	if err := sub.ReserveCores("eastus", "HBv3", 480); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.ReserveCores("eastus", "HBv3", 120); !errors.Is(err, ErrQuotaExceeded) {
+		t.Errorf("over-quota reserve: %v", err)
+	}
+	sub.ReleaseCores("eastus", "HBv3", 480)
+	if got := sub.QuotaRemaining("eastus", "HBv3"); got != 500 {
+		t.Errorf("remaining = %d, want 500", got)
+	}
+	// Defaults apply to unset (region, family).
+	if got := sub.QuotaRemaining("westeurope", "HC"); got != DefaultQuotaCores {
+		t.Errorf("default quota = %d", got)
+	}
+	// Releasing more than reserved clamps at zero usage.
+	sub.ReleaseCores("eastus", "HBv3", 99999)
+	if got := sub.QuotaRemaining("eastus", "HBv3"); got != 500 {
+		t.Errorf("clamped remaining = %d", got)
+	}
+}
+
+func TestPeering(t *testing.T) {
+	c := newCloud()
+	deployLandingZone(t, c, "rg1")
+	// The user's VPN lives in its own group/vnet, per the paper's optional
+	// parameters.
+	if _, err := c.CreateResourceGroup("sub1", "vpnrg", "southcentralus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateVNet("sub1", "vpnrg", "vpnvnet", "10.9.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.PeerVNets("sub1", "rg1", "vnet1", "vpnrg", "vpnvnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RemoteVNet != "vpnvnet" {
+		t.Errorf("peering = %+v", p)
+	}
+	// Missing remote vnet fails with a dependency error.
+	if _, err := c.PeerVNets("sub1", "rg1", "vnet1", "vpnrg", "missing"); !errors.Is(err, ErrDependency) {
+		t.Errorf("peer to missing vnet: %v", err)
+	}
+	if _, err := c.PeerVNets("sub1", "rg1", "vnet1", "vpnrg", "vpnvnet"); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("dup peering: %v", err)
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	c := newCloud()
+	boom := errors.New("transient control plane error")
+	c.InjectFault("CreateResourceGroup", boom)
+	if _, err := c.CreateResourceGroup("sub1", "rg1", "eastus"); !errors.Is(err, boom) {
+		t.Errorf("fault not injected: %v", err)
+	}
+	// Fault fires once; retry succeeds.
+	if _, err := c.CreateResourceGroup("sub1", "rg1", "eastus"); err != nil {
+		t.Errorf("retry should succeed: %v", err)
+	}
+}
+
+func TestUnknownSubscription(t *testing.T) {
+	c := newCloud()
+	if _, err := c.CreateResourceGroup("nope", "rg", "eastus"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown subscription: %v", err)
+	}
+	if _, err := c.ListResourceGroups("nope", ""); !errors.Is(err, ErrNotFound) {
+		t.Errorf("list unknown subscription: %v", err)
+	}
+}
+
+func TestStorageFilesRoundTrip(t *testing.T) {
+	c := newCloud()
+	deployLandingZone(t, c, "rg1")
+	rg, _ := c.ResourceGroup("sub1", "rg1")
+	sa, err := rg.Storage("hpcadvstore1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Files["tasks/list.json"] = []byte(`[]`)
+	if string(sa.Files["tasks/list.json"]) != "[]" {
+		t.Error("file store broken")
+	}
+	if _, err := rg.Storage("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing storage: %v", err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package collector implements the paper's data-collection phase
+// (Section III-C, Algorithm 1): it walks the scenario task list, creates one
+// pool per VM type, runs a setup task when the pool is (re)created, resizes
+// the pool to each scenario's node count, executes the compute task, scrapes
+// the reported variables, and stores a datapoint. When the VM type changes,
+// the previous pool is resized to zero or deleted according to user
+// preference.
+package collector
+
+import (
+	"errors"
+	"fmt"
+
+	"hpcadvisor/internal/appmodel"
+	"hpcadvisor/internal/batchsim"
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/monitor"
+	"hpcadvisor/internal/pricing"
+	"hpcadvisor/internal/runner"
+	"hpcadvisor/internal/scenario"
+)
+
+// Planner decides whether each pending scenario should execute; the smart
+// sampler (Section III-F) plugs in here. A nil Planner runs everything.
+type Planner interface {
+	// Decide inspects the task and the data collected so far. Returning
+	// run=false skips the scenario, recording the reason.
+	Decide(t *scenario.Task, store *dataset.Store) (run bool, reason string)
+}
+
+// Options tune a collection run.
+type Options struct {
+	// DeletePoolAfter deletes pools when the VM type changes; otherwise
+	// pools are resized to zero (the paper offers both).
+	DeletePoolAfter bool
+	// MaxAttempts is how many times a failing scenario is tried (>= 1).
+	MaxAttempts int
+	// Planner optionally prunes scenarios (smart sampling).
+	Planner Planner
+	// Progress, when set, is invoked after every task state change.
+	Progress func(t *scenario.Task)
+	// UseSpot collects on spot (low-priority) capacity: pools are billed at
+	// the spot rate but tasks can be preempted; pair with MaxAttempts > 1.
+	UseSpot bool
+}
+
+// Report summarizes a collection run.
+type Report struct {
+	Completed int
+	Failed    int
+	Skipped   int
+	// Attempts counts task executions including retries (preemptions on
+	// spot capacity, transient failures); Attempts - Completed - Failed is
+	// the wasted-run count.
+	Attempts int
+	// NodeSecondsBySKU is billed node time including boot and idle.
+	NodeSecondsBySKU map[string]float64
+	// CollectionCostUSD prices the billed node-seconds: the total cost of
+	// obtaining the data (Section III-C, "data collection incurs a cost").
+	CollectionCostUSD float64
+	// VirtualSeconds is how long the collection took on the virtual clock.
+	VirtualSeconds float64
+}
+
+// Collector runs scenario lists against a deployed batch service.
+type Collector struct {
+	Service    *batchsim.Service
+	Apps       *appmodel.Registry
+	Prices     *pricing.PriceBook
+	Catalog    *catalog.Catalog
+	Region     string
+	Deployment string
+}
+
+// New builds a collector for a deployment.
+func New(svc *batchsim.Service, apps *appmodel.Registry, prices *pricing.PriceBook, cat *catalog.Catalog, region, deployment string) *Collector {
+	return &Collector{Service: svc, Apps: apps, Prices: prices, Catalog: cat, Region: region, Deployment: deployment}
+}
+
+// Run executes Algorithm 1 over the task list, appending datapoints to
+// store. It returns a report of what ran and what it cost.
+func (c *Collector) Run(list *scenario.List, store *dataset.Store, opts Options) (*Report, error) {
+	if opts.MaxAttempts < 1 {
+		opts.MaxAttempts = 1
+	}
+	start := c.Service.Clock.Now()
+	report := &Report{NodeSecondsBySKU: make(map[string]float64)}
+
+	previousVMType := ""
+	poolID := ""
+	teardown := func() error {
+		if poolID == "" {
+			return nil
+		}
+		if opts.DeletePoolAfter {
+			if err := c.Service.DeletePool(poolID); err != nil {
+				return err
+			}
+		} else if err := c.Service.Resize(poolID, 0); err != nil {
+			return err
+		}
+		poolID = ""
+		return nil
+	}
+
+	for _, task := range list.Tasks {
+		if task.Status != scenario.StatusPending {
+			continue
+		}
+		if opts.Planner != nil {
+			if run, reason := opts.Planner.Decide(task, store); !run {
+				task.Status = scenario.StatusSkipped
+				task.Error = reason
+				report.Skipped++
+				notify(opts, task)
+				continue
+			}
+		}
+
+		// Pool-per-VM-type reuse (Algorithm 1 lines 3-7). A zero-sized pool
+		// left by a previous collection on the same deployment is adopted.
+		if task.SKU != previousVMType {
+			if err := teardown(); err != nil {
+				return report, err
+			}
+			poolID = "pool-" + task.SKUAlias
+			create := c.Service.CreatePool
+			if opts.UseSpot {
+				create = c.Service.CreateSpotPool
+			}
+			if _, err := create(poolID, task.SKU, runner.SetupSeconds); err != nil {
+				if !errors.Is(err, batchsim.ErrPoolExists) {
+					return report, fmt.Errorf("collector: creating pool for %s: %w", task.SKU, err)
+				}
+			}
+			previousVMType = task.SKU
+		}
+		if err := c.Service.Resize(poolID, task.NNodes); err != nil {
+			task.Status = scenario.StatusFailed
+			task.Error = err.Error()
+			report.Failed++
+			notify(opts, task)
+			continue
+		}
+
+		if err := c.runScenario(task, store, opts, poolID, report); err != nil {
+			return report, err
+		}
+	}
+	if err := teardown(); err != nil {
+		return report, err
+	}
+
+	report.NodeSecondsBySKU = c.Service.NodeSecondsBySKU()
+	for sku, ns := range report.NodeSecondsBySKU {
+		hourly, err := c.hourly(sku, opts.UseSpot)
+		if err != nil {
+			return report, err
+		}
+		report.CollectionCostUSD += ns * hourly / 3600
+	}
+	report.VirtualSeconds = (c.Service.Clock.Now() - start).Seconds()
+	return report, nil
+}
+
+// runScenario executes one task with retries and records its datapoint.
+func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts Options, poolID string, report *Report) error {
+	app, err := c.Apps.Get(task.AppName)
+	if err != nil {
+		task.Status = scenario.StatusFailed
+		task.Error = err.Error()
+		report.Failed++
+		notify(opts, task)
+		return nil
+	}
+	w, err := app.Parse(task.AppInput)
+	if err != nil {
+		task.Status = scenario.StatusFailed
+		task.Error = err.Error()
+		report.Failed++
+		notify(opts, task)
+		return nil
+	}
+
+	task.Status = scenario.StatusRunning
+	notify(opts, task)
+
+	var bt *batchsim.Task
+	// Attempts accumulate across resumed collections; each Run grants the
+	// task a fresh attempt budget.
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		task.Attempts++
+		report.Attempts++
+		spec := batchsim.TaskSpec{
+			Name:          task.ID,
+			NodesRequired: task.NNodes,
+			Run: func(tc batchsim.TaskContext) batchsim.TaskResult {
+				env := runner.Env{
+					NNodes:       task.NNodes,
+					PPN:          task.PPN,
+					SKU:          task.SKU,
+					Hosts:        tc.NodeIDs,
+					TaskRunDir:   "/data/jobs/" + task.ID,
+					HostfilePath: "/data/jobs/" + task.ID + "/hostfile",
+					AppInputs:    task.AppInput,
+				}
+				return runner.NewTaskFunc(app, w, env)(tc)
+			},
+		}
+		bt, err = c.Service.RunToCompletion(poolID, spec)
+		if err != nil {
+			return fmt.Errorf("collector: scenario %s: %w", task.ID, err)
+		}
+		if bt.Status == batchsim.TaskCompleted {
+			break
+		}
+	}
+	task.TaskID = bt.ID
+
+	if bt.Status != batchsim.TaskCompleted {
+		task.Status = scenario.StatusFailed
+		task.Error = firstLine(bt.Result.Stdout)
+		report.Failed++
+		store.Add(dataset.Point{
+			ScenarioID: task.ID,
+			Deployment: c.Deployment,
+			AppName:    task.AppName,
+			SKU:        task.SKU,
+			SKUAlias:   task.SKUAlias,
+			NNodes:     task.NNodes,
+			PPN:        task.PPN,
+			AppInput:   task.AppInput,
+			InputDesc:  describeInput(w, task),
+			Tags:       task.Tags,
+			Failed:     true,
+			Error:      task.Error,
+
+			CollectedAt: c.Service.Clock.NowSeconds(),
+		})
+		notify(opts, task)
+		return nil
+	}
+
+	execTime := bt.Result.DurationSeconds
+	hourly, err := c.hourly(task.SKU, opts.UseSpot)
+	if err != nil {
+		return fmt.Errorf("collector: pricing scenario %s: %w", task.ID, err)
+	}
+	cost := pricing.CostAt(hourly, task.NNodes, execTime)
+
+	// The profile is re-derived for utilization; the simulation is
+	// deterministic so this matches what the task observed.
+	sku, err := c.Catalog.Lookup(task.SKU)
+	if err != nil {
+		return fmt.Errorf("collector: scenario %s: %w", task.ID, err)
+	}
+	prof, err := appmodel.Simulate(w, sku, task.NNodes, task.PPN)
+	if err != nil {
+		return fmt.Errorf("collector: profiling scenario %s: %w", task.ID, err)
+	}
+	sample := monitor.FromProfile(prof)
+
+	store.Add(dataset.Point{
+		ScenarioID:  task.ID,
+		Deployment:  c.Deployment,
+		AppName:     task.AppName,
+		SKU:         task.SKU,
+		SKUAlias:    task.SKUAlias,
+		NNodes:      task.NNodes,
+		PPN:         task.PPN,
+		AppInput:    task.AppInput,
+		InputDesc:   describeInput(w, task),
+		Tags:        task.Tags,
+		ExecTimeSec: execTime,
+		CostUSD:     cost,
+		Metrics:     runner.ParseVars(bt.Result.Stdout),
+		Utilization: sample,
+		Bottleneck:  monitor.Classify(sample),
+		CollectedAt: c.Service.Clock.NowSeconds(),
+	})
+	task.Status = scenario.StatusCompleted
+	task.Error = ""
+	report.Completed++
+	notify(opts, task)
+	return nil
+}
+
+// hourly resolves the billing rate for a SKU at on-demand or spot terms.
+func (c *Collector) hourly(sku string, spot bool) (float64, error) {
+	if spot {
+		return c.Prices.HourlySpot(c.Region, sku)
+	}
+	return c.Prices.Hourly(c.Region, sku)
+}
+
+func describeInput(w appmodel.Workload, task *scenario.Task) string {
+	if w.InputDesc != "" {
+		return w.InputDesc
+	}
+	return task.InputDesc()
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func notify(opts Options, t *scenario.Task) {
+	if opts.Progress != nil {
+		opts.Progress(t)
+	}
+}

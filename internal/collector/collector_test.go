@@ -1,0 +1,345 @@
+package collector
+
+import (
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/appmodel"
+	"hpcadvisor/internal/batchsim"
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/cloudsim"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/deploy"
+	"hpcadvisor/internal/pricing"
+	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/vclock"
+)
+
+type fixture struct {
+	clock *vclock.Clock
+	cloud *cloudsim.Cloud
+	svc   *batchsim.Service
+	col   *Collector
+	store *dataset.Store
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clock := vclock.New()
+	cat := catalog.Default()
+	cloud := cloudsim.New(clock, cat, "sub1")
+	mgr := deploy.NewManager(cloud)
+	d, err := mgr.Create(deploy.Spec{SubscriptionID: "sub1", RGPrefix: "coltest", Region: "southcentralus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := batchsim.New(clock, cloud, "sub1", d.Name)
+	col := New(svc, appmodel.NewRegistry(), pricing.Default(), cat, "southcentralus", d.Name)
+	return &fixture{clock: clock, cloud: cloud, svc: svc, col: col, store: dataset.NewStore()}
+}
+
+func smallLAMMPSList(t *testing.T, skus []string, nnodes []int) *scenario.List {
+	t.Helper()
+	list, err := scenario.Generate(scenario.Spec{
+		AppName:   "lammps",
+		SKUs:      skus,
+		NNodes:    nnodes,
+		PPR:       100,
+		AppInputs: map[string][]string{"BOXFACTOR": {"10"}},
+		Tags:      map[string]string{"version": "v1"},
+	}, catalog.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return list
+}
+
+func TestAlgorithm1CollectsAllScenarios(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3", "Standard_HC44rs"}, []int{1, 2, 4})
+	report, err := f.col.Run(list, f.store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 6 || report.Failed != 0 || report.Skipped != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	if f.store.Len() != 6 {
+		t.Fatalf("store has %d points", f.store.Len())
+	}
+	for _, task := range list.Tasks {
+		if task.Status != scenario.StatusCompleted {
+			t.Errorf("%s status = %s", task.ID, task.Status)
+		}
+	}
+	// Datapoints carry metrics scraped from stdout (Listing 2 contract).
+	for _, p := range f.store.All() {
+		if p.Metrics["LAMMPSATOMS"] == "" {
+			t.Errorf("point %s missing scraped metric", p.ScenarioID)
+		}
+		if p.ExecTimeSec <= 0 || p.CostUSD <= 0 {
+			t.Errorf("point %s has no time/cost", p.ScenarioID)
+		}
+		if p.Tags["version"] != "v1" {
+			t.Errorf("point %s lost tags", p.ScenarioID)
+		}
+	}
+}
+
+func TestAlgorithm1PoolReuse(t *testing.T) {
+	// One pool per VM type, torn down when the type changes: after the run,
+	// with resize-to-zero preference, the last pool exists at size zero and
+	// earlier pools exist too (created once each).
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3", "Standard_HC44rs"}, []int{1, 2})
+	if _, err := f.col.Run(list, f.store, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ids := f.svc.PoolIDs()
+	if len(ids) != 2 {
+		t.Fatalf("pools = %v, want one per SKU", ids)
+	}
+	for _, id := range ids {
+		p, _ := f.svc.Pool(id)
+		if p.CountNodes() != 0 {
+			t.Errorf("pool %s still has %d nodes", id, p.CountNodes())
+		}
+	}
+}
+
+func TestDeletePoolAfterOption(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{1})
+	if _, err := f.col.Run(list, f.store, Options{DeletePoolAfter: true}); err != nil {
+		t.Fatal(err)
+	}
+	if ids := f.svc.PoolIDs(); len(ids) != 0 {
+		t.Errorf("pools should be deleted, got %v", ids)
+	}
+}
+
+func TestFailedScenarioRecorded(t *testing.T) {
+	f := newFixture(t)
+	// BOXFACTOR 100 on 1-2 nodes OOMs; 32 nodes would fit but is not swept.
+	list, err := scenario.Generate(scenario.Spec{
+		AppName:   "lammps",
+		SKUs:      []string{"Standard_HB120rs_v3"},
+		NNodes:    []int{1, 2},
+		AppInputs: map[string][]string{"BOXFACTOR": {"100"}},
+	}, catalog.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := f.col.Run(list, f.store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 2 || report.Completed != 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	for _, task := range list.Tasks {
+		if task.Status != scenario.StatusFailed {
+			t.Errorf("%s = %s", task.ID, task.Status)
+		}
+		if task.Error == "" {
+			t.Errorf("%s has no error", task.ID)
+		}
+	}
+	// Failed points are stored but excluded from default selection.
+	if f.store.Len() != 2 {
+		t.Fatalf("store len = %d", f.store.Len())
+	}
+	if got := f.store.Select(dataset.Filter{}); len(got) != 0 {
+		t.Errorf("failed points leaked into default selection: %d", len(got))
+	}
+}
+
+func TestRetriesCountAttempts(t *testing.T) {
+	f := newFixture(t)
+	list, err := scenario.Generate(scenario.Spec{
+		AppName:   "lammps",
+		SKUs:      []string{"Standard_HB120rs_v3"},
+		NNodes:    []int{1},
+		AppInputs: map[string][]string{"BOXFACTOR": {"100"}}, // deterministic OOM
+	}, catalog.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.col.Run(list, f.store, Options{MaxAttempts: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if list.Tasks[0].Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", list.Tasks[0].Attempts)
+	}
+}
+
+type denyBigPlanner struct{ maxNodes int }
+
+func (p denyBigPlanner) Decide(t *scenario.Task, store *dataset.Store) (bool, string) {
+	if t.NNodes > p.maxNodes {
+		return false, "pruned by test planner"
+	}
+	return true, ""
+}
+
+func TestPlannerSkipsScenarios(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{1, 2, 4, 8})
+	report, err := f.col.Run(list, f.store, Options{Planner: denyBigPlanner{maxNodes: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 2 || report.Skipped != 2 {
+		t.Fatalf("report = %+v", report)
+	}
+	for _, task := range list.Tasks {
+		if task.NNodes > 2 && task.Status != scenario.StatusSkipped {
+			t.Errorf("n=%d should be skipped, got %s", task.NNodes, task.Status)
+		}
+	}
+	// Skipped tasks record why.
+	skipped := list.ByStatus(scenario.StatusSkipped)
+	if len(skipped) == 0 || !strings.Contains(skipped[0].Error, "pruned") {
+		t.Errorf("skip reason missing: %+v", skipped)
+	}
+}
+
+func TestCollectionCostAccountsBootTime(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{2})
+	report, err := f.col.Run(list, f.store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarioCost := f.store.All()[0].CostUSD
+	if report.CollectionCostUSD <= scenarioCost {
+		t.Errorf("collection cost %.4f should exceed scenario cost %.4f (boot+setup billed)",
+			report.CollectionCostUSD, scenarioCost)
+	}
+	ns := report.NodeSecondsBySKU["Standard_HB120rs_v3"]
+	if ns <= 0 {
+		t.Errorf("node-seconds = %v", report.NodeSecondsBySKU)
+	}
+	if report.VirtualSeconds <= 0 {
+		t.Error("collection must consume virtual time")
+	}
+}
+
+func TestProgressCallbackObservesTransitions(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{1})
+	var seen []scenario.Status
+	_, err := f.col.Run(list, f.store, Options{Progress: func(task *scenario.Task) {
+		seen = append(seen, task.Status)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != scenario.StatusRunning || seen[1] != scenario.StatusCompleted {
+		t.Errorf("transitions = %v", seen)
+	}
+}
+
+func TestResumeSkipsNonPending(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{1, 2})
+	list.Tasks[0].Status = scenario.StatusCompleted // already done previously
+	report, err := f.col.Run(list, f.store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 1 {
+		t.Fatalf("report = %+v, want exactly the pending task", report)
+	}
+	if f.store.Len() != 1 {
+		t.Errorf("store len = %d", f.store.Len())
+	}
+}
+
+func TestUnknownAppFailsTaskNotRun(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{1})
+	list.Tasks[0].AppName = "unknown-app"
+	report, err := f.col.Run(list, f.store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if list.Tasks[0].Status != scenario.StatusFailed {
+		t.Errorf("status = %s", list.Tasks[0].Status)
+	}
+}
+
+func TestUtilizationAndBottleneckStored(t *testing.T) {
+	f := newFixture(t)
+	// OpenFOAM at 16 nodes is communication-bound in the model.
+	list, err := scenario.Generate(scenario.Spec{
+		AppName:   "openfoam",
+		SKUs:      []string{"Standard_HB120rs_v3"},
+		NNodes:    []int{16},
+		AppInputs: map[string][]string{"mesh": {"40 16 16"}},
+	}, catalog.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.col.Run(list, f.store, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	p := f.store.All()[0]
+	if p.Bottleneck == "" {
+		t.Error("bottleneck missing")
+	}
+	if p.Utilization.NetUtil <= 0 {
+		t.Error("network utilization missing")
+	}
+	if p.InputDesc != "cells=8M" {
+		t.Errorf("input desc = %q", p.InputDesc)
+	}
+}
+
+func TestQuotaFailureMarksTaskFailed(t *testing.T) {
+	// A scenario whose resize exceeds the family quota fails that task but
+	// the collection continues with the rest (Algorithm 1 keeps walking the
+	// list).
+	f := newFixture(t)
+	sub, _ := f.cloud.Subscription("sub1")
+	sub.SetQuota("southcentralus", "HBv3", 600) // five 120-core nodes
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{2, 8, 4})
+	report, err := f.col.Run(list, f.store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 1 || report.Completed != 2 {
+		t.Fatalf("report = %+v, want the 8-node scenario failed", report)
+	}
+	for _, task := range list.Tasks {
+		if task.NNodes == 8 {
+			if task.Status != scenario.StatusFailed {
+				t.Errorf("8-node status = %s", task.Status)
+			}
+			if !strings.Contains(task.Error, "quota") {
+				t.Errorf("error = %q", task.Error)
+			}
+		} else if task.Status != scenario.StatusCompleted {
+			t.Errorf("%d-node status = %s", task.NNodes, task.Status)
+		}
+	}
+}
+
+func TestBadAppInputFailsWithoutRunning(t *testing.T) {
+	f := newFixture(t)
+	list := smallLAMMPSList(t, []string{"Standard_HB120rs_v3"}, []int{1})
+	list.Tasks[0].AppInput = map[string]string{"BOXFACTOR": "not-a-number"}
+	report, err := f.col.Run(list, f.store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Failed != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if list.Tasks[0].TaskID != "" {
+		t.Error("unparseable input should fail before submitting a batch task")
+	}
+}

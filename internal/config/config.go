@@ -1,0 +1,197 @@
+// Package config binds the HPCAdvisor main configuration file (paper
+// Listing 1) to a typed structure and validates it. The file is YAML with
+// the fields of Section III-A: cloud subscription, resource-group prefix,
+// region, application setup URL, processes per resource, application
+// inputs, VM types, node counts, tags, and the optional VPN/jumpbox
+// settings.
+package config
+
+import (
+	"fmt"
+	"os"
+
+	"hpcadvisor/internal/deploy"
+	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/yamllite"
+)
+
+// Config is the parsed main configuration file.
+type Config struct {
+	// Subscription is the cloud subscription ID or name.
+	Subscription string
+	// SKUs lists the VM types to assess.
+	SKUs []string
+	// RGPrefix prefixes all resource groups the tool provisions.
+	RGPrefix string
+	// AppSetupURL points at the application setup/run script. In this
+	// reproduction the URL selects the built-in application model; the
+	// generated script equivalent is available via runner.GenerateScript.
+	AppSetupURL string
+	// NNodes lists the node counts to assess.
+	NNodes []int
+	// AppName selects the application model (lammps, openfoam, ...).
+	AppName string
+	// Tags are recorded with every result.
+	Tags map[string]string
+	// Region is where resources are provisioned.
+	Region string
+	// CreateJumpbox provisions the optional jumpbox VM.
+	CreateJumpbox bool
+	// PPR is the percentage of processes per resource (paper: "ppr: 100").
+	PPR int
+	// AppInputs maps application input parameters to the value lists to
+	// sweep. Repeated keys in the YAML (as in Listing 1) become lists.
+	AppInputs map[string][]string
+
+	// Optional VPN parameters.
+	VPNRG   string
+	VPNVNet string
+	PeerVPN bool
+}
+
+// Parse parses and validates a configuration document.
+func Parse(data []byte) (*Config, error) {
+	root, err := yamllite.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if root.Kind != yamllite.Map {
+		return nil, fmt.Errorf("config: document must be a mapping")
+	}
+	cfg := &Config{
+		Tags:      map[string]string{},
+		AppInputs: map[string][]string{},
+		PPR:       100,
+	}
+	for _, e := range root.Entries() {
+		v := e.Value
+		switch e.Key {
+		case "subscription":
+			cfg.Subscription = v.Str()
+		case "skus":
+			cfg.SKUs = v.StringList()
+		case "rgprefix":
+			cfg.RGPrefix = v.Str()
+		case "appsetupurl":
+			cfg.AppSetupURL = v.Str()
+		case "nnodes":
+			nn, err := v.IntList()
+			if err != nil {
+				return nil, fmt.Errorf("config: nnodes: %w", err)
+			}
+			cfg.NNodes = nn
+		case "appname":
+			cfg.AppName = v.Str()
+		case "region":
+			cfg.Region = v.Str()
+		case "createjumpbox":
+			b, err := v.Bool()
+			if err != nil {
+				return nil, fmt.Errorf("config: createjumpbox: %w", err)
+			}
+			cfg.CreateJumpbox = b
+		case "peervpn":
+			b, err := v.Bool()
+			if err != nil {
+				return nil, fmt.Errorf("config: peervpn: %w", err)
+			}
+			cfg.PeerVPN = b
+		case "vpnrg", "vpnresourcegroup":
+			cfg.VPNRG = v.Str()
+		case "vpnvnet":
+			cfg.VPNVNet = v.Str()
+		case "ppr":
+			n, err := v.Int()
+			if err != nil {
+				return nil, fmt.Errorf("config: ppr: %w", err)
+			}
+			cfg.PPR = n
+		case "tags":
+			for _, te := range v.Entries() {
+				cfg.Tags[te.Key] = te.Value.Str()
+			}
+		case "appinputs":
+			for _, ie := range v.Entries() {
+				cfg.AppInputs[ie.Key] = ie.Value.StringList()
+			}
+		default:
+			return nil, fmt.Errorf("config: unknown field %q", e.Key)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Load reads and parses a configuration file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Validate checks required fields and ranges.
+func (c *Config) Validate() error {
+	switch {
+	case c.Subscription == "":
+		return fmt.Errorf("config: subscription is required")
+	case c.RGPrefix == "":
+		return fmt.Errorf("config: rgprefix is required")
+	case c.Region == "":
+		return fmt.Errorf("config: region is required")
+	case c.AppName == "":
+		return fmt.Errorf("config: appname is required")
+	case len(c.SKUs) == 0:
+		return fmt.Errorf("config: at least one SKU is required")
+	case len(c.NNodes) == 0:
+		return fmt.Errorf("config: at least one node count is required")
+	case c.PPR < 1 || c.PPR > 100:
+		return fmt.Errorf("config: ppr must be in [1,100], got %d", c.PPR)
+	}
+	for _, n := range c.NNodes {
+		if n < 1 {
+			return fmt.Errorf("config: node counts must be >= 1, got %d", n)
+		}
+	}
+	return nil
+}
+
+// ScenarioSpec derives the scenario generation spec.
+func (c *Config) ScenarioSpec() scenario.Spec {
+	return scenario.Spec{
+		AppName:   c.AppName,
+		SKUs:      c.SKUs,
+		NNodes:    c.NNodes,
+		PPR:       c.PPR,
+		AppInputs: c.AppInputs,
+		Tags:      c.Tags,
+	}
+}
+
+// DeploySpec derives the deployment spec.
+func (c *Config) DeploySpec() deploy.Spec {
+	return deploy.Spec{
+		SubscriptionID: c.Subscription,
+		RGPrefix:       c.RGPrefix,
+		Region:         c.Region,
+		CreateJumpbox:  c.CreateJumpbox,
+		PeerVPN:        c.PeerVPN,
+		VPNRG:          c.VPNRG,
+		VPNVNet:        c.VPNVNet,
+	}
+}
+
+// ScenarioCount is the size of the full sweep (|SKUs| x |NNodes| x input
+// combinations), the "3x6x2 scenarios" arithmetic of the paper.
+func (c *Config) ScenarioCount() int {
+	combos := 1
+	for _, vals := range c.AppInputs {
+		if len(vals) > 0 {
+			combos *= len(vals)
+		}
+	}
+	return len(c.SKUs) * len(c.NNodes) * combos
+}

@@ -1,0 +1,176 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// listing1 is the paper's Listing 1 verbatim.
+const listing1 = `# Example of main configuration file
+
+subscription: mysubscription
+skus:
+  - Standard_HC44rs
+  - Standard_HB120rs_v2
+  - Standard_HB120rs_v3
+rgprefix: hpcadvisortest1
+appsetupurl: https://.../openfoam.sh
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: openfoam
+tags:
+  version: v1
+region: southcentralus
+createjumpbox: true
+ppr: 100
+appinputs:
+  mesh: "80 24 24"
+  mesh: "60 16 16"
+`
+
+func TestListing1Config(t *testing.T) {
+	cfg, err := Parse([]byte(listing1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Subscription != "mysubscription" {
+		t.Errorf("subscription = %q", cfg.Subscription)
+	}
+	if len(cfg.SKUs) != 3 || cfg.SKUs[2] != "Standard_HB120rs_v3" {
+		t.Errorf("skus = %v", cfg.SKUs)
+	}
+	if cfg.RGPrefix != "hpcadvisortest1" {
+		t.Errorf("rgprefix = %q", cfg.RGPrefix)
+	}
+	if !reflect.DeepEqual(cfg.NNodes, []int{1, 2, 3, 4, 8, 16}) {
+		t.Errorf("nnodes = %v", cfg.NNodes)
+	}
+	if cfg.AppName != "openfoam" || cfg.Region != "southcentralus" {
+		t.Errorf("app/region = %q/%q", cfg.AppName, cfg.Region)
+	}
+	if !cfg.CreateJumpbox {
+		t.Error("createjumpbox should be true")
+	}
+	if cfg.PPR != 100 {
+		t.Errorf("ppr = %d", cfg.PPR)
+	}
+	if cfg.Tags["version"] != "v1" {
+		t.Errorf("tags = %v", cfg.Tags)
+	}
+	// The duplicated mesh key sweeps two values.
+	if !reflect.DeepEqual(cfg.AppInputs["mesh"], []string{"80 24 24", "60 16 16"}) {
+		t.Errorf("appinputs = %v", cfg.AppInputs)
+	}
+	// "This generates 3x6x2 scenarios."
+	if cfg.ScenarioCount() != 36 {
+		t.Errorf("scenario count = %d, want 36", cfg.ScenarioCount())
+	}
+}
+
+func TestSpecDerivations(t *testing.T) {
+	cfg, err := Parse([]byte(listing1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := cfg.ScenarioSpec()
+	if ss.AppName != "openfoam" || len(ss.SKUs) != 3 || ss.PPR != 100 {
+		t.Errorf("scenario spec = %+v", ss)
+	}
+	ds := cfg.DeploySpec()
+	if ds.SubscriptionID != "mysubscription" || ds.RGPrefix != "hpcadvisortest1" ||
+		ds.Region != "southcentralus" || !ds.CreateJumpbox {
+		t.Errorf("deploy spec = %+v", ds)
+	}
+}
+
+func TestVPNFields(t *testing.T) {
+	doc := strings.Replace(listing1, "createjumpbox: true",
+		"createjumpbox: true\npeervpn: true\nvpnrg: myvpnrg\nvpnvnet: myvpnvnet", 1)
+	cfg, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.PeerVPN || cfg.VPNRG != "myvpnrg" || cfg.VPNVNet != "myvpnvnet" {
+		t.Errorf("vpn = %v %q %q", cfg.PeerVPN, cfg.VPNRG, cfg.VPNVNet)
+	}
+	if !cfg.DeploySpec().PeerVPN {
+		t.Error("deploy spec should carry peering")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	doc := `subscription: s
+skus: [Standard_HB120rs_v3]
+rgprefix: p
+nnodes: [1]
+appname: lammps
+region: eastus
+`
+	cfg, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PPR != 100 {
+		t.Errorf("default ppr = %d, want 100", cfg.PPR)
+	}
+	if cfg.CreateJumpbox {
+		t.Error("default jumpbox should be false")
+	}
+	if len(cfg.AppInputs) != 0 {
+		t.Errorf("default appinputs = %v", cfg.AppInputs)
+	}
+	if cfg.ScenarioCount() != 1 {
+		t.Errorf("count = %d", cfg.ScenarioCount())
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"missing subscription", "skus: [a]\nrgprefix: p\nnnodes: [1]\nappname: x\nregion: r\n", "subscription"},
+		{"missing skus", "subscription: s\nrgprefix: p\nnnodes: [1]\nappname: x\nregion: r\n", "SKU"},
+		{"missing region", "subscription: s\nskus: [a]\nrgprefix: p\nnnodes: [1]\nappname: x\n", "region"},
+		{"missing appname", "subscription: s\nskus: [a]\nrgprefix: p\nnnodes: [1]\nregion: r\n", "appname"},
+		{"missing nnodes", "subscription: s\nskus: [a]\nrgprefix: p\nappname: x\nregion: r\n", "node count"},
+		{"bad ppr", "subscription: s\nskus: [a]\nrgprefix: p\nnnodes: [1]\nappname: x\nregion: r\nppr: 200\n", "ppr"},
+		{"zero node", "subscription: s\nskus: [a]\nrgprefix: p\nnnodes: [0]\nappname: x\nregion: r\n", ">= 1"},
+		{"bad nnodes type", "subscription: s\nskus: [a]\nrgprefix: p\nnnodes: [one]\nappname: x\nregion: r\n", "nnodes"},
+		{"bad bool", "subscription: s\nskus: [a]\nrgprefix: p\nnnodes: [1]\nappname: x\nregion: r\ncreatejumpbox: maybe\n", "createjumpbox"},
+		{"unknown field", "subscription: s\nskus: [a]\nrgprefix: p\nnnodes: [1]\nappname: x\nregion: r\nbudget: 4\n", "unknown field"},
+		{"not a map", "- a\n- b\n", "mapping"},
+		{"bad yaml", "a: [\n", "yamllite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q should mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "config.yaml")
+	if err := os.WriteFile(path, []byte(listing1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.AppName != "openfoam" {
+		t.Errorf("appname = %q", cfg.AppName)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.yaml")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"hpcadvisor/internal/collector"
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/sampler"
+	"hpcadvisor/internal/scenario"
+)
+
+// CollectAdaptive is the budget-driven collection mode: instead of sweeping
+// the task list in order, each step asks the stand-alone planner
+// (sampler.PlanNext) for the scenario with the best expected Pareto
+// information gain per dollar, runs exactly that scenario, and stops when
+// the accumulated collection cost reaches budgetUSD or no candidates
+// remain. This realizes the paper's Section III-F goal of obtaining the
+// advice "with minimal or no executions in the cloud" under an explicit
+// spending cap.
+//
+// Pool reuse across steps is weaker than in the ordered sweep (the planner
+// may alternate VM types), so adaptive mode trades some extra node
+// provisioning for running far fewer scenarios.
+func (a *Advisor) CollectAdaptive(deploymentName string, cfg *config.Config, budgetUSD float64, opts CollectOptions) (*collector.Report, error) {
+	if budgetUSD <= 0 {
+		return nil, fmt.Errorf("core: adaptive collection needs a positive budget, got %.2f", budgetUSD)
+	}
+	d, err := a.Deployment(deploymentName)
+	if err != nil {
+		return nil, err
+	}
+	svc := a.services[deploymentName]
+
+	list := a.lists[deploymentName]
+	if list == nil {
+		list, err = scenario.Generate(cfg.ScenarioSpec(), a.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		a.lists[deploymentName] = list
+	} else {
+		list.ResetRunning()
+	}
+
+	col := collector.New(svc, a.Apps, a.Prices, a.Catalog, d.Region, d.Name)
+	agg := &collector.Report{NodeSecondsBySKU: make(map[string]float64)}
+	start := svc.Clock.Now()
+
+	spent := func() (float64, error) {
+		total := 0.0
+		for sku, ns := range svc.NodeSecondsBySKU() {
+			var hourly float64
+			var err error
+			if opts.UseSpot {
+				hourly, err = a.Prices.HourlySpot(d.Region, sku)
+			} else {
+				hourly, err = a.Prices.Hourly(d.Region, sku)
+			}
+			if err != nil {
+				return 0, err
+			}
+			total += ns * hourly / 3600
+		}
+		return total, nil
+	}
+
+	for {
+		used, err := spent()
+		if err != nil {
+			return agg, err
+		}
+		if used >= budgetUSD {
+			break
+		}
+		ranked := sampler.PlanNext(a.Store, list.Pending(), a.Prices, d.Region, 1)
+		if len(ranked) == 0 {
+			break
+		}
+		sub := &scenario.List{Tasks: []*scenario.Task{ranked[0].Task}}
+		r, err := col.Run(sub, a.Store, collector.Options{
+			DeletePoolAfter: opts.DeletePoolAfter,
+			MaxAttempts:     opts.MaxAttempts,
+			UseSpot:         opts.UseSpot,
+			Progress:        opts.Progress,
+		})
+		if err != nil {
+			return agg, err
+		}
+		agg.Completed += r.Completed
+		agg.Failed += r.Failed
+		agg.Attempts += r.Attempts
+	}
+
+	// Remaining pending scenarios were priced out by the budget.
+	for _, t := range list.Pending() {
+		t.Status = scenario.StatusSkipped
+		t.Error = fmt.Sprintf("adaptive collection budget $%.2f exhausted", budgetUSD)
+		agg.Skipped++
+		if opts.Progress != nil {
+			opts.Progress(t)
+		}
+	}
+
+	agg.NodeSecondsBySKU = svc.NodeSecondsBySKU()
+	cost, err := spent()
+	if err != nil {
+		return agg, err
+	}
+	agg.CollectionCostUSD = cost
+	agg.VirtualSeconds = (svc.Clock.Now() - start).Seconds()
+	return agg, nil
+}

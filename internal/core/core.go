@@ -1,0 +1,351 @@
+// Package core wires the HPCAdvisor pipeline together: configuration ->
+// deployment -> scenario generation -> data collection -> plots and advice.
+// It is the programmatic equivalent of the paper's Figure 1 and the engine
+// behind the CLI, the GUI, and the public hpcadvisor package.
+//
+// The back-end (cloud control plane + batch orchestrator) is the simulated
+// substrate from internal/cloudsim and internal/batchsim; as the paper notes
+// for its Azure Batch back-end, "this back-end can be replaced" — all
+// interaction goes through those two packages' narrow surfaces.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"hpcadvisor/internal/appmodel"
+	"hpcadvisor/internal/batchsim"
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/cloudsim"
+	"hpcadvisor/internal/collector"
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/deploy"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/pricing"
+	"hpcadvisor/internal/recipes"
+	"hpcadvisor/internal/sampler"
+	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/vclock"
+)
+
+// Advisor is the top-level façade over the whole pipeline.
+type Advisor struct {
+	Clock    *vclock.Clock
+	Cloud    *cloudsim.Cloud
+	Catalog  *catalog.Catalog
+	Prices   *pricing.PriceBook
+	Apps     *appmodel.Registry
+	Deployer *deploy.Manager
+	Store    *dataset.Store
+
+	deployments map[string]*deploy.Deployment
+	services    map[string]*batchsim.Service
+	lists       map[string]*scenario.List
+}
+
+// New creates an advisor bound to one cloud subscription, with the default
+// catalog, prices, and application registry.
+func New(subscriptionID string) *Advisor {
+	clock := vclock.New()
+	cat := catalog.Default()
+	cloud := cloudsim.New(clock, cat, subscriptionID)
+	return &Advisor{
+		Clock:       clock,
+		Cloud:       cloud,
+		Catalog:     cat,
+		Prices:      pricing.Default(),
+		Apps:        appmodel.NewRegistry(),
+		Deployer:    deploy.NewManager(cloud),
+		Store:       dataset.NewStore(),
+		deployments: make(map[string]*deploy.Deployment),
+		services:    make(map[string]*batchsim.Service),
+		lists:       make(map[string]*scenario.List),
+	}
+}
+
+// DeployCreate provisions a new environment from the configuration
+// (Table II: "deploy create").
+func (a *Advisor) DeployCreate(cfg *config.Config) (*deploy.Deployment, error) {
+	d, err := a.Deployer.Create(cfg.DeploySpec())
+	if err != nil {
+		return nil, err
+	}
+	a.adopt(d)
+	return d, nil
+}
+
+// adopt registers a deployment and its batch service.
+func (a *Advisor) adopt(d *deploy.Deployment) {
+	a.deployments[d.Name] = d
+	a.services[d.Name] = batchsim.New(a.Clock, a.Cloud, d.SubscriptionID, d.Name)
+}
+
+// RestoreDeployment re-registers a previously created deployment (e.g. one
+// recorded in a state file by the CLI) by re-provisioning its resources
+// under the exact recorded names.
+func (a *Advisor) RestoreDeployment(d *deploy.Deployment) error {
+	if _, ok := a.deployments[d.Name]; ok {
+		return fmt.Errorf("core: deployment %q already registered", d.Name)
+	}
+	if _, err := a.Cloud.CreateResourceGroup(d.SubscriptionID, d.Name, d.Region); err != nil {
+		return err
+	}
+	if _, err := a.Cloud.CreateVNet(d.SubscriptionID, d.Name, d.VNet, "10.0.0.0/16"); err != nil {
+		return err
+	}
+	if _, err := a.Cloud.CreateSubnet(d.SubscriptionID, d.Name, d.VNet, d.Subnet, "10.0.0.0/20"); err != nil {
+		return err
+	}
+	if _, err := a.Cloud.CreateStorageAccount(d.SubscriptionID, d.Name, d.StorageAccount); err != nil {
+		return err
+	}
+	if _, err := a.Cloud.CreateBatchAccount(d.SubscriptionID, d.Name, d.BatchAccount, d.StorageAccount); err != nil {
+		return err
+	}
+	a.adopt(d)
+	return nil
+}
+
+// DeployList lists deployments by resource-group prefix (Table II:
+// "deploy list").
+func (a *Advisor) DeployList(subscriptionID, prefix string) ([]cloudsim.Inventory, error) {
+	return a.Deployer.List(subscriptionID, prefix)
+}
+
+// DeployShutdown deletes a deployment and all its resources (Table II:
+// "deploy shutdown").
+func (a *Advisor) DeployShutdown(subscriptionID, name string) error {
+	if err := a.Deployer.Shutdown(subscriptionID, name); err != nil {
+		return err
+	}
+	delete(a.deployments, name)
+	delete(a.services, name)
+	delete(a.lists, name)
+	return nil
+}
+
+// Deployment returns a registered deployment.
+func (a *Advisor) Deployment(name string) (*deploy.Deployment, error) {
+	if d, ok := a.deployments[name]; ok {
+		return d, nil
+	}
+	return nil, fmt.Errorf("core: unknown deployment %q", name)
+}
+
+// Deployments lists registered deployment names, sorted.
+func (a *Advisor) Deployments() []string {
+	out := make([]string, 0, len(a.deployments))
+	for n := range a.deployments {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SamplerByName resolves the smart-sampling strategy names exposed on the
+// CLI: "full", "discard", "perffactor", "bottleneck", "combined".
+func (a *Advisor) SamplerByName(name, region string) (collector.Planner, error) {
+	switch name {
+	case "", "full":
+		return sampler.Full{}, nil
+	case "discard":
+		return sampler.AggressiveDiscard{}, nil
+	case "perffactor":
+		return sampler.PerfFactor{Prices: a.Prices, Region: region}, nil
+	case "bottleneck":
+		return sampler.BottleneckAware{}, nil
+	case "combined":
+		c := sampler.Composite{}
+		c.Planners = append(c.Planners,
+			sampler.AggressiveDiscard{},
+			sampler.PerfFactor{Prices: a.Prices, Region: region},
+			sampler.BottleneckAware{},
+		)
+		return c, nil
+	}
+	return nil, fmt.Errorf("core: unknown sampler %q (want full, discard, perffactor, bottleneck, or combined)", name)
+}
+
+// CollectOptions tune a collection run.
+type CollectOptions struct {
+	// Sampler is a strategy name for SamplerByName; empty means full sweep.
+	Sampler string
+	// Planner overrides Sampler with an explicit strategy.
+	Planner collector.Planner
+	// DeletePoolAfter deletes pools instead of resizing to zero.
+	DeletePoolAfter bool
+	// MaxAttempts retries failing scenarios.
+	MaxAttempts int
+	// Progress observes task state changes.
+	Progress func(t *scenario.Task)
+	// UseSpot collects on spot capacity (cheaper, preemptible); pair with
+	// MaxAttempts > 1 so preempted scenarios are retried.
+	UseSpot bool
+}
+
+// Collect generates (or resumes) the scenario list for the configuration
+// and runs the data-collection phase on the named deployment (Table II:
+// "collect").
+func (a *Advisor) Collect(deploymentName string, cfg *config.Config, opts CollectOptions) (*collector.Report, error) {
+	d, err := a.Deployment(deploymentName)
+	if err != nil {
+		return nil, err
+	}
+	svc := a.services[deploymentName]
+
+	list := a.lists[deploymentName]
+	if list == nil {
+		list, err = scenario.Generate(cfg.ScenarioSpec(), a.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		a.lists[deploymentName] = list
+	} else {
+		list.ResetRunning()
+	}
+
+	planner := opts.Planner
+	if planner == nil {
+		planner, err = a.SamplerByName(opts.Sampler, d.Region)
+		if err != nil {
+			return nil, err
+		}
+	}
+	col := collector.New(svc, a.Apps, a.Prices, a.Catalog, d.Region, d.Name)
+	return col.Run(list, a.Store, collector.Options{
+		DeletePoolAfter: opts.DeletePoolAfter,
+		MaxAttempts:     opts.MaxAttempts,
+		Planner:         planner,
+		Progress:        opts.Progress,
+		UseSpot:         opts.UseSpot,
+	})
+}
+
+// TaskList returns the scenario list of a deployment (nil if no collection
+// was started).
+func (a *Advisor) TaskList(deploymentName string) *scenario.List {
+	return a.lists[deploymentName]
+}
+
+// SetTaskList installs a previously saved scenario list (resume). A nil
+// list clears the deployment's list, so the next Collect regenerates it.
+func (a *Advisor) SetTaskList(deploymentName string, list *scenario.List) {
+	if list == nil {
+		delete(a.lists, deploymentName)
+		return
+	}
+	a.lists[deploymentName] = list
+}
+
+// PlotSet is the full set of plots the tool generates for a filter
+// (Section III-D's four plots plus the Figure 6 Pareto scatter).
+type PlotSet struct {
+	ExecTimeVsNodes plot.Plot
+	ExecTimeVsCost  plot.Plot
+	Speedup         plot.Plot
+	Efficiency      plot.Plot
+	Pareto          plot.Plot
+}
+
+// All returns the plots in presentation order.
+func (ps PlotSet) All() []plot.Plot {
+	return []plot.Plot{ps.ExecTimeVsNodes, ps.ExecTimeVsCost, ps.Speedup, ps.Efficiency, ps.Pareto}
+}
+
+// Plots computes the plot set over the dataset (Table II: "plot").
+func (a *Advisor) Plots(f dataset.Filter) PlotSet {
+	return PlotSet{
+		ExecTimeVsNodes: plot.ExecTimeVsNodes(a.Store, f),
+		ExecTimeVsCost:  plot.ExecTimeVsCost(a.Store, f),
+		Speedup:         plot.Speedup(a.Store, f),
+		Efficiency:      plot.Efficiency(a.Store, f),
+		Pareto:          plot.ParetoScatter(a.Store, f),
+	}
+}
+
+// WritePlotsSVG renders the plot set into dir and returns the file paths.
+// When using the CLI, "the plots are generated in the current folder"
+// (paper Section III-D).
+func (a *Advisor) WritePlotsSVG(dir string, f dataset.Filter) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	set := a.Plots(f)
+	names := []string{"exectime_vs_nodes", "exectime_vs_cost", "speedup", "efficiency", "pareto"}
+	plots := set.All()
+	var paths []string
+	for i, p := range plots {
+		path := filepath.Join(dir, names[i]+".svg")
+		if err := os.WriteFile(path, plot.RenderSVG(p), 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// Advice computes the Pareto front over the filtered dataset, ordered by
+// execution time or cost (Table II: "advice"; Section III-E).
+func (a *Advisor) Advice(f dataset.Filter, order pareto.SortOrder) []dataset.Point {
+	return pareto.Advice(a.Store.Select(f), order)
+}
+
+// AdviceTable renders the advice exactly as the paper's Listings 3-4.
+func (a *Advisor) AdviceTable(f dataset.Filter, order pareto.SortOrder) string {
+	return pareto.FormatAdviceTable(a.Advice(f, order))
+}
+
+// RepriceAdvice recomputes scenario costs under different pricing terms —
+// another region, or spot instead of on-demand — without re-running
+// anything (cost is nodes x time x hourly/3600, and times are already
+// measured), then returns the resulting Pareto front. This answers the
+// what-if questions a user has after one collection: "what would the advice
+// be in westeurope?", "what if I run production on spot?".
+func (a *Advisor) RepriceAdvice(f dataset.Filter, order pareto.SortOrder, region string, spot bool) ([]dataset.Point, error) {
+	pts := a.Store.Select(f)
+	repriced := make([]dataset.Point, 0, len(pts))
+	for _, p := range pts {
+		var hourly float64
+		var err error
+		if spot {
+			hourly, err = a.Prices.HourlySpot(region, p.SKU)
+		} else {
+			hourly, err = a.Prices.Hourly(region, p.SKU)
+		}
+		if err != nil {
+			return nil, err
+		}
+		p.CostUSD = pricing.CostAt(hourly, p.NNodes, p.ExecTimeSec)
+		repriced = append(repriced, p)
+	}
+	return pareto.Advice(repriced, order), nil
+}
+
+// AdviceRecipes renders runnable artifacts for every advice row — a Slurm
+// job script plus a cluster recipe — the paper's "comprehensive advice"
+// extension (Section I: "recipes to run jobs (e.g., Slurm scripts) or
+// computing environment creation").
+func (a *Advisor) AdviceRecipes(f dataset.Filter, order pareto.SortOrder, region string) (string, error) {
+	rows := a.Advice(f, order)
+	var b strings.Builder
+	for i, row := range rows {
+		sku, err := a.Catalog.Lookup(row.SKU)
+		if err != nil {
+			return "", err
+		}
+		hourly, err := a.Prices.Hourly(region, row.SKU)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(recipes.Bundle(row, sku, hourly))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/scenario"
+)
+
+func testConfig(t *testing.T, appname string, skus []string, nnodes string, inputs string) *config.Config {
+	t.Helper()
+	doc := "subscription: mysubscription\n" +
+		"skus:\n"
+	for _, s := range skus {
+		doc += "  - " + s + "\n"
+	}
+	doc += "rgprefix: coretest\n" +
+		"nnodes: " + nnodes + "\n" +
+		"appname: " + appname + "\n" +
+		"region: southcentralus\n" +
+		"ppr: 100\n"
+	if inputs != "" {
+		doc += "appinputs:\n" + inputs
+	}
+	cfg, err := config.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3", "Standard_HC44rs"},
+		"[1, 2, 4]", "  BOXFACTOR: \"12\"\n")
+
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := adv.Collect(dep.Name, cfg, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 6 {
+		t.Fatalf("completed = %d, want 6", report.Completed)
+	}
+	if report.CollectionCostUSD <= 0 {
+		t.Error("collection must cost money")
+	}
+	if adv.Store.Len() != 6 {
+		t.Fatalf("dataset = %d points", adv.Store.Len())
+	}
+
+	// Plots have data.
+	plots := adv.Plots(dataset.Filter{AppName: "lammps"})
+	for _, p := range plots.All() {
+		if p.Empty() {
+			t.Errorf("plot %q is empty", p.Title)
+		}
+	}
+	if len(plots.All()) != 5 {
+		t.Errorf("plot set = %d, want 5", len(plots.All()))
+	}
+
+	// Advice is a valid non-empty front.
+	advice := adv.Advice(dataset.Filter{AppName: "lammps"}, pareto.ByTime)
+	if len(advice) == 0 {
+		t.Fatal("no advice")
+	}
+	table := adv.AdviceTable(dataset.Filter{AppName: "lammps"}, pareto.ByTime)
+	if !strings.Contains(table, "Exectime(s)") || !strings.Contains(table, "hb120rs_v3") {
+		t.Errorf("table = %q", table)
+	}
+}
+
+func TestDeployLifecycle(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1]", "")
+	d1, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Deployments()) != 2 {
+		t.Fatalf("deployments = %v", adv.Deployments())
+	}
+	invs, err := adv.DeployList("mysubscription", "coretest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 2 {
+		t.Errorf("list = %d", len(invs))
+	}
+	if err := adv.DeployShutdown("mysubscription", d1.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Deployment(d1.Name); err == nil {
+		t.Error("shut-down deployment still registered")
+	}
+	if _, err := adv.Deployment(d2.Name); err != nil {
+		t.Error("other deployment lost")
+	}
+}
+
+func TestRestoreDeployment(t *testing.T) {
+	adv1 := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1, 2]", "")
+	d, err := adv1.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A new process restores the recorded deployment and collects on it.
+	adv2 := New("mysubscription")
+	if err := adv2.RestoreDeployment(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv2.Deployment(d.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv2.Collect(d.Name, cfg, CollectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if adv2.Store.Len() != 2 {
+		t.Errorf("restored collect points = %d", adv2.Store.Len())
+	}
+	// Restoring twice is rejected.
+	if err := adv2.RestoreDeployment(d); err == nil {
+		t.Error("double restore should fail")
+	}
+}
+
+func TestCollectUnknownDeployment(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1]", "")
+	if _, err := adv.Collect("ghost", cfg, CollectOptions{}); err == nil {
+		t.Error("unknown deployment should fail")
+	}
+}
+
+func TestCollectResumesTaskList(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1, 2]", "")
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Collect(dep.Name, cfg, CollectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Second collect has nothing pending.
+	report, err := adv.Collect(dep.Name, cfg, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 0 {
+		t.Errorf("resume completed = %d, want 0", report.Completed)
+	}
+	if adv.Store.Len() != 2 {
+		t.Errorf("points duplicated: %d", adv.Store.Len())
+	}
+	// A saved task list can be installed for resumption.
+	list := adv.TaskList(dep.Name)
+	if list == nil {
+		t.Fatal("task list missing")
+	}
+	list.Tasks[0].Status = scenario.StatusPending
+	adv.SetTaskList(dep.Name, list)
+	report, err = adv.Collect(dep.Name, cfg, CollectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 1 {
+		t.Errorf("resumed completed = %d, want 1", report.Completed)
+	}
+}
+
+func TestSamplerByName(t *testing.T) {
+	adv := New("mysubscription")
+	for _, name := range []string{"", "full", "discard", "perffactor", "bottleneck", "combined"} {
+		if _, err := adv.SamplerByName(name, "southcentralus"); err != nil {
+			t.Errorf("SamplerByName(%q): %v", name, err)
+		}
+	}
+	if _, err := adv.SamplerByName("magic", "southcentralus"); err == nil {
+		t.Error("unknown sampler should fail")
+	}
+}
+
+func TestCollectWithDiscardSamplerSkips(t *testing.T) {
+	adv := New("mysubscription")
+	// hc44rs is thoroughly dominated by hb120rs_v3 on this workload, so
+	// aggressive discarding must skip part of its sweep.
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3", "Standard_HC44rs"},
+		"[1, 2, 4, 8, 16]", "  BOXFACTOR: \"20\"\n")
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := adv.Collect(dep.Name, cfg, CollectOptions{Sampler: "discard"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Skipped == 0 {
+		t.Error("discard sampler skipped nothing")
+	}
+	// The front from the reduced run must still be entirely hb120rs_v3.
+	for _, p := range adv.Advice(dataset.Filter{}, pareto.ByTime) {
+		if p.SKUAlias != "hb120rs_v3" {
+			t.Errorf("front contains %s", p.SKUAlias)
+		}
+	}
+}
+
+func TestWritePlotsSVG(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "matmul", []string{"Standard_D64s_v5"}, "[1, 2]", "  MATRIXSIZE: \"2048\"\n")
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Collect(dep.Name, cfg, CollectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "plots")
+	paths, err := adv.WritePlotsSVG(dir, dataset.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(data), "<svg") {
+			t.Errorf("%s is not SVG", p)
+		}
+	}
+}
+
+func TestProgressCallbackPlumbed(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1]", "")
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if _, err := adv.Collect(dep.Name, cfg, CollectOptions{
+		Progress: func(task *scenario.Task) { calls++ },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress callback never invoked")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+)
+
+func TestAdviceRecipes(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1, 2, 4]",
+		"  BOXFACTOR: \"20\"\n")
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Collect(dep.Name, cfg, CollectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := adv.AdviceRecipes(dataset.Filter{AppName: "lammps"}, pareto.ByTime, "southcentralus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bundle per front row, each carrying both artifacts.
+	front := adv.Advice(dataset.Filter{AppName: "lammps"}, pareto.ByTime)
+	if got := strings.Count(bundle, "#!/bin/bash"); got != len(front) {
+		t.Errorf("slurm scripts = %d, want %d (one per advice row)", got, len(front))
+	}
+	for _, want := range []string{
+		"#SBATCH --nodes=4",
+		"#SBATCH --ntasks-per-node=120",
+		`export BOXFACTOR="20"`,
+		"vm_type: Standard_HB120rs_v3",
+		"cluster recipe",
+	} {
+		if !strings.Contains(bundle, want) {
+			t.Errorf("bundle missing %q", want)
+		}
+	}
+	// Unknown pricing region surfaces an error.
+	if _, err := adv.AdviceRecipes(dataset.Filter{}, pareto.ByTime, "atlantis"); err == nil {
+		t.Error("unknown region should fail")
+	}
+}
+
+func TestCollectOnSpotCapacity(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1, 2]",
+		"  BOXFACTOR: \"20\"\n")
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := adv.Collect(dep.Name, cfg, CollectOptions{UseSpot: true, MaxAttempts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Completed != 2 {
+		t.Fatalf("completed = %d (failed %d)", report.Completed, report.Failed)
+	}
+	// Scenario costs are priced at the 30% spot rate.
+	for _, p := range adv.Store.All() {
+		onDemand := float64(p.NNodes) * p.ExecTimeSec * 3.60 / 3600
+		ratio := p.CostUSD / onDemand
+		if ratio < 0.28 || ratio > 0.32 {
+			t.Errorf("scenario %s spot ratio = %.3f", p.ScenarioID, ratio)
+		}
+	}
+}
+
+func TestRepriceAdvice(t *testing.T) {
+	adv := New("mysubscription")
+	cfg := testConfig(t, "lammps", []string{"Standard_HB120rs_v3"}, "[1, 2, 4]",
+		"  BOXFACTOR: \"20\"\n")
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Collect(dep.Name, cfg, CollectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	base := adv.Advice(dataset.Filter{}, pareto.ByTime)
+
+	// Spot repricing scales every cost by the 30% spot factor; times are
+	// untouched, so the front membership is identical here.
+	spot, err := adv.RepriceAdvice(dataset.Filter{}, pareto.ByTime, "southcentralus", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spot) != len(base) {
+		t.Fatalf("front sizes differ: %d vs %d", len(spot), len(base))
+	}
+	for i := range base {
+		ratio := spot[i].CostUSD / base[i].CostUSD
+		if ratio < 0.29 || ratio > 0.31 {
+			t.Errorf("row %d spot ratio = %.3f", i, ratio)
+		}
+		if spot[i].ExecTimeSec != base[i].ExecTimeSec {
+			t.Error("repricing must not alter times")
+		}
+	}
+
+	// Regional repricing applies the region multiplier.
+	eu, err := adv.RepriceAdvice(dataset.Filter{}, pareto.ByTime, "westeurope", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		ratio := eu[i].CostUSD / base[i].CostUSD
+		if ratio < 1.149 || ratio > 1.151 {
+			t.Errorf("row %d westeurope ratio = %.4f, want 1.15", i, ratio)
+		}
+	}
+
+	// Unknown region errors.
+	if _, err := adv.RepriceAdvice(dataset.Filter{}, pareto.ByTime, "atlantis", false); err == nil {
+		t.Error("unknown region should fail")
+	}
+	// The stored dataset is untouched by repricing.
+	after := adv.Advice(dataset.Filter{}, pareto.ByTime)
+	for i := range base {
+		if after[i].CostUSD != base[i].CostUSD {
+			t.Error("repricing mutated the dataset")
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package dataset stores the datapoints produced by data collection: one
+// record per executed scenario carrying execution time, cost, the
+// application-reported metrics (HPCADVISORVAR values), infrastructure
+// utilization, and identifying tags. Plot generation and advice both consume
+// this store through filters, matching the paper's "data is collected,
+// filtered, and organized" pipeline.
+package dataset
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"hpcadvisor/internal/monitor"
+)
+
+// Point is one executed scenario's record.
+type Point struct {
+	ScenarioID string `json:"scenario_id"`
+	Deployment string `json:"deployment,omitempty"`
+	AppName    string `json:"appname"`
+	SKU        string `json:"sku"`
+	SKUAlias   string `json:"sku_alias"`
+	NNodes     int    `json:"nnodes"`
+	PPN        int    `json:"ppn"`
+
+	AppInput  map[string]string `json:"appinput,omitempty"`
+	InputDesc string            `json:"input_desc"`
+	Tags      map[string]string `json:"tags,omitempty"`
+
+	ExecTimeSec float64 `json:"exectime_sec"`
+	CostUSD     float64 `json:"cost_usd"`
+
+	Metrics map[string]string `json:"metrics,omitempty"`
+
+	Utilization monitor.Sample     `json:"utilization"`
+	Bottleneck  monitor.Bottleneck `json:"bottleneck,omitempty"`
+
+	// Failed records scenarios that did not complete; failed points carry
+	// no time/cost and are excluded from plots and advice.
+	Failed bool   `json:"failed,omitempty"`
+	Error  string `json:"error,omitempty"`
+
+	// CollectedAt is the virtual timestamp (seconds) of completion.
+	CollectedAt float64 `json:"collected_at"`
+}
+
+// TotalCores is the scenario's process count (nodes x ppn).
+func (p Point) TotalCores() int { return p.NNodes * p.PPN }
+
+// Store is an append-only collection of points.
+type Store struct {
+	points []Point
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends a point.
+func (s *Store) Add(p Point) { s.points = append(s.points, p) }
+
+// Len returns the number of stored points.
+func (s *Store) Len() int { return len(s.points) }
+
+// All returns a copy of every point.
+func (s *Store) All() []Point {
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Filter selects points; zero values match everything.
+type Filter struct {
+	AppName   string
+	SKU       string // full name or alias
+	InputDesc string
+	MinNodes  int
+	MaxNodes  int
+	Tags      map[string]string
+	// IncludeFailed keeps failed points; by default only successful runs
+	// are returned.
+	IncludeFailed bool
+}
+
+// Match reports whether a point passes the filter.
+func (f Filter) Match(p Point) bool {
+	if !f.IncludeFailed && p.Failed {
+		return false
+	}
+	if f.AppName != "" && !strings.EqualFold(f.AppName, p.AppName) {
+		return false
+	}
+	if f.SKU != "" && !strings.EqualFold(f.SKU, p.SKU) && !strings.EqualFold(f.SKU, p.SKUAlias) {
+		return false
+	}
+	if f.InputDesc != "" && f.InputDesc != p.InputDesc {
+		return false
+	}
+	if f.MinNodes > 0 && p.NNodes < f.MinNodes {
+		return false
+	}
+	if f.MaxNodes > 0 && p.NNodes > f.MaxNodes {
+		return false
+	}
+	for k, v := range f.Tags {
+		if p.Tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns points passing the filter, ordered by (SKU, input, nodes).
+func (s *Store) Select(f Filter) []Point {
+	var out []Point
+	for _, p := range s.points {
+		if f.Match(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SKUAlias != out[j].SKUAlias {
+			return out[i].SKUAlias < out[j].SKUAlias
+		}
+		if out[i].InputDesc != out[j].InputDesc {
+			return out[i].InputDesc < out[j].InputDesc
+		}
+		return out[i].NNodes < out[j].NNodes
+	})
+	return out
+}
+
+// SeriesKey identifies one plotted line: a SKU at one application input.
+type SeriesKey struct {
+	SKUAlias  string
+	InputDesc string
+}
+
+func (k SeriesKey) String() string {
+	if k.InputDesc == "" {
+		return k.SKUAlias
+	}
+	return k.SKUAlias + " (" + k.InputDesc + ")"
+}
+
+// GroupSeries groups filtered points into plot series, each sorted by node
+// count — the structure behind the paper's Figures 2-5, one curve per VM
+// type per input.
+func (s *Store) GroupSeries(f Filter) map[SeriesKey][]Point {
+	out := make(map[SeriesKey][]Point)
+	for _, p := range s.Select(f) {
+		k := SeriesKey{SKUAlias: p.SKUAlias, InputDesc: p.InputDesc}
+		out[k] = append(out[k], p)
+	}
+	for _, pts := range out {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].NNodes < pts[j].NNodes })
+	}
+	return out
+}
+
+// Apps lists distinct application names present, sorted.
+func (s *Store) Apps() []string {
+	seen := map[string]bool{}
+	for _, p := range s.points {
+		seen[p.AppName] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Marshal renders the store as JSON Lines.
+func (s *Store) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, p := range s.points {
+		if err := enc.Encode(p); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal parses a JSON Lines dataset.
+func Unmarshal(data []byte) (*Store, error) {
+	s := NewStore()
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var p Point
+		if err := json.Unmarshal([]byte(text), &p); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		s.Add(p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SaveFile writes the dataset to path as JSON Lines.
+func (s *Store) SaveFile(path string) error {
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a JSON Lines dataset from path. A missing file yields an
+// empty store, so a fresh environment starts cleanly.
+func LoadFile(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return NewStore(), nil
+		}
+		return nil, err
+	}
+	return Unmarshal(data)
+}

@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"hpcadvisor/internal/monitor"
+)
+
+func samplePoint(sku, alias string, nodes int, exect, cost float64) Point {
+	return Point{
+		ScenarioID:  "lammps-" + alias,
+		AppName:     "lammps",
+		SKU:         sku,
+		SKUAlias:    alias,
+		NNodes:      nodes,
+		PPN:         120,
+		InputDesc:   "atoms=864M",
+		ExecTimeSec: exect,
+		CostUSD:     cost,
+		Tags:        map[string]string{"version": "v1"},
+		Metrics:     map[string]string{"APPEXECTIME": "36"},
+		Utilization: monitor.Sample{CPUUtil: 0.8, MemBWUtil: 0.2, NetUtil: 0.1},
+		Bottleneck:  monitor.BottleneckCPU,
+	}
+}
+
+func populated() *Store {
+	s := NewStore()
+	s.Add(samplePoint("Standard_HB120rs_v3", "hb120rs_v3", 16, 36, 0.576))
+	s.Add(samplePoint("Standard_HB120rs_v3", "hb120rs_v3", 8, 69, 0.552))
+	s.Add(samplePoint("Standard_HB120rs_v2", "hb120rs_v2", 16, 43, 0.688))
+	s.Add(samplePoint("Standard_HC44rs", "hc44rs", 16, 99, 1.394))
+	failed := samplePoint("Standard_HC44rs", "hc44rs", 1, 0, 0)
+	failed.Failed = true
+	failed.Error = "out of memory"
+	s.Add(failed)
+	other := samplePoint("Standard_HB120rs_v3", "hb120rs_v3", 4, 55, 0.222)
+	other.AppName = "openfoam"
+	other.InputDesc = "cells=8M"
+	s.Add(other)
+	return s
+}
+
+func TestSelectDefaultsExcludeFailed(t *testing.T) {
+	s := populated()
+	got := s.Select(Filter{})
+	if len(got) != 5 {
+		t.Fatalf("Select = %d points, want 5 (failed excluded)", len(got))
+	}
+	withFailed := s.Select(Filter{IncludeFailed: true})
+	if len(withFailed) != 6 {
+		t.Fatalf("Select incl failed = %d, want 6", len(withFailed))
+	}
+}
+
+func TestFilterFields(t *testing.T) {
+	s := populated()
+	if got := s.Select(Filter{AppName: "lammps"}); len(got) != 4 {
+		t.Errorf("by app = %d, want 4", len(got))
+	}
+	// SKU matches by alias or full name, case-insensitively.
+	if got := s.Select(Filter{SKU: "hb120rs_v3"}); len(got) != 3 {
+		t.Errorf("by alias = %d, want 3", len(got))
+	}
+	if got := s.Select(Filter{SKU: "STANDARD_HB120RS_V3"}); len(got) != 3 {
+		t.Errorf("by name = %d, want 3", len(got))
+	}
+	if got := s.Select(Filter{InputDesc: "cells=8M"}); len(got) != 1 {
+		t.Errorf("by input = %d, want 1", len(got))
+	}
+	if got := s.Select(Filter{MinNodes: 8}); len(got) != 4 {
+		t.Errorf("min nodes = %d, want 4", len(got))
+	}
+	if got := s.Select(Filter{MaxNodes: 8}); len(got) != 2 {
+		t.Errorf("max nodes = %d, want 2", len(got))
+	}
+	if got := s.Select(Filter{Tags: map[string]string{"version": "v1"}}); len(got) != 5 {
+		t.Errorf("by tag = %d, want 5", len(got))
+	}
+	if got := s.Select(Filter{Tags: map[string]string{"version": "v2"}}); len(got) != 0 {
+		t.Errorf("wrong tag = %d, want 0", len(got))
+	}
+}
+
+func TestSelectOrdering(t *testing.T) {
+	s := populated()
+	got := s.Select(Filter{AppName: "lammps"})
+	// Ordered by (alias, input, nodes): hb120rs_v2 before hb120rs_v3, and
+	// within v3, 8 nodes before 16.
+	if got[0].SKUAlias != "hb120rs_v2" {
+		t.Errorf("first = %s", got[0].SKUAlias)
+	}
+	if got[1].SKUAlias != "hb120rs_v3" || got[1].NNodes != 8 {
+		t.Errorf("second = %s n=%d", got[1].SKUAlias, got[1].NNodes)
+	}
+	if got[2].NNodes != 16 {
+		t.Errorf("third n = %d", got[2].NNodes)
+	}
+}
+
+func TestGroupSeries(t *testing.T) {
+	s := populated()
+	series := s.GroupSeries(Filter{AppName: "lammps"})
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3 (one per SKU)", len(series))
+	}
+	v3 := series[SeriesKey{SKUAlias: "hb120rs_v3", InputDesc: "atoms=864M"}]
+	if len(v3) != 2 {
+		t.Fatalf("v3 series = %d points", len(v3))
+	}
+	if v3[0].NNodes != 8 || v3[1].NNodes != 16 {
+		t.Errorf("series not sorted by nodes: %d, %d", v3[0].NNodes, v3[1].NNodes)
+	}
+	key := SeriesKey{SKUAlias: "hb120rs_v3", InputDesc: "atoms=864M"}
+	if key.String() != "hb120rs_v3 (atoms=864M)" {
+		t.Errorf("key = %q", key.String())
+	}
+	if (SeriesKey{SKUAlias: "x"}).String() != "x" {
+		t.Error("input-less key should be alias only")
+	}
+}
+
+func TestAppsEnumeration(t *testing.T) {
+	s := populated()
+	apps := s.Apps()
+	if len(apps) != 2 || apps[0] != "lammps" || apps[1] != "openfoam" {
+		t.Errorf("Apps = %v", apps)
+	}
+}
+
+func TestTotalCores(t *testing.T) {
+	p := samplePoint("Standard_HB120rs_v3", "hb120rs_v3", 16, 36, 0.576)
+	if p.TotalCores() != 1920 {
+		t.Errorf("cores = %d, want 1920 (paper: scenarios run up to 1,920 cores)", p.TotalCores())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	s := populated()
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), s.Len())
+	}
+	a, b := s.All(), got.All()
+	for i := range a {
+		if a[i].ScenarioID != b[i].ScenarioID || a[i].ExecTimeSec != b[i].ExecTimeSec ||
+			a[i].Failed != b[i].Failed || a[i].Metrics["APPEXECTIME"] != b[i].Metrics["APPEXECTIME"] {
+			t.Errorf("point %d mismatch: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFileRoundTripAndMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dataset.jsonl")
+	s := populated()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Errorf("len = %d", got.Len())
+	}
+	// Missing file is an empty store, not an error.
+	empty, err := LoadFile(filepath.Join(dir, "absent.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("missing file len = %d", empty.Len())
+	}
+}
+
+func TestUnmarshalSkipsBlankLinesRejectsGarbage(t *testing.T) {
+	good := "\n{\"scenario_id\":\"a\",\"appname\":\"x\",\"sku\":\"s\",\"sku_alias\":\"s\",\"nnodes\":1,\"ppn\":1,\"input_desc\":\"\",\"exectime_sec\":1,\"cost_usd\":1,\"utilization\":{\"cpu_util\":0,\"membw_util\":0,\"net_util\":0},\"collected_at\":0}\n\n"
+	s, err := Unmarshal([]byte(good))
+	if err != nil || s.Len() != 1 {
+		t.Fatalf("good parse: %v len=%d", err, s.Len())
+	}
+	if _, err := Unmarshal([]byte("{\"x\": }\n")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+// Property: filters never return points that fail Match, and Select is a
+// subset of All.
+func TestPropertyFilterSoundness(t *testing.T) {
+	s := populated()
+	f := func(minN, maxN uint8, includeFailed bool) bool {
+		filter := Filter{MinNodes: int(minN % 20), MaxNodes: int(maxN % 20), IncludeFailed: includeFailed}
+		selected := s.Select(filter)
+		if len(selected) > s.Len() {
+			return false
+		}
+		for _, p := range selected {
+			if !filter.Match(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

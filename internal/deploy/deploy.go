@@ -1,0 +1,189 @@
+// Package deploy manages deployment lifecycles: creating the cloud
+// environment (the paper's Section III-B provisioning sequence), listing
+// previous and current deployments, and shutting them down. It corresponds
+// to the CLI's "deploy create / deploy list / deploy shutdown" commands
+// (paper Table II).
+package deploy
+
+import (
+	"fmt"
+	"strings"
+
+	"hpcadvisor/internal/cloudsim"
+)
+
+// Spec describes the environment to create, drawn from the main
+// configuration file.
+type Spec struct {
+	SubscriptionID string
+	RGPrefix       string
+	Region         string
+	CreateJumpbox  bool
+	// Optional VPN peering (paper's optional parameters).
+	PeerVPN bool
+	VPNRG   string
+	VPNVNet string
+	// JumpboxSKU defaults to a small general-purpose VM.
+	JumpboxSKU string
+}
+
+// Deployment records a created environment.
+type Deployment struct {
+	Name           string  `json:"name"` // resource group name
+	Region         string  `json:"region"`
+	SubscriptionID string  `json:"subscription_id"`
+	VNet           string  `json:"vnet"`
+	Subnet         string  `json:"subnet"`
+	StorageAccount string  `json:"storage_account"`
+	BatchAccount   string  `json:"batch_account"`
+	JumpboxIP      string  `json:"jumpbox_ip,omitempty"`
+	PeeredTo       string  `json:"peered_to,omitempty"`
+	CreatedAtSec   float64 `json:"created_at_sec"`
+}
+
+// Manager creates and destroys deployments against the simulated cloud.
+type Manager struct {
+	Cloud *cloudsim.Cloud
+
+	counter int
+}
+
+// NewManager returns a deployment manager.
+func NewManager(cloud *cloudsim.Cloud) *Manager {
+	return &Manager{Cloud: cloud}
+}
+
+// Create provisions the full environment following the paper's sequence:
+//
+//  1. Variables (names derived from the resource-group prefix).
+//  2. Basic landing zone: resource group, virtual network, subnet.
+//  3. Storage account (batch artifacts + NFS).
+//  4. Batch service with no resources.
+//  5. Optionally, jumpbox and VPN network peering.
+func (m *Manager) Create(spec Spec) (*Deployment, error) {
+	if spec.SubscriptionID == "" {
+		return nil, fmt.Errorf("deploy: subscription is required")
+	}
+	if spec.RGPrefix == "" {
+		return nil, fmt.Errorf("deploy: rgprefix is required")
+	}
+	if spec.Region == "" {
+		return nil, fmt.Errorf("deploy: region is required")
+	}
+
+	// Step 1: variables.
+	m.counter++
+	rgName := fmt.Sprintf("%s-%04d", spec.RGPrefix, m.counter)
+	vnetName := "hpcadvisor-vnet"
+	subnetName := "compute"
+	storageName := storageAccountName(rgName)
+	batchName := "hpcadvisorbatch"
+
+	// Step 2: basic landing zone.
+	if _, err := m.Cloud.CreateResourceGroup(spec.SubscriptionID, rgName, spec.Region); err != nil {
+		return nil, fmt.Errorf("deploy: creating resource group: %w", err)
+	}
+	cleanup := func() { _ = m.Cloud.DeleteResourceGroup(spec.SubscriptionID, rgName) }
+	if _, err := m.Cloud.CreateVNet(spec.SubscriptionID, rgName, vnetName, "10.0.0.0/16"); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("deploy: creating vnet: %w", err)
+	}
+	if _, err := m.Cloud.CreateSubnet(spec.SubscriptionID, rgName, vnetName, subnetName, "10.0.0.0/20"); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("deploy: creating subnet: %w", err)
+	}
+
+	// Step 3: storage account.
+	if _, err := m.Cloud.CreateStorageAccount(spec.SubscriptionID, rgName, storageName); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("deploy: creating storage account: %w", err)
+	}
+
+	// Step 4: batch service with no resources.
+	if _, err := m.Cloud.CreateBatchAccount(spec.SubscriptionID, rgName, batchName, storageName); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("deploy: creating batch account: %w", err)
+	}
+
+	d := &Deployment{
+		Name:           rgName,
+		Region:         spec.Region,
+		SubscriptionID: spec.SubscriptionID,
+		VNet:           vnetName,
+		Subnet:         subnetName,
+		StorageAccount: storageName,
+		BatchAccount:   batchName,
+		CreatedAtSec:   m.Cloud.Clock.NowSeconds(),
+	}
+
+	// Step 5: optional jumpbox and peering.
+	if spec.CreateJumpbox {
+		sku := spec.JumpboxSKU
+		if sku == "" {
+			sku = "Standard_D64s_v5"
+		}
+		vm, err := m.Cloud.CreateJumpbox(spec.SubscriptionID, rgName, "jumpbox", vnetName, subnetName, sku)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("deploy: creating jumpbox: %w", err)
+		}
+		d.JumpboxIP = vm.PrivateIP
+	}
+	if spec.PeerVPN {
+		if spec.VPNRG == "" || spec.VPNVNet == "" {
+			cleanup()
+			return nil, fmt.Errorf("deploy: peervpn requires vpnrg and vpnvnet")
+		}
+		if _, err := m.Cloud.PeerVNets(spec.SubscriptionID, rgName, vnetName, spec.VPNRG, spec.VPNVNet); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("deploy: peering vnets: %w", err)
+		}
+		d.PeeredTo = spec.VPNRG + "/" + spec.VPNVNet
+	}
+	return d, nil
+}
+
+// List returns the names of deployments (resource groups) under a prefix,
+// the backing for "deploy list".
+func (m *Manager) List(subscriptionID, rgPrefix string) ([]cloudsim.Inventory, error) {
+	names, err := m.Cloud.ListResourceGroups(subscriptionID, rgPrefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]cloudsim.Inventory, 0, len(names))
+	for _, n := range names {
+		rg, err := m.Cloud.ResourceGroup(subscriptionID, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rg.Inventory())
+	}
+	return out, nil
+}
+
+// Shutdown deletes a deployment and all its resources ("deploy shutdown").
+func (m *Manager) Shutdown(subscriptionID, name string) error {
+	if err := m.Cloud.DeleteResourceGroup(subscriptionID, name); err != nil {
+		return fmt.Errorf("deploy: shutdown %s: %w", name, err)
+	}
+	return nil
+}
+
+// storageAccountName derives a valid (3-24 lowercase alphanumerics) globally
+// plausible storage name from the resource-group name.
+func storageAccountName(rgName string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(rgName) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	s := b.String() + "stor"
+	if len(s) > 24 {
+		s = s[len(s)-24:]
+	}
+	for len(s) < 3 {
+		s += "0"
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package deploy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/cloudsim"
+	"hpcadvisor/internal/vclock"
+)
+
+func newManager() (*Manager, *cloudsim.Cloud) {
+	cloud := cloudsim.New(vclock.New(), catalog.Default(), "mysubscription")
+	return NewManager(cloud), cloud
+}
+
+func baseSpec() Spec {
+	return Spec{
+		SubscriptionID: "mysubscription",
+		RGPrefix:       "hpcadvisortest1",
+		Region:         "southcentralus",
+	}
+}
+
+func TestCreateFollowsSectionIIIBSequence(t *testing.T) {
+	m, cloud := newManager()
+	d, err := m.Create(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(d.Name, "hpcadvisortest1-") {
+		t.Errorf("deployment name %q should carry the rgprefix", d.Name)
+	}
+	rg, err := cloud.ResourceGroup("mysubscription", d.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := rg.Inventory()
+	if inv.VNets != 1 || inv.Subnets != 1 || inv.Storage != 1 || inv.Batch != 1 {
+		t.Errorf("inventory = %+v", inv)
+	}
+	if inv.VMs != 0 {
+		t.Error("no jumpbox requested")
+	}
+	if d.StorageAccount == "" || d.BatchAccount == "" {
+		t.Errorf("deployment record incomplete: %+v", d)
+	}
+}
+
+func TestCreateWithJumpbox(t *testing.T) {
+	m, cloud := newManager()
+	spec := baseSpec()
+	spec.CreateJumpbox = true
+	d, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.JumpboxIP == "" {
+		t.Error("jumpbox IP missing")
+	}
+	rg, _ := cloud.ResourceGroup("mysubscription", d.Name)
+	if rg.Inventory().VMs != 1 {
+		t.Error("jumpbox VM not provisioned")
+	}
+}
+
+func TestCreateWithVPNPeering(t *testing.T) {
+	m, cloud := newManager()
+	// Pre-existing VPN environment, as the paper describes.
+	if _, err := cloud.CreateResourceGroup("mysubscription", "vpn-rg", "southcentralus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cloud.CreateVNet("mysubscription", "vpn-rg", "vpn-vnet", "10.8.0.0/16"); err != nil {
+		t.Fatal(err)
+	}
+	spec := baseSpec()
+	spec.PeerVPN = true
+	spec.VPNRG = "vpn-rg"
+	spec.VPNVNet = "vpn-vnet"
+	d, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PeeredTo != "vpn-rg/vpn-vnet" {
+		t.Errorf("PeeredTo = %q", d.PeeredTo)
+	}
+}
+
+func TestCreatePeeringValidation(t *testing.T) {
+	m, _ := newManager()
+	spec := baseSpec()
+	spec.PeerVPN = true // missing names
+	if _, err := m.Create(spec); err == nil {
+		t.Error("peering without vnet names should fail")
+	}
+}
+
+func TestCreateValidatesSpec(t *testing.T) {
+	m, _ := newManager()
+	for _, mutate := range []func(*Spec){
+		func(s *Spec) { s.SubscriptionID = "" },
+		func(s *Spec) { s.RGPrefix = "" },
+		func(s *Spec) { s.Region = "" },
+	} {
+		spec := baseSpec()
+		mutate(&spec)
+		if _, err := m.Create(spec); err == nil {
+			t.Errorf("spec %+v should fail", spec)
+		}
+	}
+}
+
+func TestCreateCleansUpOnMidFailure(t *testing.T) {
+	m, cloud := newManager()
+	boom := errors.New("allocation failure")
+	cloud.InjectFault("CreateBatchAccount", boom)
+	if _, err := m.Create(baseSpec()); !errors.Is(err, boom) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+	// The partially created group must have been deleted.
+	groups, err := cloud.ListResourceGroups("mysubscription", "hpcadvisortest1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 0 {
+		t.Errorf("leftover groups after failed create: %v", groups)
+	}
+}
+
+func TestMultipleDeploymentsAndList(t *testing.T) {
+	m, _ := newManager()
+	d1, err := m.Create(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := m.Create(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Name == d2.Name {
+		t.Errorf("deployments must have distinct names: %s", d1.Name)
+	}
+	invs, err := m.List("mysubscription", "hpcadvisortest1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs) != 2 {
+		t.Fatalf("list = %d, want 2", len(invs))
+	}
+}
+
+func TestShutdown(t *testing.T) {
+	m, _ := newManager()
+	d, err := m.Create(baseSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown("mysubscription", d.Name); err != nil {
+		t.Fatal(err)
+	}
+	invs, _ := m.List("mysubscription", "hpcadvisortest1")
+	if len(invs) != 0 {
+		t.Errorf("deployment still listed after shutdown")
+	}
+	if err := m.Shutdown("mysubscription", d.Name); err == nil {
+		t.Error("double shutdown should fail")
+	}
+}
+
+func TestStorageAccountNameDerivation(t *testing.T) {
+	cases := map[string]string{
+		"hpcadvisortest1-0001": "hpcadvisortest10001stor",
+		"UPPER-case":           "uppercasestor",
+		"a":                    "astor",
+		"very-long-prefix-that-exceeds-the-limit-0001": "texceedsthelimit0001stor",
+	}
+	for in, want := range cases {
+		got := storageAccountName(in)
+		if got != want {
+			t.Errorf("storageAccountName(%q) = %q, want %q", in, got, want)
+		}
+		if len(got) < 3 || len(got) > 24 {
+			t.Errorf("storageAccountName(%q) = %q has invalid length", in, got)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package gui serves the browser interface of the tool (paper Section IV,
+// Figure 7): the left side lists the major operations (deploy, collect,
+// plot, advice) and the pages expose deployment status, collection
+// progress, inline plots, and the advice table.
+package gui
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strings"
+	"sync"
+
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/core"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/scenario"
+)
+
+// Server is the GUI over one advisor and configuration.
+type Server struct {
+	mu  sync.Mutex
+	adv *core.Advisor
+	cfg *config.Config
+	log []string
+}
+
+// NewServer builds a GUI server.
+func NewServer(adv *core.Advisor, cfg *config.Config) *Server {
+	return &Server{adv: adv, cfg: cfg}
+}
+
+// ListenAndServe runs the GUI on addr until the listener fails.
+func ListenAndServe(addr string, adv *core.Advisor, cfg *config.Config) error {
+	return http.ListenAndServe(addr, NewServer(adv, cfg).Mux())
+}
+
+// Mux returns the route table.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleHome)
+	mux.HandleFunc("/deployments", s.handleDeployments)
+	mux.HandleFunc("/deploy/create", s.handleDeployCreate)
+	mux.HandleFunc("/collect", s.handleCollect)
+	mux.HandleFunc("/plots", s.handlePlots)
+	mux.HandleFunc("/plot.svg", s.handlePlotSVG)
+	mux.HandleFunc("/advice", s.handleAdvice)
+	return mux
+}
+
+const pageTmpl = `<!DOCTYPE html>
+<html><head><title>HPCAdvisor</title>
+<style>
+body { font-family: sans-serif; margin: 0; display: flex; }
+nav { width: 190px; background: #173c60; color: white; min-height: 100vh; padding: 16px; }
+nav h1 { font-size: 18px; }
+nav a { display: block; color: #cfe3f7; margin: 10px 0; text-decoration: none; }
+main { padding: 24px; flex: 1; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: left; }
+pre { background: #f4f4f4; padding: 12px; }
+.ok { color: #207520; } .failed { color: #b02a2a; } .skipped { color: #8a6d1a; }
+</style></head>
+<body>
+<nav>
+<h1>HPCAdvisor</h1>
+<a href="/">Overview</a>
+<a href="/deployments">Deployments</a>
+<a href="/collect">Data collection</a>
+<a href="/plots">Plots</a>
+<a href="/advice">Advice</a>
+</nav>
+<main>{{.Body}}</main>
+</body></html>`
+
+var page = template.Must(template.New("page").Parse(pageTmpl))
+
+func (s *Server) render(w http.ResponseWriter, body template.HTML) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = page.Execute(w, struct{ Body template.HTML }{Body: body})
+}
+
+func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("<h2>Overview</h2>")
+	fmt.Fprintf(&b, "<p>Application: <b>%s</b> — scenarios in sweep: <b>%d</b></p>",
+		template.HTMLEscapeString(s.cfg.AppName), s.cfg.ScenarioCount())
+	fmt.Fprintf(&b, "<p>Deployments: %d — datapoints collected: %d</p>",
+		len(s.adv.Deployments()), s.adv.Store.Len())
+	if len(s.log) > 0 {
+		b.WriteString("<h3>Recent activity</h3><pre>")
+		start := 0
+		if len(s.log) > 20 {
+			start = len(s.log) - 20
+		}
+		for _, l := range s.log[start:] {
+			b.WriteString(template.HTMLEscapeString(l) + "\n")
+		}
+		b.WriteString("</pre>")
+	}
+	s.render(w, template.HTML(b.String()))
+}
+
+func (s *Server) handleDeployments(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("<h2>Deployments</h2>")
+	names := s.adv.Deployments()
+	if len(names) == 0 {
+		b.WriteString("<p>No deployments yet.</p>")
+	} else {
+		b.WriteString("<table><tr><th>Name</th><th>Region</th><th>Storage</th><th>Batch</th><th>Jumpbox</th></tr>")
+		for _, n := range names {
+			d, err := s.adv.Deployment(n)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>",
+				template.HTMLEscapeString(d.Name), template.HTMLEscapeString(d.Region),
+				template.HTMLEscapeString(d.StorageAccount), template.HTMLEscapeString(d.BatchAccount),
+				template.HTMLEscapeString(d.JumpboxIP))
+		}
+		b.WriteString("</table>")
+	}
+	b.WriteString(`<form method="POST" action="/deploy/create"><button type="submit">Create deployment</button></form>`)
+	s.render(w, template.HTML(b.String()))
+}
+
+func (s *Server) handleDeployCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	d, err := s.adv.DeployCreate(s.cfg)
+	if err == nil {
+		s.log = append(s.log, "deployment created: "+d.Name)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	http.Redirect(w, r, "/deployments", http.StatusSeeOther)
+}
+
+func (s *Server) handleCollect(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.Method == http.MethodPost {
+		names := s.adv.Deployments()
+		if len(names) == 0 {
+			http.Error(w, "create a deployment first", http.StatusConflict)
+			return
+		}
+		target := names[len(names)-1]
+		samplerName := r.FormValue("sampler")
+		report, err := s.adv.Collect(target, s.cfg, core.CollectOptions{
+			Sampler: samplerName,
+			Progress: func(t *scenario.Task) {
+				if t.Status != scenario.StatusRunning {
+					s.log = append(s.log, fmt.Sprintf("[%s] %s", t.Status, t.ID))
+				}
+			},
+		})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.log = append(s.log, fmt.Sprintf(
+			"collection on %s: %d completed, %d failed, %d skipped, cost $%.2f",
+			target, report.Completed, report.Failed, report.Skipped, report.CollectionCostUSD))
+	}
+
+	var b strings.Builder
+	b.WriteString("<h2>Data collection</h2>")
+	fmt.Fprintf(&b, "<p>Sweep: %d scenarios for <b>%s</b>.</p>",
+		s.cfg.ScenarioCount(), template.HTMLEscapeString(s.cfg.AppName))
+	b.WriteString(`<form method="POST" action="/collect">
+sampler: <select name="sampler">
+<option value="full">full</option>
+<option value="discard">discard</option>
+<option value="perffactor">perffactor</option>
+<option value="bottleneck">bottleneck</option>
+<option value="combined">combined</option>
+</select>
+<button type="submit">Start collection</button></form>`)
+
+	// Task status table, the view in the paper's Figure 7 screenshot.
+	for _, dep := range s.adv.Deployments() {
+		list := s.adv.TaskList(dep)
+		if list == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "<h3>%s</h3><table><tr><th>Scenario</th><th>Nodes</th><th>Status</th></tr>",
+			template.HTMLEscapeString(dep))
+		for _, t := range list.Tasks {
+			cls := "ok"
+			switch t.Status {
+			case scenario.StatusFailed:
+				cls = "failed"
+			case scenario.StatusSkipped:
+				cls = "skipped"
+			}
+			fmt.Fprintf(&b, `<tr><td>%s</td><td>%d</td><td class="%s">%s</td></tr>`,
+				template.HTMLEscapeString(t.ID), t.NNodes, cls, t.Status)
+		}
+		b.WriteString("</table>")
+	}
+	s.render(w, template.HTML(b.String()))
+}
+
+var plotNames = []string{"exectime_vs_nodes", "exectime_vs_cost", "speedup", "efficiency", "pareto"}
+
+func (s *Server) handlePlots(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := s.adv.Store.Len()
+	s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("<h2>Plots</h2>")
+	if n == 0 {
+		b.WriteString("<p>No data collected yet.</p>")
+	} else {
+		app := r.URL.Query().Get("app")
+		for _, name := range plotNames {
+			fmt.Fprintf(&b, `<div><img src="/plot.svg?name=%s&app=%s" alt="%s"/></div>`,
+				name, template.HTMLEscapeString(app), name)
+		}
+	}
+	s.render(w, template.HTML(b.String()))
+}
+
+func (s *Server) handlePlotSVG(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := dataset.Filter{
+		AppName:   r.URL.Query().Get("app"),
+		SKU:       r.URL.Query().Get("sku"),
+		InputDesc: r.URL.Query().Get("input"),
+	}
+	set := s.adv.Plots(f)
+	var p plot.Plot
+	switch r.URL.Query().Get("name") {
+	case "exectime_vs_nodes":
+		p = set.ExecTimeVsNodes
+	case "exectime_vs_cost":
+		p = set.ExecTimeVsCost
+	case "speedup":
+		p = set.Speedup
+	case "efficiency":
+		p = set.Efficiency
+	case "pareto":
+		p = set.Pareto
+	default:
+		http.Error(w, "unknown plot", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write(plot.RenderSVG(p))
+}
+
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	order := pareto.ByTime
+	if r.URL.Query().Get("sort") == "cost" {
+		order = pareto.ByCost
+	}
+	f := dataset.Filter{
+		AppName:   r.URL.Query().Get("app"),
+		SKU:       r.URL.Query().Get("sku"),
+		InputDesc: r.URL.Query().Get("input"),
+	}
+	var b strings.Builder
+	b.WriteString("<h2>Advice (Pareto front)</h2>")
+	rows := s.adv.Advice(f, order)
+	if len(rows) == 0 {
+		b.WriteString("<p>No data collected yet.</p>")
+	} else {
+		b.WriteString("<pre>" + template.HTMLEscapeString(pareto.FormatAdviceTable(rows)) + "</pre>")
+		b.WriteString(`<p><a href="/advice?sort=cost">sort by cost</a> | <a href="/advice?sort=time">sort by time</a></p>`)
+	}
+	s.render(w, template.HTML(b.String()))
+}

@@ -1,0 +1,228 @@
+package gui
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/core"
+)
+
+const testConfig = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+rgprefix: guitest
+nnodes: [1, 2]
+appname: lammps
+region: southcentralus
+appinputs:
+  BOXFACTOR: "10"
+`
+
+func newServer(t *testing.T) (*Server, *core.Advisor, *config.Config) {
+	t.Helper()
+	cfg, err := config.Parse([]byte(testConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := core.New(cfg.Subscription)
+	return NewServer(adv, cfg), adv, cfg
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, form url.Values) (int, string) {
+	t.Helper()
+	resp, err := ts.Client().PostForm(ts.URL+path, form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestFullGUIWorkflow(t *testing.T) {
+	// Mirrors the paper's Figure 7 flow: create a deployment, run the
+	// collection, inspect plots and advice — all through the browser
+	// surface.
+	s, _, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	// Home page renders the navigation.
+	code, body := get(t, ts, "/")
+	if code != 200 {
+		t.Fatalf("home = %d", code)
+	}
+	for _, want := range []string{"HPCAdvisor", "Deployments", "Data collection", "Plots", "Advice"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("home missing %q", want)
+		}
+	}
+
+	// No deployments yet.
+	_, body = get(t, ts, "/deployments")
+	if !strings.Contains(body, "No deployments yet") {
+		t.Error("expected empty deployment list")
+	}
+
+	// Create a deployment (redirects back to the list).
+	code, _ = post(t, ts, "/deploy/create", url.Values{})
+	if code != 200 { // after redirect
+		t.Fatalf("deploy create = %d", code)
+	}
+	_, body = get(t, ts, "/deployments")
+	if !strings.Contains(body, "guitest-") {
+		t.Errorf("deployment missing from list: %s", body)
+	}
+
+	// Collect.
+	code, body = post(t, ts, "/collect", url.Values{"sampler": {"full"}})
+	if code != 200 {
+		t.Fatalf("collect = %d: %s", code, body)
+	}
+	if !strings.Contains(body, "completed") {
+		t.Errorf("collect page missing task table: %s", body)
+	}
+
+	// Plots page embeds the five SVG charts.
+	_, body = get(t, ts, "/plots")
+	for _, name := range plotNames {
+		if !strings.Contains(body, "/plot.svg?name="+name) {
+			t.Errorf("plots page missing %s", name)
+		}
+	}
+
+	// Each SVG renders.
+	for _, name := range plotNames {
+		code, svg := get(t, ts, "/plot.svg?name="+name)
+		if code != 200 || !strings.HasPrefix(svg, "<svg") {
+			t.Errorf("plot %s = %d, %q...", name, code, svg[:min(len(svg), 20)])
+		}
+	}
+
+	// Advice table shows the paper's columns.
+	_, body = get(t, ts, "/advice")
+	for _, want := range []string{"Exectime(s)", "Cost($)", "hb120rs_v3"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("advice missing %q", want)
+		}
+	}
+	// Cost ordering also works.
+	code, _ = get(t, ts, "/advice?sort=cost")
+	if code != 200 {
+		t.Errorf("advice by cost = %d", code)
+	}
+}
+
+func TestGUIEmptyStates(t *testing.T) {
+	s, _, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	_, body := get(t, ts, "/plots")
+	if !strings.Contains(body, "No data collected yet") {
+		t.Error("plots should state emptiness")
+	}
+	_, body = get(t, ts, "/advice")
+	if !strings.Contains(body, "No data collected yet") {
+		t.Error("advice should state emptiness")
+	}
+	// Collection without deployment conflicts.
+	code, _ := post(t, ts, "/collect", url.Values{})
+	if code != http.StatusConflict {
+		t.Errorf("collect without deployment = %d, want 409", code)
+	}
+}
+
+func TestGUIErrorPaths(t *testing.T) {
+	s, _, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	code, _ := get(t, ts, "/plot.svg?name=nonsense")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown plot = %d", code)
+	}
+	code, _ = get(t, ts, "/nope")
+	if code != http.StatusNotFound {
+		t.Errorf("unknown page = %d", code)
+	}
+	// GET on the create endpoint is rejected.
+	code, _ = get(t, ts, "/deploy/create")
+	if code != http.StatusMethodNotAllowed {
+		t.Errorf("GET create = %d", code)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGUIFiltersAndSampler(t *testing.T) {
+	s, _, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	if code, _ := post(t, ts, "/deploy/create", url.Values{}); code != 200 {
+		t.Fatal("deploy failed")
+	}
+	// Collect with the discard sampler selected in the form.
+	code, body := post(t, ts, "/collect", url.Values{"sampler": {"discard"}})
+	if code != 200 {
+		t.Fatalf("collect = %d: %s", code, body)
+	}
+
+	// Filtered advice: the app filter matches, an unknown app filter is
+	// empty.
+	_, body = get(t, ts, "/advice?app=lammps")
+	if !strings.Contains(body, "hb120rs_v3") {
+		t.Error("filtered advice missing data")
+	}
+	_, body = get(t, ts, "/advice?app=nosuchapp")
+	if !strings.Contains(body, "No data collected yet") {
+		t.Error("unknown-app filter should show emptiness")
+	}
+
+	// Filtered SVG renders.
+	code, svg := get(t, ts, "/plot.svg?name=speedup&app=lammps&sku=hb120rs_v3")
+	if code != 200 || !strings.HasPrefix(svg, "<svg") {
+		t.Errorf("filtered plot = %d", code)
+	}
+
+	// The home page logs recent activity after a collection.
+	_, body = get(t, ts, "/")
+	if !strings.Contains(body, "Recent activity") {
+		t.Error("activity log missing")
+	}
+}
+
+func TestGUICollectWithBadSampler(t *testing.T) {
+	s, _, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+	if code, _ := post(t, ts, "/deploy/create", url.Values{}); code != 200 {
+		t.Fatal("deploy failed")
+	}
+	code, _ := post(t, ts, "/collect", url.Values{"sampler": {"nonsense"}})
+	if code != http.StatusInternalServerError {
+		t.Errorf("bad sampler = %d, want 500", code)
+	}
+}

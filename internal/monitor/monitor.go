@@ -1,0 +1,84 @@
+// Package monitor derives infrastructure metrics for executed scenarios and
+// classifies bottlenecks. The paper (Section III-F, "Infrastructure
+// bottlenecks") proposes using CPU, memory, and network utilization
+// collected during scenario execution as hints for prioritizing or
+// discarding future scenarios; this package provides those signals from the
+// performance model's term decomposition and the classification rule the
+// sampler consumes.
+package monitor
+
+import (
+	"fmt"
+
+	"hpcadvisor/internal/appmodel"
+)
+
+// Sample is one scenario's infrastructure utilization, each in [0,1].
+type Sample struct {
+	CPUUtil   float64 `json:"cpu_util"`
+	MemBWUtil float64 `json:"membw_util"`
+	NetUtil   float64 `json:"net_util"`
+}
+
+// Bottleneck classifies what limited a scenario.
+type Bottleneck string
+
+// Bottleneck classes.
+const (
+	BottleneckCPU     Bottleneck = "cpu"
+	BottleneckMemory  Bottleneck = "memory-bandwidth"
+	BottleneckNetwork Bottleneck = "network"
+	BottleneckNone    Bottleneck = "balanced"
+)
+
+// Classification thresholds: network dominates first (communication time is
+// pure overhead), then memory pressure, then raw CPU saturation.
+const (
+	netThreshold = 0.35
+	memThreshold = 0.40
+	cpuThreshold = 0.70
+)
+
+// FromProfile extracts a Sample from a simulated execution profile.
+func FromProfile(p appmodel.Profile) Sample {
+	return Sample{CPUUtil: p.CPUUtil, MemBWUtil: p.MemBWUtil, NetUtil: p.NetUtil}
+}
+
+// Classify maps a utilization sample to its dominant bottleneck.
+func Classify(s Sample) Bottleneck {
+	switch {
+	case s.NetUtil >= netThreshold:
+		return BottleneckNetwork
+	case s.MemBWUtil >= memThreshold:
+		return BottleneckMemory
+	case s.CPUUtil >= cpuThreshold:
+		return BottleneckCPU
+	}
+	return BottleneckNone
+}
+
+// Validate reports an error for out-of-range samples, guarding dataset
+// ingestion.
+func (s Sample) Validate() error {
+	for name, v := range map[string]float64{"cpu": s.CPUUtil, "membw": s.MemBWUtil, "net": s.NetUtil} {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("monitor: %s utilization %f outside [0,1]", name, v)
+		}
+	}
+	return nil
+}
+
+// ScalingHint summarizes what a bottleneck implies for scenario planning,
+// the human-readable form surfaced in advice output.
+func ScalingHint(b Bottleneck) string {
+	switch b {
+	case BottleneckNetwork:
+		return "communication bound: adding nodes will not help; prefer fewer, larger nodes"
+	case BottleneckMemory:
+		return "memory-bandwidth bound: more nodes (or fewer processes per node) relieve pressure"
+	case BottleneckCPU:
+		return "compute bound: scaling nodes should be near linear"
+	default:
+		return "balanced: no dominant bottleneck observed"
+	}
+}

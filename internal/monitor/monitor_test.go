@@ -1,0 +1,69 @@
+package monitor
+
+import (
+	"testing"
+
+	"hpcadvisor/internal/appmodel"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sample
+		want Bottleneck
+	}{
+		{"network dominant", Sample{CPUUtil: 0.5, MemBWUtil: 0.5, NetUtil: 0.5}, BottleneckNetwork},
+		{"memory dominant", Sample{CPUUtil: 0.9, MemBWUtil: 0.6, NetUtil: 0.1}, BottleneckMemory},
+		{"cpu bound", Sample{CPUUtil: 0.9, MemBWUtil: 0.1, NetUtil: 0.05}, BottleneckCPU},
+		{"balanced", Sample{CPUUtil: 0.3, MemBWUtil: 0.1, NetUtil: 0.05}, BottleneckNone},
+		{"net at threshold", Sample{NetUtil: 0.35}, BottleneckNetwork},
+		{"mem at threshold", Sample{MemBWUtil: 0.40}, BottleneckMemory},
+		{"cpu at threshold", Sample{CPUUtil: 0.70}, BottleneckCPU},
+	}
+	for _, c := range cases {
+		if got := Classify(c.s); got != c.want {
+			t.Errorf("%s: Classify(%+v) = %s, want %s", c.name, c.s, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Sample{CPUUtil: 0.5, MemBWUtil: 0.5, NetUtil: 0.5}).Validate(); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+	bad := []Sample{
+		{CPUUtil: -0.1},
+		{MemBWUtil: 1.1},
+		{NetUtil: 2},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid sample %+v accepted", s)
+		}
+	}
+}
+
+func TestFromProfile(t *testing.T) {
+	p := appmodel.Profile{CPUUtil: 0.7, MemBWUtil: 0.3, NetUtil: 0.2}
+	s := FromProfile(p)
+	if s.CPUUtil != 0.7 || s.MemBWUtil != 0.3 || s.NetUtil != 0.2 {
+		t.Errorf("FromProfile = %+v", s)
+	}
+}
+
+func TestScalingHints(t *testing.T) {
+	for _, b := range []Bottleneck{BottleneckCPU, BottleneckMemory, BottleneckNetwork, BottleneckNone} {
+		if ScalingHint(b) == "" {
+			t.Errorf("no hint for %s", b)
+		}
+	}
+	// Hints must be distinct; advice surfaces them verbatim.
+	seen := map[string]bool{}
+	for _, b := range []Bottleneck{BottleneckCPU, BottleneckMemory, BottleneckNetwork, BottleneckNone} {
+		h := ScalingHint(b)
+		if seen[h] {
+			t.Errorf("duplicate hint %q", h)
+		}
+		seen[h] = true
+	}
+}

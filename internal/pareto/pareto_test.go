@@ -1,0 +1,262 @@
+package pareto
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcadvisor/internal/dataset"
+)
+
+func pt(id string, t, c float64) dataset.Point {
+	return dataset.Point{ScenarioID: id, ExecTimeSec: t, CostUSD: c, SKUAlias: "hb120rs_v3", NNodes: 4}
+}
+
+// listing4Points reproduces the paper's Listing 4 situation: the four
+// hb120rs_v3 rows plus dominated points from other scales and SKUs.
+func listing4Points() []dataset.Point {
+	mk := func(id string, t, c float64, n int, alias string) dataset.Point {
+		return dataset.Point{ScenarioID: id, ExecTimeSec: t, CostUSD: c, NNodes: n, SKUAlias: alias}
+	}
+	return []dataset.Point{
+		mk("v3-16", 36, 0.5760, 16, "hb120rs_v3"),
+		mk("v3-8", 69, 0.5520, 8, "hb120rs_v3"),
+		mk("v3-4", 132, 0.5280, 4, "hb120rs_v3"),
+		mk("v3-3", 173, 0.5190, 3, "hb120rs_v3"),
+		// Dominated: slower and costlier than v3-3 / v3-4.
+		mk("v3-2", 310, 0.6200, 2, "hb120rs_v3"),
+		mk("v3-1", 961, 0.9610, 1, "hb120rs_v3"),
+		mk("v2-16", 43, 0.6880, 16, "hb120rs_v2"),
+		mk("hc-16", 99, 1.3940, 16, "hc44rs"),
+	}
+}
+
+func TestListing4Front(t *testing.T) {
+	front := Front(listing4Points())
+	if len(front) != 4 {
+		t.Fatalf("front = %d rows, want 4 (paper Listing 4)", len(front))
+	}
+	wantIDs := []string{"v3-16", "v3-8", "v3-4", "v3-3"}
+	for i, want := range wantIDs {
+		if front[i].ScenarioID != want {
+			t.Errorf("front[%d] = %s, want %s", i, front[i].ScenarioID, want)
+		}
+	}
+	// Sorted by ascending execution time with descending cost — the
+	// signature shape of a (time, cost) front.
+	for i := 1; i < len(front); i++ {
+		if front[i].ExecTimeSec <= front[i-1].ExecTimeSec {
+			t.Error("front not sorted by time")
+		}
+		if front[i].CostUSD >= front[i-1].CostUSD {
+			t.Error("front cost should strictly decrease along increasing time")
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := pt("a", 10, 1)
+	b := pt("b", 20, 2)
+	if !Dominates(a, b) {
+		t.Error("a should dominate b")
+	}
+	if Dominates(b, a) {
+		t.Error("b should not dominate a")
+	}
+	// Equal points do not dominate each other.
+	if Dominates(a, a) {
+		t.Error("point should not dominate itself")
+	}
+	// Trade-off points do not dominate.
+	c := pt("c", 5, 3)
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Error("trade-off points should be mutually non-dominated")
+	}
+	// Equal in one dimension, better in the other.
+	d := pt("d", 10, 0.5)
+	if !Dominates(d, a) {
+		t.Error("same time, cheaper should dominate")
+	}
+}
+
+func TestFrontExcludesFailedPoints(t *testing.T) {
+	pts := []dataset.Point{pt("ok", 10, 1)}
+	failed := pt("bad", 1, 0.1)
+	failed.Failed = true
+	pts = append(pts, failed)
+	front := Front(pts)
+	if len(front) != 1 || front[0].ScenarioID != "ok" {
+		t.Errorf("front = %v", front)
+	}
+}
+
+func TestFrontEmptyAndSingle(t *testing.T) {
+	if Front(nil) != nil {
+		t.Error("empty front should be nil")
+	}
+	front := Front([]dataset.Point{pt("solo", 10, 1)})
+	if len(front) != 1 {
+		t.Errorf("single point front = %d", len(front))
+	}
+}
+
+func TestFrontDeduplicatesIdenticalPoints(t *testing.T) {
+	pts := []dataset.Point{pt("a", 10, 1), pt("b", 10, 1), pt("c", 10, 1)}
+	front := Front(pts)
+	if len(front) != 1 {
+		t.Errorf("duplicate points front = %d, want 1", len(front))
+	}
+}
+
+func TestAdviceOrdering(t *testing.T) {
+	pts := listing4Points()
+	byTime := Advice(pts, ByTime)
+	for i := 1; i < len(byTime); i++ {
+		if byTime[i].ExecTimeSec < byTime[i-1].ExecTimeSec {
+			t.Error("ByTime not sorted")
+		}
+	}
+	byCost := Advice(pts, ByCost)
+	for i := 1; i < len(byCost); i++ {
+		if byCost[i].CostUSD < byCost[i-1].CostUSD {
+			t.Error("ByCost not sorted")
+		}
+	}
+	if byCost[0].ScenarioID != "v3-3" {
+		t.Errorf("cheapest first = %s", byCost[0].ScenarioID)
+	}
+}
+
+func TestFormatAdviceTableMatchesPaperLayout(t *testing.T) {
+	table := FormatAdviceTable(Front(listing4Points()))
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), table)
+	}
+	// Header columns exactly as the paper prints them.
+	for _, col := range []string{"Exectime(s)", "Cost($)", "Nodes", "SKU"} {
+		if !strings.Contains(lines[0], col) {
+			t.Errorf("header %q missing %q", lines[0], col)
+		}
+	}
+	if !strings.Contains(lines[1], "36") || !strings.Contains(lines[1], "0.5760") ||
+		!strings.Contains(lines[1], "16") || !strings.Contains(lines[1], "hb120rs_v3") {
+		t.Errorf("first row = %q", lines[1])
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	// A single point at (10, 1) against reference (20, 2) dominates a
+	// 10 x 1 rectangle.
+	hv := Hypervolume([]dataset.Point{pt("a", 10, 1)}, 20, 2)
+	if hv != 10 {
+		t.Errorf("hv = %v, want 10", hv)
+	}
+	// Adding a dominated point changes nothing.
+	hv2 := Hypervolume([]dataset.Point{pt("a", 10, 1), pt("b", 15, 1.5)}, 20, 2)
+	if hv2 != hv {
+		t.Errorf("hv with dominated point = %v", hv2)
+	}
+	// A second front point adds its own rectangle.
+	hv3 := Hypervolume([]dataset.Point{pt("a", 10, 1), pt("c", 15, 0.5)}, 20, 2)
+	if hv3 <= hv {
+		t.Errorf("hv with extra front point = %v, want > %v", hv3, hv)
+	}
+	// Points beyond the reference contribute nothing.
+	if Hypervolume([]dataset.Point{pt("far", 100, 100)}, 20, 2) != 0 {
+		t.Error("out-of-reference point should contribute 0")
+	}
+}
+
+func TestRecall(t *testing.T) {
+	full := listing4Points()
+	if r := Recall(full, full); r != 1 {
+		t.Errorf("self recall = %v", r)
+	}
+	// A reduced set missing one front point.
+	var reduced []dataset.Point
+	for _, p := range full {
+		if p.ScenarioID != "v3-3" {
+			reduced = append(reduced, p)
+		}
+	}
+	if r := Recall(full, reduced); r != 0.75 {
+		t.Errorf("recall = %v, want 0.75", r)
+	}
+	if r := Recall(nil, reduced); r != 1 {
+		t.Errorf("empty reference recall = %v, want 1", r)
+	}
+}
+
+// Property: the O(n log n) skyline matches the O(n^2) oracle on random
+// inputs.
+func TestPropertyFrontMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		pts := make([]dataset.Point, n)
+		for i := range pts {
+			pts[i] = pt(
+				string(rune('a'+i%26))+string(rune('0'+i/26)),
+				float64(rng.Intn(50)+1),
+				float64(rng.Intn(50)+1)/10,
+			)
+		}
+		fast := Front(pts)
+		slow := FrontNaive(pts)
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i].ExecTimeSec != slow[i].ExecTimeSec || fast[i].CostUSD != slow[i].CostUSD {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no front member is dominated by any input point, and every
+// non-member is dominated by some front member or is a duplicate.
+func TestPropertyFrontSoundAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]dataset.Point, 30)
+		for i := range pts {
+			pts[i] = pt(string(rune('a'+i)), float64(rng.Intn(30)+1), float64(rng.Intn(30)+1))
+		}
+		front := Front(pts)
+		inFront := map[string]bool{}
+		for _, fp := range front {
+			inFront[fp.ScenarioID] = true
+			for _, q := range pts {
+				if Dominates(q, fp) {
+					return false // front member dominated
+				}
+			}
+		}
+		for _, p := range pts {
+			if inFront[p.ScenarioID] {
+				continue
+			}
+			covered := false
+			for _, fp := range front {
+				if Dominates(fp, p) || (fp.ExecTimeSec == p.ExecTimeSec && fp.CostUSD == p.CostUSD) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false // missing point that belongs on the front
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+// Package plot generates the four plot types HPCAdvisor produces
+// (Section III-D): execution time vs number of nodes (Fig. 2), execution
+// time vs cost (Fig. 3), speedup (Fig. 4), and efficiency (Fig. 5) — plus
+// the Pareto-front scatter of Fig. 6. Plots are computed from the dataset
+// and rendered as SVG files or ASCII charts (stdlib only).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+)
+
+// XY is one plotted point.
+type XY struct {
+	X float64
+	Y float64
+}
+
+// Series is one curve: a VM type at one application input.
+type Series struct {
+	Name    string
+	Points  []XY
+	Scatter bool // draw markers only, no connecting line
+}
+
+// Plot is a renderable chart.
+type Plot struct {
+	Title    string
+	Subtitle string // the paper shows the application input here, e.g. "atoms=860M"
+	XLabel   string
+	YLabel   string
+	Series   []Series
+}
+
+// ExecTimeVsNodes builds the paper's Figure 2: execution time as a function
+// of node count, one series per VM type.
+func ExecTimeVsNodes(store *dataset.Store, f dataset.Filter) Plot {
+	p := Plot{
+		Title:  "Exectime",
+		XLabel: "Number of VMs",
+		YLabel: "Execution time (seconds)",
+	}
+	buildSeries(&p, store, f, func(pt dataset.Point) XY {
+		return XY{X: float64(pt.NNodes), Y: pt.ExecTimeSec}
+	})
+	return p
+}
+
+// ExecTimeVsCost builds the paper's Figure 3: cost against execution time,
+// one series per VM type (scatter style, as each point is one scenario).
+func ExecTimeVsCost(store *dataset.Store, f dataset.Filter) Plot {
+	p := Plot{
+		Title:  "Cost",
+		XLabel: "Execution time (seconds)",
+		YLabel: "Cost (USD)",
+	}
+	buildSeries(&p, store, f, func(pt dataset.Point) XY {
+		return XY{X: pt.ExecTimeSec, Y: pt.CostUSD}
+	})
+	for i := range p.Series {
+		p.Series[i].Scatter = true
+		sort.Slice(p.Series[i].Points, func(a, b int) bool { return p.Series[i].Points[a].X < p.Series[i].Points[b].X })
+	}
+	return p
+}
+
+// Speedup builds the paper's Figure 4: s(n) = T(base)/T(n) per series,
+// where base is the smallest measured node count (1 in the paper's sweeps).
+func Speedup(store *dataset.Store, f dataset.Filter) Plot {
+	p := Plot{
+		Title:  "Speedup",
+		XLabel: "Number of VMs",
+		YLabel: "Speedup",
+	}
+	buildRelativeSeries(&p, store, f, func(base dataset.Point, pt dataset.Point) XY {
+		return XY{X: float64(pt.NNodes), Y: base.ExecTimeSec / pt.ExecTimeSec * float64(base.NNodes)}
+	})
+	return p
+}
+
+// Efficiency builds the paper's Figure 5: e(n) = speedup(n)/n. Values above
+// 1 are super-linear.
+func Efficiency(store *dataset.Store, f dataset.Filter) Plot {
+	p := Plot{
+		Title:  "Efficiency",
+		XLabel: "Number of VMs",
+		YLabel: "Efficiency",
+	}
+	buildRelativeSeries(&p, store, f, func(base dataset.Point, pt dataset.Point) XY {
+		speedup := base.ExecTimeSec / pt.ExecTimeSec * float64(base.NNodes)
+		return XY{X: float64(pt.NNodes), Y: speedup / float64(pt.NNodes)}
+	})
+	return p
+}
+
+// ParetoScatter builds the paper's Figure 6: every scenario as a scatter
+// point plus the Pareto front as a line.
+func ParetoScatter(store *dataset.Store, f dataset.Filter) Plot {
+	pts := store.Select(f)
+	p := Plot{
+		Title:  "Advice based on pareto front",
+		XLabel: "Cost (USD)",
+		YLabel: "Execution time (seconds)",
+	}
+	var scatter Series
+	scatter.Name = "Scenarios"
+	scatter.Scatter = true
+	for _, pt := range pts {
+		scatter.Points = append(scatter.Points, XY{X: pt.CostUSD, Y: pt.ExecTimeSec})
+	}
+	var frontLine Series
+	frontLine.Name = "Pareto Front"
+	for _, pt := range pareto.Front(pts) {
+		frontLine.Points = append(frontLine.Points, XY{X: pt.CostUSD, Y: pt.ExecTimeSec})
+	}
+	sort.Slice(frontLine.Points, func(i, j int) bool { return frontLine.Points[i].X < frontLine.Points[j].X })
+	p.Series = []Series{scatter, frontLine}
+	p.Subtitle = subtitleFor(pts)
+	return p
+}
+
+// buildSeries groups the dataset into per-(SKU, input) series with a direct
+// point mapping.
+func buildSeries(p *Plot, store *dataset.Store, f dataset.Filter, toXY func(dataset.Point) XY) {
+	groups := store.GroupSeries(f)
+	keys := make([]dataset.SeriesKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		s := Series{Name: k.SKUAlias}
+		if len(keys) > 0 && multipleInputs(keys) {
+			s.Name = k.String()
+		}
+		for _, pt := range groups[k] {
+			s.Points = append(s.Points, toXY(pt))
+		}
+		p.Series = append(p.Series, s)
+	}
+	p.Subtitle = subtitleFor(store.Select(f))
+}
+
+// buildRelativeSeries maps each point relative to its series' smallest-n
+// baseline; series without at least two points are omitted.
+func buildRelativeSeries(p *Plot, store *dataset.Store, f dataset.Filter, toXY func(base, pt dataset.Point) XY) {
+	groups := store.GroupSeries(f)
+	keys := make([]dataset.SeriesKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, k := range keys {
+		pts := groups[k]
+		if len(pts) < 2 {
+			continue
+		}
+		base := pts[0] // sorted by node count; the paper uses single node
+		s := Series{Name: k.SKUAlias}
+		if multipleInputs(keys) {
+			s.Name = k.String()
+		}
+		for _, pt := range pts {
+			s.Points = append(s.Points, toXY(base, pt))
+		}
+		p.Series = append(p.Series, s)
+	}
+	p.Subtitle = subtitleFor(store.Select(f))
+}
+
+func multipleInputs(keys []dataset.SeriesKey) bool {
+	seen := map[string]bool{}
+	for _, k := range keys {
+		seen[k.InputDesc] = true
+	}
+	return len(seen) > 1
+}
+
+// subtitleFor reproduces the paper's plot subtitles ("atoms=860M"): the
+// input description when all points share one.
+func subtitleFor(pts []dataset.Point) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	desc := pts[0].InputDesc
+	for _, p := range pts {
+		if p.InputDesc != desc {
+			return ""
+		}
+	}
+	return desc
+}
+
+// Bounds returns the data extent of the plot, padded for rendering. Empty
+// plots get a unit box.
+func (p Plot) Bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for _, pt := range s.Points {
+			xmin = math.Min(xmin, pt.X)
+			xmax = math.Max(xmax, pt.X)
+			ymin = math.Min(ymin, pt.Y)
+			ymax = math.Max(ymax, pt.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return 0, 1, 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	// Anchor Y at zero like the paper's plots, and pad the top.
+	if ymin > 0 {
+		ymin = 0
+	}
+	ymax += (ymax - ymin) * 0.05
+	return xmin, xmax, ymin, ymax
+}
+
+// Empty reports whether the plot has no data points.
+func (p Plot) Empty() bool {
+	for _, s := range p.Series {
+		if len(s.Points) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the plot for logs.
+func (p Plot) String() string {
+	n := 0
+	for _, s := range p.Series {
+		n += len(s.Points)
+	}
+	return fmt.Sprintf("%s (%d series, %d points)", p.Title, len(p.Series), n)
+}

@@ -1,0 +1,142 @@
+// Package pricing provides the hourly price of each SKU per region and the
+// cost arithmetic the advisor uses.
+//
+// The paper computes scenario cost as VM time only ("The cost represented
+// here is for the VMs only, without considering other costs such as software
+// license, storage, or any additional services", Section III-D):
+//
+//	cost = nodes * exectime_seconds * price_per_hour / 3600
+//
+// The base prices below are the real published pay-as-you-go prices for the
+// paper's SKUs; the advice tables in the paper back-solve exactly to
+// $3.60/hour for HB120rs_v2/v3 (e.g. Listing 4: 16 nodes x 36 s x 3.60/3600
+// = $0.576).
+package pricing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PriceBook maps (region, SKU) to an hourly on-demand price in USD.
+type PriceBook struct {
+	base       map[string]float64 // canonical SKU name -> base $/hour
+	regionMult map[string]float64 // region -> multiplier over base
+	spotDisc   float64            // fractional discount for spot capacity
+}
+
+// ErrNoPrice is wrapped by Hourly when no price is known.
+var ErrNoPrice = fmt.Errorf("pricing: no price")
+
+// Default returns the built-in price book.
+func Default() *PriceBook {
+	return &PriceBook{
+		base: map[string]float64{
+			// SKUs evaluated in the paper.
+			"hc44rs":     3.168,
+			"hb120rs_v2": 3.600,
+			"hb120rs_v3": 3.600,
+			// Wider set.
+			"hb176rs_v4": 7.200,
+			"hx176rs":    9.216,
+			"hb60rs":     2.280,
+			"h16r":       1.903,
+			"d64s_v5":    3.072,
+			"e64s_v5":    4.032,
+			"f72s_v2":    3.045,
+			"f64s_v2":    2.706,
+		},
+		regionMult: map[string]float64{
+			"southcentralus": 1.00,
+			"eastus":         1.00,
+			"westus2":        1.00,
+			"westeurope":     1.15,
+			"northeurope":    1.08,
+		},
+		spotDisc: 0.70, // spot runs at ~30% of on-demand in the simulation
+	}
+}
+
+func canonical(name string) string {
+	return strings.TrimPrefix(strings.ToLower(name), "standard_")
+}
+
+// Hourly returns the on-demand hourly price for sku in region.
+func (pb *PriceBook) Hourly(region, sku string) (float64, error) {
+	base, ok := pb.base[canonical(sku)]
+	if !ok {
+		return 0, fmt.Errorf("%w for SKU %q", ErrNoPrice, sku)
+	}
+	mult, ok := pb.regionMult[strings.ToLower(region)]
+	if !ok {
+		return 0, fmt.Errorf("%w for region %q", ErrNoPrice, region)
+	}
+	return base * mult, nil
+}
+
+// HourlySpot returns the spot hourly price for sku in region.
+func (pb *PriceBook) HourlySpot(region, sku string) (float64, error) {
+	p, err := pb.Hourly(region, sku)
+	if err != nil {
+		return 0, err
+	}
+	return p * (1 - pb.spotDisc), nil
+}
+
+// Cost computes the paper's scenario cost: nodes x seconds of execution at
+// the on-demand price, VM time only.
+func (pb *PriceBook) Cost(region, sku string, nodes int, execSeconds float64) (float64, error) {
+	p, err := pb.Hourly(region, sku)
+	if err != nil {
+		return 0, err
+	}
+	return CostAt(p, nodes, execSeconds), nil
+}
+
+// CostAt computes cost from an explicit hourly price.
+func CostAt(hourly float64, nodes int, execSeconds float64) float64 {
+	return float64(nodes) * execSeconds * hourly / 3600
+}
+
+// NodeSecondsCost converts accumulated node-seconds (from the batch meter)
+// into dollars. This is used for total data-collection cost accounting,
+// which, unlike scenario cost, includes node boot and idle time.
+func (pb *PriceBook) NodeSecondsCost(region, sku string, nodeSeconds float64) (float64, error) {
+	p, err := pb.Hourly(region, sku)
+	if err != nil {
+		return 0, err
+	}
+	return nodeSeconds * p / 3600, nil
+}
+
+// SetPrice overrides (or adds) the base price of a SKU. Useful for what-if
+// studies and tests.
+func (pb *PriceBook) SetPrice(sku string, hourly float64) {
+	pb.base[canonical(sku)] = hourly
+}
+
+// SetRegionMultiplier overrides (or adds) a region multiplier.
+func (pb *PriceBook) SetRegionMultiplier(region string, mult float64) {
+	pb.regionMult[strings.ToLower(region)] = mult
+}
+
+// SKUs returns the SKU names with known prices, sorted.
+func (pb *PriceBook) SKUs() []string {
+	out := make([]string, 0, len(pb.base))
+	for k := range pb.base {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Regions returns the regions with known multipliers, sorted.
+func (pb *PriceBook) Regions() []string {
+	out := make([]string, 0, len(pb.regionMult))
+	for k := range pb.regionMult {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,176 @@
+package pricing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPaperListing4CostsBackSolve(t *testing.T) {
+	// Listing 4 of the paper (LAMMPS advice): cost must equal
+	// nodes * exectime * hourly / 3600 at $3.60/h for hb120rs_v3.
+	pb := Default()
+	cases := []struct {
+		nodes int
+		secs  float64
+		want  float64
+	}{
+		{16, 36, 0.5760},
+		{8, 69, 0.5520},
+		{4, 132, 0.5280},
+		{3, 173, 0.5190},
+	}
+	for _, c := range cases {
+		got, err := pb.Cost("southcentralus", "Standard_HB120rs_v3", c.nodes, c.secs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almost(got, c.want) {
+			t.Errorf("Cost(%d nodes, %.0fs) = %.4f, want %.4f", c.nodes, c.secs, got, c.want)
+		}
+	}
+}
+
+func TestPaperListing3CostsBackSolve(t *testing.T) {
+	// Listing 3 (OpenFOAM advice) includes an hb120rs_v2 row:
+	// 8 nodes x 38 s x 3.60/3600 = $0.304.
+	pb := Default()
+	got, err := pb.Cost("southcentralus", "hb120rs_v2", 8, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 0.304) {
+		t.Errorf("Cost = %.4f, want 0.304", got)
+	}
+}
+
+func TestHourlyLookup(t *testing.T) {
+	pb := Default()
+	p, err := pb.Hourly("southcentralus", "Standard_HC44rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, 3.168) {
+		t.Errorf("HC44rs = %.3f, want 3.168", p)
+	}
+	// Region multiplier applies.
+	pEU, err := pb.Hourly("westeurope", "Standard_HC44rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pEU, 3.168*1.15) {
+		t.Errorf("HC44rs westeurope = %.4f", pEU)
+	}
+}
+
+func TestHourlyUnknowns(t *testing.T) {
+	pb := Default()
+	if _, err := pb.Hourly("southcentralus", "Standard_Mystery"); !errors.Is(err, ErrNoPrice) {
+		t.Errorf("unknown SKU error = %v", err)
+	}
+	if _, err := pb.Hourly("atlantis", "hc44rs"); !errors.Is(err, ErrNoPrice) {
+		t.Errorf("unknown region error = %v", err)
+	}
+	if _, err := pb.Cost("atlantis", "hc44rs", 1, 10); err == nil {
+		t.Error("Cost should propagate lookup errors")
+	}
+	if _, err := pb.HourlySpot("atlantis", "hc44rs"); err == nil {
+		t.Error("HourlySpot should propagate lookup errors")
+	}
+	if _, err := pb.NodeSecondsCost("atlantis", "hc44rs", 100); err == nil {
+		t.Error("NodeSecondsCost should propagate lookup errors")
+	}
+}
+
+func TestSpotDiscount(t *testing.T) {
+	pb := Default()
+	od, _ := pb.Hourly("eastus", "hb120rs_v3")
+	spot, err := pb.HourlySpot("eastus", "hb120rs_v3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spot >= od {
+		t.Errorf("spot %.3f should be below on-demand %.3f", spot, od)
+	}
+	if !almost(spot, od*0.3) {
+		t.Errorf("spot = %.4f, want %.4f", spot, od*0.3)
+	}
+}
+
+func TestNodeSecondsCost(t *testing.T) {
+	pb := Default()
+	// 2 nodes for 1800 s = 3600 node-seconds = 1 node-hour at $3.60.
+	got, err := pb.NodeSecondsCost("eastus", "hb120rs_v3", 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 3.60) {
+		t.Errorf("NodeSecondsCost = %.4f, want 3.60", got)
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	pb := Default()
+	pb.SetPrice("Standard_Custom_v1", 1.0)
+	pb.SetRegionMultiplier("moonbase", 2.0)
+	p, err := pb.Hourly("moonbase", "custom_v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p, 2.0) {
+		t.Errorf("override price = %.2f, want 2.0", p)
+	}
+}
+
+func TestEnumerations(t *testing.T) {
+	pb := Default()
+	skus := pb.SKUs()
+	if len(skus) < 8 {
+		t.Errorf("only %d priced SKUs", len(skus))
+	}
+	for i := 1; i < len(skus); i++ {
+		if skus[i-1] >= skus[i] {
+			t.Errorf("SKUs not sorted: %v", skus)
+		}
+	}
+	if len(pb.Regions()) < 3 {
+		t.Errorf("only %d regions", len(pb.Regions()))
+	}
+}
+
+// Property: cost is linear in nodes and in time, and non-negative.
+func TestPropertyCostLinearity(t *testing.T) {
+	pb := Default()
+	f := func(nodes uint8, secs uint16) bool {
+		n := int(nodes%64) + 1
+		s := float64(secs)
+		c1, err := pb.Cost("eastus", "hb120rs_v3", n, s)
+		if err != nil {
+			return false
+		}
+		c2, err := pb.Cost("eastus", "hb120rs_v3", 2*n, s)
+		if err != nil {
+			return false
+		}
+		c3, err := pb.Cost("eastus", "hb120rs_v3", n, 2*s)
+		if err != nil {
+			return false
+		}
+		return c1 >= 0 && almost(c2, 2*c1) && almost(c3, 2*c1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAt(t *testing.T) {
+	if !almost(CostAt(3.6, 16, 36), 0.576) {
+		t.Errorf("CostAt = %v", CostAt(3.6, 16, 36))
+	}
+	if CostAt(3.6, 0, 100) != 0 {
+		t.Error("zero nodes should cost zero")
+	}
+}

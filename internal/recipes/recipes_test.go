@@ -1,0 +1,123 @@
+package recipes
+
+import (
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/dataset"
+)
+
+func listing4Row() dataset.Point {
+	return dataset.Point{
+		ScenarioID:  "lammps-hb120rs_v3-n16-abc",
+		AppName:     "lammps",
+		SKU:         "Standard_HB120rs_v3",
+		SKUAlias:    "hb120rs_v3",
+		NNodes:      16,
+		PPN:         120,
+		AppInput:    map[string]string{"BOXFACTOR": "30"},
+		ExecTimeSec: 36,
+		CostUSD:     0.576,
+	}
+}
+
+func TestSlurmScriptStructure(t *testing.T) {
+	sku := catalog.Default().MustLookup("hb120rs_v3")
+	script := SlurmScript(listing4Row(), sku)
+	wants := []string{
+		"#!/bin/bash",
+		"#SBATCH --job-name=lammps",
+		"#SBATCH --partition=hbv3",
+		"#SBATCH --nodes=16",
+		"#SBATCH --ntasks-per-node=120",
+		"#SBATCH --exclusive",
+		"#SBATCH --time=00:05:00", // 2x36s clamps to the 5-minute floor
+		`export BOXFACTOR="30"`,
+		"export UCX_NET_DEVICES=mlx5_ib0:1", // InfiniBand SKU
+		"srun --mpi=pmix lmp -i in.lj.txt",
+	}
+	for _, w := range wants {
+		if !strings.Contains(script, w) {
+			t.Errorf("script missing %q:\n%s", w, script)
+		}
+	}
+}
+
+func TestSlurmScriptEthernetOmitsUCX(t *testing.T) {
+	p := listing4Row()
+	p.AppName = "matmul"
+	p.SKU = "Standard_D64s_v5"
+	p.SKUAlias = "d64s_v5"
+	p.AppInput = map[string]string{"MATRIXSIZE": "4096"}
+	sku := catalog.Default().MustLookup("d64s_v5")
+	script := SlurmScript(p, sku)
+	if strings.Contains(script, "UCX_NET_DEVICES") {
+		t.Error("ethernet SKU should not pin an InfiniBand device")
+	}
+	if !strings.Contains(script, `export MATRIXSIZE="4096"`) {
+		t.Errorf("input export missing:\n%s", script)
+	}
+}
+
+func TestSlurmTimeLimit(t *testing.T) {
+	cases := map[float64]string{
+		36:   "00:05:00", // floor
+		400:  "00:13:20",
+		3600: "02:00:00",
+		7000: "03:53:20",
+	}
+	for in, want := range cases {
+		if got := slurmTimeLimit(in); got != want {
+			t.Errorf("slurmTimeLimit(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestClusterRecipeYAML(t *testing.T) {
+	sku := catalog.Default().MustLookup("hb120rs_v3")
+	r := NewClusterRecipe(listing4Row(), sku, 3.60)
+	y := r.YAML()
+	wants := []string{
+		"name: lammps-hb120rs_v3-16n",
+		"vm_type: Standard_HB120rs_v3",
+		"nodes: 16",
+		"cores_per_node: 120",
+		"interconnect: ib-hdr",
+		"estimated_cost_per_hour_usd: 57.60", // 16 x $3.60
+	}
+	for _, w := range wants {
+		if !strings.Contains(y, w) {
+			t.Errorf("recipe missing %q:\n%s", w, y)
+		}
+	}
+}
+
+func TestBundleContainsBothArtifacts(t *testing.T) {
+	sku := catalog.Default().MustLookup("hb120rs_v3")
+	b := Bundle(listing4Row(), sku, 3.60)
+	for _, w := range []string{"slurm job script", "cluster recipe", "#SBATCH", "vm_type:"} {
+		if !strings.Contains(b, w) {
+			t.Errorf("bundle missing %q", w)
+		}
+	}
+}
+
+func TestAppCommandsCoverAllApps(t *testing.T) {
+	for _, app := range []string{"lammps", "openfoam", "wrf", "gromacs", "namd", "matmul"} {
+		if appCommand(app) == app && app != "matmul" {
+			t.Errorf("no launch line for %s", app)
+		}
+	}
+	// Unknown apps fall back to their own name.
+	if appCommand("mystery") != "mystery" {
+		t.Error("unknown app should fall back to its name")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string]string{"z": "1", "a": "2", "m": "3"})
+	if len(got) != 3 || got[0] != "a" || got[1] != "m" || got[2] != "z" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,186 @@
+// Package regression provides the curve-fitting primitives behind the
+// paper's "fixed performance factor" optimization (Section III-F): simple
+// regression over already-collected scenarios predicts the execution time of
+// scenarios not yet run, so the sampler can decide which ones are worth the
+// cloud spend. Three families are provided — ordinary least squares, a
+// log-log power law, and an Amdahl strong-scaling model — plus goodness-of-
+// fit measures.
+package regression
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrInsufficientData is returned when a fit has too few or degenerate
+// points.
+var ErrInsufficientData = fmt.Errorf("regression: insufficient or degenerate data")
+
+// Linear fits y = slope*x + intercept by ordinary least squares.
+func Linear(xs, ys []float64) (slope, intercept float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, ErrInsufficientData
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0, 0, ErrInsufficientData
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	return slope, intercept, nil
+}
+
+// PowerLaw is y = A * x^B.
+type PowerLaw struct {
+	A float64
+	B float64
+}
+
+// FitPowerLaw fits a power law through (x, y) pairs with positive values by
+// linear regression in log-log space. For strong scaling, B near -1 means
+// ideal scaling; B in (-1, 0) is sub-linear; B < -1 is super-linear.
+func FitPowerLaw(xs, ys []float64) (PowerLaw, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return PowerLaw{}, ErrInsufficientData
+	}
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return PowerLaw{}, fmt.Errorf("%w: power law needs positive values", ErrInsufficientData)
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	b, lna, err := Linear(lx, ly)
+	if err != nil {
+		return PowerLaw{}, err
+	}
+	return PowerLaw{A: math.Exp(lna), B: b}, nil
+}
+
+// Predict evaluates the power law at x.
+func (p PowerLaw) Predict(x float64) float64 { return p.A * math.Pow(x, p.B) }
+
+// Amdahl is the strong-scaling law T(n) = T1 * (Serial + (1-Serial)/n):
+// a Serial fraction of the single-node time does not parallelize.
+type Amdahl struct {
+	T1     float64
+	Serial float64
+}
+
+// FitAmdahl fits the Amdahl model to (nodes, time) points. For each
+// candidate serial fraction on a fine grid, the optimal T1 has a closed
+// form; the best (s, T1) pair by squared error wins.
+func FitAmdahl(nodes []int, times []float64) (Amdahl, error) {
+	if len(nodes) != len(times) || len(nodes) < 2 {
+		return Amdahl{}, ErrInsufficientData
+	}
+	for i := range nodes {
+		if nodes[i] < 1 || times[i] <= 0 {
+			return Amdahl{}, fmt.Errorf("%w: amdahl needs n >= 1 and positive times", ErrInsufficientData)
+		}
+	}
+	best := Amdahl{}
+	bestErr := math.Inf(1)
+	for s := 0.0; s <= 1.0; s += 0.001 {
+		// T(n) = T1 * f(n) with f(n) = s + (1-s)/n. Least squares:
+		// T1 = sum(y*f) / sum(f^2).
+		var sf2, syf float64
+		for i := range nodes {
+			f := s + (1-s)/float64(nodes[i])
+			sf2 += f * f
+			syf += times[i] * f
+		}
+		if sf2 == 0 {
+			continue
+		}
+		t1 := syf / sf2
+		var sse float64
+		for i := range nodes {
+			f := s + (1-s)/float64(nodes[i])
+			d := times[i] - t1*f
+			sse += d * d
+		}
+		if sse < bestErr {
+			bestErr = sse
+			best = Amdahl{T1: t1, Serial: s}
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return Amdahl{}, ErrInsufficientData
+	}
+	return best, nil
+}
+
+// Predict evaluates the Amdahl model at n nodes.
+func (a Amdahl) Predict(n int) float64 {
+	if n < 1 {
+		return math.NaN()
+	}
+	return a.T1 * (a.Serial + (1-a.Serial)/float64(n))
+}
+
+// MaxSpeedup is the Amdahl asymptote 1/Serial (infinite for a fully
+// parallel code).
+func (a Amdahl) MaxSpeedup() float64 {
+	if a.Serial <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / a.Serial
+}
+
+// RSquared computes the coefficient of determination of predictions against
+// observations. 1 is a perfect fit; values near or below 0 mean the model
+// explains nothing.
+func RSquared(obs, pred []float64) float64 {
+	if len(obs) != len(pred) || len(obs) == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for _, y := range obs {
+		mean += y
+	}
+	mean /= float64(len(obs))
+	var ssTot, ssRes float64
+	for i := range obs {
+		ssTot += (obs[i] - mean) * (obs[i] - mean)
+		ssRes += (obs[i] - pred[i]) * (obs[i] - pred[i])
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MeanAbsPctError is the mean absolute percentage error of predictions, the
+// metric EXPERIMENTS.md reports for the perf-factor strategy.
+func MeanAbsPctError(obs, pred []float64) float64 {
+	if len(obs) != len(pred) || len(obs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	n := 0
+	for i := range obs {
+		if obs[i] == 0 {
+			continue
+		}
+		sum += math.Abs((pred[i] - obs[i]) / obs[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n) * 100
+}

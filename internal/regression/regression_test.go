@@ -1,0 +1,196 @@
+package regression
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLinearRecoversKnownLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	slope, intercept, err := Linear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(slope, 3, 1e-9) || !approx(intercept, 7, 1e-9) {
+		t.Errorf("fit = %v, %v", slope, intercept)
+	}
+}
+
+func TestLinearErrors(t *testing.T) {
+	if _, _, err := Linear([]float64{1}, []float64{1}); err == nil {
+		t.Error("one point should fail")
+	}
+	if _, _, err := Linear([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	// Vertical data (all same x) is degenerate.
+	if _, _, err := Linear([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should fail")
+	}
+}
+
+func TestPowerLawRecoversStrongScaling(t *testing.T) {
+	// Perfect strong scaling: T(n) = 1000 * n^-1.
+	ns := []float64{1, 2, 4, 8, 16}
+	ts := make([]float64, len(ns))
+	for i, n := range ns {
+		ts[i] = 1000 / n
+	}
+	fit, err := FitPowerLaw(ns, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.A, 1000, 1) || !approx(fit.B, -1, 1e-6) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !approx(fit.Predict(32), 1000.0/32, 0.1) {
+		t.Errorf("predict(32) = %v", fit.Predict(32))
+	}
+}
+
+func TestPowerLawRejectsNonPositive(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Error("negative x should fail")
+	}
+	if _, err := FitPowerLaw([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Error("zero y should fail")
+	}
+}
+
+func TestAmdahlRecoversKnownModel(t *testing.T) {
+	// T1 = 960 s with a 5% serial fraction.
+	truth := Amdahl{T1: 960, Serial: 0.05}
+	nodes := []int{1, 2, 4, 8, 16}
+	times := make([]float64, len(nodes))
+	for i, n := range nodes {
+		times[i] = truth.Predict(n)
+	}
+	fit, err := FitAmdahl(nodes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(fit.Serial, 0.05, 0.002) {
+		t.Errorf("serial = %v, want 0.05", fit.Serial)
+	}
+	if !approx(fit.T1, 960, 5) {
+		t.Errorf("t1 = %v, want 960", fit.T1)
+	}
+	if !approx(fit.MaxSpeedup(), 20, 1) {
+		t.Errorf("max speedup = %v, want 20", fit.MaxSpeedup())
+	}
+}
+
+func TestAmdahlFullyParallel(t *testing.T) {
+	nodes := []int{1, 2, 4, 8}
+	times := []float64{800, 400, 200, 100}
+	fit, err := FitAmdahl(nodes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Serial > 0.005 {
+		t.Errorf("serial = %v, want ~0", fit.Serial)
+	}
+	if !math.IsInf(Amdahl{T1: 100, Serial: 0}.MaxSpeedup(), 1) {
+		t.Error("zero serial should have unbounded speedup")
+	}
+}
+
+func TestAmdahlValidation(t *testing.T) {
+	if _, err := FitAmdahl([]int{1}, []float64{10}); err == nil {
+		t.Error("one point should fail")
+	}
+	if _, err := FitAmdahl([]int{0, 1}, []float64{10, 10}); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := FitAmdahl([]int{1, 2}, []float64{10, -1}); err == nil {
+		t.Error("negative time should fail")
+	}
+	if !math.IsNaN((Amdahl{T1: 10}).Predict(0)) {
+		t.Error("Predict(0) should be NaN")
+	}
+}
+
+func TestRSquared(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if r := RSquared(obs, obs); r != 1 {
+		t.Errorf("perfect fit R² = %v", r)
+	}
+	// Mean-only predictions score zero.
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := RSquared(obs, mean); !approx(r, 0, 1e-9) {
+		t.Errorf("mean fit R² = %v", r)
+	}
+	if !math.IsNaN(RSquared(nil, nil)) {
+		t.Error("empty R² should be NaN")
+	}
+	// Constant observations with exact predictions are perfect.
+	if r := RSquared([]float64{5, 5}, []float64{5, 5}); r != 1 {
+		t.Errorf("constant perfect R² = %v", r)
+	}
+}
+
+func TestMeanAbsPctError(t *testing.T) {
+	obs := []float64{100, 200}
+	pred := []float64{110, 180}
+	// |10/100| and |20/200| -> mean 10%.
+	if m := MeanAbsPctError(obs, pred); !approx(m, 10, 1e-9) {
+		t.Errorf("MAPE = %v", m)
+	}
+	if !math.IsNaN(MeanAbsPctError(nil, nil)) {
+		t.Error("empty MAPE should be NaN")
+	}
+	if !math.IsNaN(MeanAbsPctError([]float64{0}, []float64{1})) {
+		t.Error("all-zero observations should be NaN")
+	}
+}
+
+// Property: Amdahl fit on noiseless Amdahl data recovers the serial
+// fraction within grid resolution.
+func TestPropertyAmdahlRecovery(t *testing.T) {
+	nodes := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	f := func(serialRaw, t1Raw uint8) bool {
+		serial := float64(serialRaw%90) / 100 // 0 to 0.89
+		t1 := 100 + float64(t1Raw)*10
+		truth := Amdahl{T1: t1, Serial: serial}
+		times := make([]float64, len(nodes))
+		for i, n := range nodes {
+			times[i] = truth.Predict(n)
+		}
+		fit, err := FitAmdahl(nodes, times)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.Serial-serial) < 0.005 && math.Abs(fit.T1-t1)/t1 < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: power-law fit is exact on noiseless power-law data.
+func TestPropertyPowerLawRecovery(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16, 32}
+	f := func(aRaw, bRaw uint8) bool {
+		a := 1 + float64(aRaw)
+		b := -2 + float64(bRaw%40)/10 // -2 to +1.9
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a * math.Pow(x, b)
+		}
+		fit, err := FitPowerLaw(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.A-a)/a < 1e-6 && math.Abs(fit.B-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package runner implements the application execution contract of the paper
+// (Section III-A): jobs receive the environment variables of Table I, run
+// the application, and report metrics by printing "HPCADVISORVAR key=value"
+// lines on stdout, which the collector scrapes into the dataset.
+//
+// In the paper the job side of this contract is a user-supplied bash script
+// with hpcadvisor_setup and hpcadvisor_run functions (Listing 2). Here the
+// same contract is a Go function produced from an application performance
+// model; GenerateScript additionally renders the equivalent bash script for
+// documentation and for users who want to port a configuration to the real
+// tool.
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpcadvisor/internal/appmodel"
+	"hpcadvisor/internal/batchsim"
+)
+
+// Env carries everything a job run needs; Vars renders it as the Table I
+// environment variables.
+type Env struct {
+	// NNodes is the number of cluster nodes (Table I: NNODES).
+	NNodes int
+	// PPN is processes per node (Table I: PPN).
+	PPN int
+	// SKU is the VM type (Table I: SKU and VMTYPE).
+	SKU string
+	// Hosts are the allocated node hostnames.
+	Hosts []string
+	// TaskRunDir is the per-job working directory (Table I: TASKRUN_DIR);
+	// the paper gives every job its own directory.
+	TaskRunDir string
+	// HostfilePath is where the hostfile is written (Table I:
+	// HOSTFILE_PATH).
+	HostfilePath string
+	// AppInputs are the application input parameters, exported as
+	// uppercase environment variables (e.g. BOXFACTOR=30).
+	AppInputs map[string]string
+}
+
+// Vars renders the environment as a map, exactly the variable set of the
+// paper's Table I plus the application inputs.
+func (e Env) Vars() map[string]string {
+	vars := map[string]string{
+		"NNODES":        fmt.Sprintf("%d", e.NNodes),
+		"PPN":           fmt.Sprintf("%d", e.PPN),
+		"SKU":           e.SKU,
+		"VMTYPE":        e.SKU,
+		"HOSTLIST_PPN":  e.HostlistPPN(),
+		"HOSTFILE_PATH": e.HostfilePath,
+		"TASKRUN_DIR":   e.TaskRunDir,
+	}
+	for k, v := range e.AppInputs {
+		vars[EnvName(k)] = v
+	}
+	return vars
+}
+
+// HostlistPPN renders the mpirun --host argument: "host:ppn,host:ppn,..."
+// (Table I: HOSTLIST_PPN, "List of hosts and their PPN").
+func (e Env) HostlistPPN() string {
+	parts := make([]string, len(e.Hosts))
+	for i, h := range e.Hosts {
+		parts[i] = fmt.Sprintf("%s:%d", h, e.PPN)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Hostfile renders an OpenMPI-style hostfile body.
+func (e Env) Hostfile() string {
+	var b strings.Builder
+	for _, h := range e.Hosts {
+		fmt.Fprintf(&b, "%s slots=%d\n", h, e.PPN)
+	}
+	return b.String()
+}
+
+// TotalProcesses is NNODES * PPN, the mpirun -np value.
+func (e Env) TotalProcesses() int { return e.NNodes * e.PPN }
+
+// EnvName normalizes an application input key to an environment variable
+// name: uppercase with non-alphanumerics mapped to underscores.
+func EnvName(key string) string {
+	var b strings.Builder
+	for _, r := range strings.ToUpper(key) {
+		switch {
+		case r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// VarPrefix is the stdout marker for reported variables (paper Listing 2:
+// `echo "HPCADVISORVAR APPEXECTIME=$APPEXECTIME"`).
+const VarPrefix = "HPCADVISORVAR"
+
+// ParseVars extracts reported variables from job stdout. Lines that carry
+// the marker but no well-formed key=value pair are ignored, as the real
+// tool's scraper does.
+func ParseVars(stdout string) map[string]string {
+	out := make(map[string]string)
+	for _, line := range strings.Split(stdout, "\n") {
+		line = strings.TrimSpace(line)
+		rest, ok := strings.CutPrefix(line, VarPrefix)
+		if !ok {
+			continue
+		}
+		// The marker must be a whole word: "HPCADVISORVARX=1" is not a
+		// report.
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue
+		}
+		rest = strings.TrimSpace(rest)
+		key, val, ok := strings.Cut(rest, "=")
+		key = strings.TrimSpace(key)
+		if !ok || key == "" {
+			continue
+		}
+		out[key] = strings.TrimSpace(val)
+	}
+	return out
+}
+
+// FormatVar renders one reported variable line.
+func FormatVar(key, value string) string {
+	return fmt.Sprintf("%s %s=%s", VarPrefix, key, value)
+}
+
+// NewTaskFunc bridges an application model into a batch task: when the task
+// starts, the model predicts the execution profile for the environment's
+// cluster shape, and the task emits the same stdout a real run would —
+// completion banner plus HPCADVISORVAR metric lines. Infeasible runs (e.g.
+// out of memory) produce a nonzero exit code and a diagnostic, which the
+// collector records as a failed scenario.
+func NewTaskFunc(app appmodel.App, w appmodel.Workload, env Env) batchsim.TaskFunc {
+	return func(tc batchsim.TaskContext) batchsim.TaskResult {
+		prof, err := appmodel.Simulate(w, tc.SKU, env.NNodes, env.PPN)
+		if err != nil {
+			return batchsim.TaskResult{
+				DurationSeconds: 1, // failures surface quickly
+				Stdout:          fmt.Sprintf("Simulation did not complete successfully.\nerror: %v\n", err),
+				ExitCode:        1,
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "Running %s with np=%d on %s\n", app.Name(), env.TotalProcesses(), env.HostlistPPN())
+		fmt.Fprintf(&b, "Simulation completed successfully.\n")
+		metrics := app.Metrics(w, prof)
+		keys := make([]string, 0, len(metrics))
+		for k := range metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintln(&b, FormatVar(k, metrics[k]))
+		}
+		return batchsim.TaskResult{
+			DurationSeconds: prof.ExecSeconds,
+			Stdout:          b.String(),
+			ExitCode:        0,
+		}
+	}
+}
+
+// SetupSeconds is the simulated duration of the per-pool application setup
+// task (download input data, load modules) from the paper's
+// hpcadvisor_setup function.
+const SetupSeconds = 60

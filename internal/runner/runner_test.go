@@ -1,0 +1,214 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcadvisor/internal/appmodel"
+	"hpcadvisor/internal/batchsim"
+	"hpcadvisor/internal/catalog"
+)
+
+func testEnv() Env {
+	return Env{
+		NNodes:       2,
+		PPN:          120,
+		SKU:          "Standard_HB120rs_v3",
+		Hosts:        []string{"node-001", "node-002"},
+		TaskRunDir:   "/data/jobs/task-00001",
+		HostfilePath: "/data/jobs/task-00001/hostfile",
+		AppInputs:    map[string]string{"BOXFACTOR": "30"},
+	}
+}
+
+func TestTableIEnvironmentVariables(t *testing.T) {
+	// Table I of the paper defines: NNODES, PPN, SKU, VMTYPE, HOSTLIST_PPN,
+	// HOSTFILE_PATH, TASKRUN_DIR.
+	vars := testEnv().Vars()
+	want := map[string]string{
+		"NNODES":        "2",
+		"PPN":           "120",
+		"SKU":           "Standard_HB120rs_v3",
+		"VMTYPE":        "Standard_HB120rs_v3",
+		"HOSTLIST_PPN":  "node-001:120,node-002:120",
+		"HOSTFILE_PATH": "/data/jobs/task-00001/hostfile",
+		"TASKRUN_DIR":   "/data/jobs/task-00001",
+		"BOXFACTOR":     "30",
+	}
+	for k, v := range want {
+		if vars[k] != v {
+			t.Errorf("%s = %q, want %q", k, vars[k], v)
+		}
+	}
+}
+
+func TestHostfileFormat(t *testing.T) {
+	hf := testEnv().Hostfile()
+	want := "node-001 slots=120\nnode-002 slots=120\n"
+	if hf != want {
+		t.Errorf("hostfile = %q, want %q", hf, want)
+	}
+}
+
+func TestTotalProcesses(t *testing.T) {
+	if got := testEnv().TotalProcesses(); got != 240 {
+		t.Errorf("np = %d, want 240", got)
+	}
+}
+
+func TestEnvName(t *testing.T) {
+	cases := map[string]string{
+		"mesh":                 "MESH",
+		"BLOCKMESH dimensions": "BLOCKMESH_DIMENSIONS",
+		"box-factor":           "BOX_FACTOR",
+		"already_GOOD1":        "ALREADY_GOOD1",
+	}
+	for in, want := range cases {
+		if got := EnvName(in); got != want {
+			t.Errorf("EnvName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseVarsListing2Style(t *testing.T) {
+	// Exactly the output style of the paper's Listing 2.
+	stdout := `Simulation completed successfully.
+HPCADVISORVAR APPEXECTIME=132
+HPCADVISORVAR LAMMPSATOMS=864000000
+HPCADVISORVAR LAMMPSSTEPS=100
+unrelated line
+`
+	vars := ParseVars(stdout)
+	if vars["APPEXECTIME"] != "132" || vars["LAMMPSATOMS"] != "864000000" || vars["LAMMPSSTEPS"] != "100" {
+		t.Errorf("vars = %v", vars)
+	}
+	if len(vars) != 3 {
+		t.Errorf("got %d vars, want 3", len(vars))
+	}
+}
+
+func TestParseVarsIgnoresMalformed(t *testing.T) {
+	stdout := strings.Join([]string{
+		"HPCADVISORVAR",            // no pair
+		"HPCADVISORVAR =value",     // empty key
+		"HPCADVISORVAR KEY=",       // empty value is kept
+		"HPCADVISORVARNOSPACE=1",   // wrong marker
+		"  HPCADVISORVAR PAD=ok  ", // surrounding whitespace fine
+		"HPCADVISORVAR EQ=a=b",     // value may contain '='
+	}, "\n")
+	vars := ParseVars(stdout)
+	if len(vars) != 3 {
+		t.Fatalf("vars = %v", vars)
+	}
+	if vars["KEY"] != "" || vars["PAD"] != "ok" || vars["EQ"] != "a=b" {
+		t.Errorf("vars = %v", vars)
+	}
+}
+
+// Property: FormatVar output always round-trips through ParseVars.
+func TestPropertyFormatParseRoundTrip(t *testing.T) {
+	f := func(keyRaw, val string) bool {
+		key := EnvName(keyRaw)
+		if key == "" {
+			key = "K"
+		}
+		if strings.ContainsAny(val, "\n\r") {
+			val = strings.ReplaceAll(strings.ReplaceAll(val, "\n", " "), "\r", " ")
+		}
+		got := ParseVars(FormatVar(key, val))
+		return got[key] == strings.TrimSpace(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTaskFuncSuccessPath(t *testing.T) {
+	reg := appmodel.NewRegistry()
+	app, _ := reg.Get("lammps")
+	w, err := app.Parse(map[string]string{"BOXFACTOR": "30"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv()
+	fn := NewTaskFunc(app, w, env)
+	sku := catalog.Default().MustLookup("hb120rs_v3")
+	res := fn(batchsim.TaskContext{SKU: sku, NodeIDs: env.Hosts})
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d, stdout = %q", res.ExitCode, res.Stdout)
+	}
+	if res.DurationSeconds <= 0 {
+		t.Error("duration must be positive")
+	}
+	if !strings.Contains(res.Stdout, "Simulation completed successfully.") {
+		t.Errorf("missing completion banner: %q", res.Stdout)
+	}
+	vars := ParseVars(res.Stdout)
+	if vars["LAMMPSATOMS"] != "864000000" {
+		t.Errorf("vars = %v", vars)
+	}
+	if vars["APPEXECTIME"] == "" {
+		t.Error("APPEXECTIME missing")
+	}
+}
+
+func TestNewTaskFuncFailurePath(t *testing.T) {
+	reg := appmodel.NewRegistry()
+	app, _ := reg.Get("lammps")
+	// BOXFACTOR 100 on one node cannot fit in memory.
+	w, err := app.Parse(map[string]string{"BOXFACTOR": "100"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv()
+	env.NNodes = 1
+	env.Hosts = env.Hosts[:1]
+	fn := NewTaskFunc(app, w, env)
+	sku := catalog.Default().MustLookup("hb120rs_v3")
+	res := fn(batchsim.TaskContext{SKU: sku, NodeIDs: env.Hosts})
+	if res.ExitCode == 0 {
+		t.Fatal("OOM run should fail")
+	}
+	if !strings.Contains(res.Stdout, "did not complete successfully") {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if len(ParseVars(res.Stdout)) != 0 {
+		t.Error("failed run must not report metrics")
+	}
+}
+
+func TestListing2ScriptGeneration(t *testing.T) {
+	reg := appmodel.NewRegistry()
+	for _, name := range reg.Names() {
+		app, _ := reg.Get(name)
+		script := GenerateScript(app)
+		// Structural requirements from the paper's Listing 2.
+		for _, want := range []string{
+			"#!/usr/bin/env bash",
+			"hpcadvisor_setup()",
+			"hpcadvisor_run()",
+			"NP=$(($NNODES * $PPN))",
+			`mpirun -np $NP --host "$HOSTLIST_PPN"`,
+			"HPCADVISORVAR APPEXECTIME=",
+			"Simulation completed successfully.",
+			"return 1",
+		} {
+			if !strings.Contains(script, want) {
+				t.Errorf("%s script missing %q", name, want)
+			}
+		}
+		// Defaults are surfaced as environment fallbacks.
+		for k := range app.DefaultInput() {
+			if !strings.Contains(script, EnvName(k)) {
+				t.Errorf("%s script missing input variable %s", name, EnvName(k))
+			}
+		}
+	}
+}
+
+func TestSetupSecondsSane(t *testing.T) {
+	if SetupSeconds <= 0 || SetupSeconds > 600 {
+		t.Errorf("SetupSeconds = %v", SetupSeconds)
+	}
+}

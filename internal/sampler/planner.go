@@ -1,0 +1,135 @@
+package sampler
+
+import (
+	"fmt"
+	"sort"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/pricing"
+	"hpcadvisor/internal/scenario"
+)
+
+// Ranked is a candidate scenario with its expected return on investment.
+type Ranked struct {
+	Task *scenario.Task
+	// Score is the expected Pareto information gain per dollar of
+	// collection cost; exploration candidates get an optimistic bonus.
+	Score float64
+	// Rationale explains the ranking for the user.
+	Rationale string
+}
+
+// PlanNext ranks pending candidate scenarios by expected "return on
+// investment" for the Pareto front — the paper's Section III-F vision of a
+// stand-alone module that picks which scenarios to run next: "identify
+// which new scenarios would need to be executed to obtain the best return
+// on investment, i.e. scenarios that would help provide more information
+// for generating the Pareto front."
+//
+// For candidates whose (SKU, input) already has enough measurements, an
+// Amdahl extrapolation predicts the new point; the score is the hypervolume
+// the prediction would add to the current front, divided by its predicted
+// collection cost. Unexplored combinations score by an exploration bonus
+// that prefers cheap probes (small node counts, cheap SKUs). The top k
+// candidates are returned, highest score first.
+func PlanNext(store *dataset.Store, candidates []*scenario.Task, prices *pricing.PriceBook, region string, k int) []Ranked {
+	if k <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	measured := store.Select(dataset.Filter{})
+
+	// First pass: extrapolate every predictable candidate so the shared
+	// hypervolume reference point covers predictions that extend beyond the
+	// measured box (e.g. faster but costlier than anything measured).
+	type prediction struct {
+		task  *scenario.Task
+		point dataset.Point
+	}
+	var predictions []prediction
+	var explorations []*scenario.Task
+	for _, t := range candidates {
+		if t.Status != scenario.StatusPending {
+			continue
+		}
+		hourly, err := prices.Hourly(region, t.SKU)
+		if err != nil {
+			continue
+		}
+		var mine []dataset.Point
+		for _, p := range relevant(t, store) {
+			if p.SKU == t.SKU {
+				mine = append(mine, p)
+			}
+		}
+		if len(mine) < 2 {
+			explorations = append(explorations, t)
+			continue
+		}
+		predTime, err := Predict(mine, t.NNodes)
+		if err != nil || predTime <= 0 {
+			explorations = append(explorations, t)
+			continue
+		}
+		predictions = append(predictions, prediction{
+			task: t,
+			point: dataset.Point{
+				ScenarioID:  t.ID,
+				ExecTimeSec: predTime,
+				CostUSD:     pricing.CostAt(hourly, t.NNodes, predTime),
+			},
+		})
+	}
+
+	all := measured
+	for _, p := range predictions {
+		all = append(all, p.point)
+	}
+	refT, refC := referencePoint(all)
+	if refT == 0 {
+		refT, refC = 1, 1
+	}
+	baseHV := pareto.Hypervolume(measured, refT, refC)
+
+	var ranked []Ranked
+	for _, p := range predictions {
+		gain := pareto.Hypervolume(append(measured, p.point), refT, refC) - baseHV
+		if gain < 0 {
+			gain = 0
+		}
+		spend := p.point.CostUSD
+		if spend <= 0 {
+			spend = 1e-6
+		}
+		ranked = append(ranked, Ranked{
+			Task:  p.task,
+			Score: gain / spend,
+			Rationale: fmt.Sprintf("predicted %.0f s/$%.4f adds %.3g hypervolume per dollar",
+				p.point.ExecTimeSec, p.point.CostUSD, gain/spend),
+		})
+	}
+	for _, t := range explorations {
+		hourly, err := prices.Hourly(region, t.SKU)
+		if err != nil {
+			continue
+		}
+		// Exploration: no usable history for this (SKU, input). Prefer
+		// cheap probes; the bonus shrinks with expected spend so small node
+		// counts on cheap SKUs run first.
+		probeCost := pricing.CostAt(hourly, t.NNodes, 600) // assume a 10-minute probe
+		ranked = append(ranked, Ranked{
+			Task:      t,
+			Score:     explorationBonus / (1 + probeCost),
+			Rationale: fmt.Sprintf("unexplored %s at %d nodes (probe ~$%.2f)", t.SKUAlias, t.NNodes, probeCost),
+		})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Score > ranked[j].Score })
+	if len(ranked) > k {
+		ranked = ranked[:k]
+	}
+	return ranked
+}
+
+// explorationBonus makes unexplored combinations competitive with
+// extrapolated ones: exploring is how the front is discovered at all.
+const explorationBonus = 1000.0

@@ -1,0 +1,341 @@
+// Package sampler implements the scenario-reduction strategies of the
+// paper's Section III-F ("Optimizations for scenario generation and
+// executions") as pluggable planners for the collector:
+//
+//   - AggressiveDiscard: once there is evidence, at a given threshold, that
+//     a VM type will not reach the Pareto front, all its remaining scenarios
+//     are skipped.
+//   - PerfFactor: a regression (Amdahl strong-scaling fit) over the
+//     scenarios already executed predicts the runtime of candidate
+//     scenarios; candidates whose predicted position cannot reach the front
+//     are skipped ("fixed performance factor" in the paper).
+//   - BottleneckAware: infrastructure metrics from executed scenarios
+//     (network-bound classification) prune larger node counts that can only
+//     add cost.
+//
+// These were "under development" in the paper; this package is a complete
+// implementation evaluated by the sampler ablation benches against the full
+// sweep.
+package sampler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/monitor"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/pricing"
+	"hpcadvisor/internal/regression"
+	"hpcadvisor/internal/scenario"
+)
+
+// Full is the no-op planner: every scenario runs (the paper's default
+// behaviour and the baseline for all ablations).
+type Full struct{}
+
+// Decide always runs.
+func (Full) Decide(t *scenario.Task, store *dataset.Store) (bool, string) { return true, "" }
+
+// relevant selects completed points comparable to the task: same
+// application, same input parameters.
+func relevant(t *scenario.Task, store *dataset.Store) []dataset.Point {
+	var out []dataset.Point
+	for _, p := range store.Select(dataset.Filter{AppName: t.AppName}) {
+		if sameInput(p.AppInput, t.AppInput) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sameInput(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// AggressiveDiscard skips every remaining scenario of a VM type once the
+// type's executed scenarios are all dominated by other types with margin.
+type AggressiveDiscard struct {
+	// MinPoints is the evidence threshold: the SKU must have at least this
+	// many executed scenarios before it can be discarded (default 2).
+	MinPoints int
+	// Margin is the dominance margin: a point counts as hopeless only if
+	// some other-SKU front point beats it by (1+Margin) in both time and
+	// cost (default 0.10).
+	Margin float64
+}
+
+// Decide implements collector.Planner.
+func (d AggressiveDiscard) Decide(t *scenario.Task, store *dataset.Store) (bool, string) {
+	minPts := d.MinPoints
+	if minPts <= 0 {
+		minPts = 2
+	}
+	margin := d.Margin
+	if margin <= 0 {
+		margin = 0.10
+	}
+	pts := relevant(t, store)
+	var mine, others []dataset.Point
+	for _, p := range pts {
+		if p.SKU == t.SKU {
+			mine = append(mine, p)
+		} else {
+			others = append(others, p)
+		}
+	}
+	if len(mine) < minPts || len(others) == 0 {
+		return true, ""
+	}
+	front := pareto.Front(others)
+	for _, p := range mine {
+		if !dominatedWithMargin(p, front, margin) {
+			return true, "" // still competitive
+		}
+	}
+	return false, fmt.Sprintf("sampler: %s discarded — all %d executed scenarios dominated by other VM types beyond %.0f%% margin",
+		t.SKUAlias, len(mine), margin*100)
+}
+
+func dominatedWithMargin(p dataset.Point, front []dataset.Point, margin float64) bool {
+	for _, q := range front {
+		if q.ExecTimeSec*(1+margin) <= p.ExecTimeSec && q.CostUSD*(1+margin) <= p.CostUSD {
+			return true
+		}
+	}
+	return false
+}
+
+// PerfFactor predicts candidate runtimes from an Amdahl fit over the
+// scenarios already executed for the same (SKU, input) and skips candidates
+// whose predicted (time, cost) cannot reach the Pareto front.
+type PerfFactor struct {
+	// Prices and Region compute the predicted cost of candidates.
+	Prices *pricing.PriceBook
+	Region string
+	// MinPoints is how many measured node counts are needed before
+	// extrapolating (default 3).
+	MinPoints int
+	// MinR2 is the fit quality gate; poor fits fall back to running the
+	// scenario (default 0.95).
+	MinR2 float64
+	// Headroom widens the predicted point before the dominance test so
+	// near-front candidates still run (default 0.10).
+	Headroom float64
+}
+
+// Decide implements collector.Planner.
+func (pf PerfFactor) Decide(t *scenario.Task, store *dataset.Store) (bool, string) {
+	minPts := pf.MinPoints
+	if minPts <= 0 {
+		minPts = 3
+	}
+	minR2 := pf.MinR2
+	if minR2 == 0 {
+		minR2 = 0.95
+	}
+	headroom := pf.Headroom
+	if headroom <= 0 {
+		headroom = 0.10
+	}
+	if pf.Prices == nil || pf.Region == "" {
+		return true, ""
+	}
+
+	pts := relevant(t, store)
+	var mine []dataset.Point
+	for _, p := range pts {
+		if p.SKU == t.SKU {
+			mine = append(mine, p)
+		}
+	}
+	if len(mine) < minPts {
+		return true, ""
+	}
+	fit, r2, err := fitSKU(mine)
+	if err != nil || r2 < minR2 {
+		return true, ""
+	}
+	predTime := fit.Predict(t.NNodes)
+	if predTime <= 0 || math.IsNaN(predTime) {
+		return true, ""
+	}
+	predCost, err := pf.Prices.Cost(pf.Region, t.SKU, t.NNodes, predTime)
+	if err != nil {
+		return true, ""
+	}
+	// Would the predicted point, shrunk by the headroom, still be dominated
+	// by what we already measured? Then running it cannot improve the
+	// front.
+	candidate := dataset.Point{ExecTimeSec: predTime / (1 + headroom), CostUSD: predCost / (1 + headroom)}
+	for _, q := range pareto.Front(pts) {
+		if pareto.Dominates(q, candidate) {
+			return false, fmt.Sprintf(
+				"sampler: predicted %.0fs/$%.4f (Amdahl fit R²=%.3f) is off-front even with %.0f%% headroom",
+				predTime, predCost, r2, headroom*100)
+		}
+	}
+	return true, ""
+}
+
+// fitSKU fits the Amdahl model over one SKU's measured points and reports
+// the fit plus its R².
+func fitSKU(pts []dataset.Point) (regression.Amdahl, float64, error) {
+	sort.Slice(pts, func(i, j int) bool { return pts[i].NNodes < pts[j].NNodes })
+	nodes := make([]int, len(pts))
+	times := make([]float64, len(pts))
+	for i, p := range pts {
+		nodes[i] = p.NNodes
+		times[i] = p.ExecTimeSec
+	}
+	fit, err := regression.FitAmdahl(nodes, times)
+	if err != nil {
+		return regression.Amdahl{}, 0, err
+	}
+	pred := make([]float64, len(pts))
+	for i := range nodes {
+		pred[i] = fit.Predict(nodes[i])
+	}
+	return fit, regression.RSquared(times, pred), nil
+}
+
+// Predict exposes the perf-factor extrapolation for reporting: the fitted
+// curve for a SKU's points, or an error when data is insufficient.
+func Predict(pts []dataset.Point, nodes int) (float64, error) {
+	if len(pts) < 2 {
+		return 0, regression.ErrInsufficientData
+	}
+	fit, _, err := fitSKU(pts)
+	if err != nil {
+		return 0, err
+	}
+	return fit.Predict(nodes), nil
+}
+
+// BottleneckAware skips node counts above the point where the
+// infrastructure monitor shows the workload has become network bound and
+// scaling gains have collapsed.
+type BottleneckAware struct {
+	// MinGain is the speedup factor per node-doubling below which further
+	// scaling is considered pointless (default 1.15).
+	MinGain float64
+}
+
+// Decide implements collector.Planner.
+func (ba BottleneckAware) Decide(t *scenario.Task, store *dataset.Store) (bool, string) {
+	minGain := ba.MinGain
+	if minGain <= 0 {
+		minGain = 1.15
+	}
+	var mine []dataset.Point
+	for _, p := range relevant(t, store) {
+		if p.SKU == t.SKU {
+			mine = append(mine, p)
+		}
+	}
+	if len(mine) < 2 {
+		return true, ""
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i].NNodes < mine[j].NNodes })
+	last := mine[len(mine)-1]
+	prev := mine[len(mine)-2]
+	if t.NNodes <= last.NNodes {
+		return true, ""
+	}
+	if last.Bottleneck != monitor.BottleneckNetwork {
+		return true, ""
+	}
+	// Observed gain, normalized to one doubling.
+	nodeRatio := float64(last.NNodes) / float64(prev.NNodes)
+	if nodeRatio <= 1 {
+		return true, ""
+	}
+	gain := prev.ExecTimeSec / last.ExecTimeSec
+	perDoubling := math.Pow(gain, math.Log(2)/math.Log(nodeRatio))
+	if perDoubling < minGain {
+		return false, fmt.Sprintf(
+			"sampler: network bound at %d nodes with %.2fx gain per doubling (< %.2fx); skipping %d nodes",
+			last.NNodes, perDoubling, minGain, t.NNodes)
+	}
+	return true, ""
+}
+
+// Composite chains planners; a scenario runs only if every planner agrees.
+type Composite struct {
+	Planners []interface {
+		Decide(t *scenario.Task, store *dataset.Store) (bool, string)
+	}
+}
+
+// Decide implements collector.Planner.
+func (c Composite) Decide(t *scenario.Task, store *dataset.Store) (bool, string) {
+	for _, p := range c.Planners {
+		if run, reason := p.Decide(t, store); !run {
+			return false, reason
+		}
+	}
+	return true, ""
+}
+
+// Outcome summarizes a sampling strategy against the full sweep, the
+// measurement reported by the ablation benches and EXPERIMENTS.md.
+type Outcome struct {
+	Name              string
+	Ran               int
+	Skipped           int
+	CollectionCostUSD float64
+	// FrontRecall is the fraction of the full sweep's Pareto front the
+	// reduced collection recovered.
+	FrontRecall float64
+	// HypervolumeErrPct is the relative hypervolume loss of the reduced
+	// front versus the full front.
+	HypervolumeErrPct float64
+	// CostSavedPct is collection cost saved versus the full sweep.
+	CostSavedPct float64
+}
+
+// Evaluate compares a reduced collection to the full sweep.
+func Evaluate(name string, full, reduced *dataset.Store, fullCost, reducedCost float64, ran, skipped int) Outcome {
+	fullPts := full.Select(dataset.Filter{})
+	redPts := reduced.Select(dataset.Filter{})
+	refT, refC := referencePoint(fullPts)
+	hvFull := pareto.Hypervolume(fullPts, refT, refC)
+	hvRed := pareto.Hypervolume(redPts, refT, refC)
+	out := Outcome{
+		Name:              name,
+		Ran:               ran,
+		Skipped:           skipped,
+		CollectionCostUSD: reducedCost,
+		FrontRecall:       pareto.Recall(fullPts, redPts),
+	}
+	if hvFull > 0 {
+		out.HypervolumeErrPct = (hvFull - hvRed) / hvFull * 100
+	}
+	if fullCost > 0 {
+		out.CostSavedPct = (fullCost - reducedCost) / fullCost * 100
+	}
+	return out
+}
+
+func referencePoint(pts []dataset.Point) (refT, refC float64) {
+	for _, p := range pts {
+		refT = math.Max(refT, p.ExecTimeSec)
+		refC = math.Max(refC, p.CostUSD)
+	}
+	return refT * 1.1, refC * 1.1
+}
+
+// String renders the outcome as one report row.
+func (o Outcome) String() string {
+	return fmt.Sprintf("%-20s ran=%-3d skipped=%-3d cost=$%-8.2f saved=%5.1f%% recall=%4.0f%% hv_err=%5.2f%%",
+		o.Name, o.Ran, o.Skipped, o.CollectionCostUSD, o.CostSavedPct, o.FrontRecall*100, o.HypervolumeErrPct)
+}

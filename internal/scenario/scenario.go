@@ -1,0 +1,271 @@
+// Package scenario generates and tracks the scenarios (tasks) of a data
+// collection. Following the paper's Section III-C, the scenario list is the
+// cartesian product of VM types x number of nodes x application input
+// combinations; the list is recorded as JSON and every task carries a status
+// (pending, running, completed, failed, skipped) so collections can resume.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+
+	"hpcadvisor/internal/catalog"
+)
+
+// Status is the lifecycle state of a scenario in the task list. The paper
+// names pending, failed, and completed; running marks in-flight work and
+// skipped records scenarios pruned by the smart sampler.
+type Status string
+
+// Scenario statuses.
+const (
+	StatusPending   Status = "pending"
+	StatusRunning   Status = "running"
+	StatusCompleted Status = "completed"
+	StatusFailed    Status = "failed"
+	StatusSkipped   Status = "skipped"
+)
+
+// Scenario is one (VM type, nodes, ppn, application input) combination.
+type Scenario struct {
+	ID       string            `json:"id"`
+	AppName  string            `json:"appname"`
+	SKU      string            `json:"sku"`
+	SKUAlias string            `json:"sku_alias"`
+	NNodes   int               `json:"nnodes"`
+	PPN      int               `json:"ppn"`
+	AppInput map[string]string `json:"appinput"`
+	Tags     map[string]string `json:"tags,omitempty"`
+}
+
+// InputDesc renders the application input compactly ("mesh=40 16 16"),
+// with keys sorted for determinism.
+func (s Scenario) InputDesc() string {
+	keys := make([]string, 0, len(s.AppInput))
+	for k := range s.AppInput {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + s.AppInput[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+// Task is a scenario plus its execution state.
+type Task struct {
+	Scenario
+	Status   Status `json:"status"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error,omitempty"`
+	TaskID   string `json:"task_id,omitempty"` // batch service task id
+}
+
+// List is the recorded task list of a collection.
+type List struct {
+	Tasks []*Task `json:"tasks"`
+}
+
+// Spec drives scenario generation, mirroring the main configuration file of
+// the paper's Listing 1.
+type Spec struct {
+	AppName string
+	// SKUs are the VM types to assess.
+	SKUs []string
+	// NNodes are the node counts to assess.
+	NNodes []int
+	// PPR is processes-per-resource as a percentage of the SKU's cores
+	// (the paper's "ppr: 100").
+	PPR int
+	// AppInputs maps input parameter name to the list of values to sweep.
+	AppInputs map[string][]string
+	// Tags are attached to every scenario.
+	Tags map[string]string
+}
+
+// Generate builds the full cartesian task list: for each SKU, each input
+// combination, each node count. Scenarios are ordered SKU-major so
+// Algorithm 1 reuses pools maximally.
+func Generate(spec Spec, cat *catalog.Catalog) (*List, error) {
+	if spec.AppName == "" {
+		return nil, fmt.Errorf("scenario: appname is required")
+	}
+	if len(spec.SKUs) == 0 {
+		return nil, fmt.Errorf("scenario: at least one SKU is required")
+	}
+	if len(spec.NNodes) == 0 {
+		return nil, fmt.Errorf("scenario: at least one node count is required")
+	}
+	ppr := spec.PPR
+	if ppr == 0 {
+		ppr = 100
+	}
+	if ppr < 1 || ppr > 100 {
+		return nil, fmt.Errorf("scenario: ppr must be in [1,100], got %d", ppr)
+	}
+	for _, n := range spec.NNodes {
+		if n < 1 {
+			return nil, fmt.Errorf("scenario: node counts must be >= 1, got %d", n)
+		}
+	}
+	inputs := ExpandInputs(spec.AppInputs)
+	list := &List{}
+	for _, skuName := range spec.SKUs {
+		sku, err := cat.Lookup(skuName)
+		if err != nil {
+			return nil, err
+		}
+		ppn := sku.PhysicalCores * ppr / 100
+		if ppn < 1 {
+			ppn = 1
+		}
+		for _, input := range inputs {
+			for _, n := range spec.NNodes {
+				sc := Scenario{
+					AppName:  spec.AppName,
+					SKU:      sku.Name,
+					SKUAlias: sku.Alias,
+					NNodes:   n,
+					PPN:      ppn,
+					AppInput: input,
+					Tags:     spec.Tags,
+				}
+				sc.ID = scenarioID(sc)
+				list.Tasks = append(list.Tasks, &Task{Scenario: sc, Status: StatusPending})
+			}
+		}
+	}
+	return list, nil
+}
+
+// ExpandInputs expands {k1: [a, b], k2: [x]} into the input combinations
+// [{k1:a,k2:x}, {k1:b,k2:x}], deterministically ordered. An empty map
+// yields one empty combination (the application's defaults apply).
+func ExpandInputs(in map[string][]string) []map[string]string {
+	if len(in) == 0 {
+		return []map[string]string{{}}
+	}
+	keys := make([]string, 0, len(in))
+	for k := range in {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	combos := []map[string]string{{}}
+	for _, k := range keys {
+		vals := in[k]
+		if len(vals) == 0 {
+			continue
+		}
+		next := make([]map[string]string, 0, len(combos)*len(vals))
+		for _, c := range combos {
+			for _, v := range vals {
+				m := make(map[string]string, len(c)+1)
+				for ck, cv := range c {
+					m[ck] = cv
+				}
+				m[k] = v
+				next = append(next, m)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+func scenarioID(s Scenario) string {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%s", s.AppName, s.SKU, s.NNodes, s.PPN, s.InputDesc())
+	return fmt.Sprintf("%s-%s-n%02d-%08x", s.AppName, s.SKUAlias, s.NNodes, h.Sum32())
+}
+
+// Pending returns the tasks still awaiting execution.
+func (l *List) Pending() []*Task {
+	var out []*Task
+	for _, t := range l.Tasks {
+		if t.Status == StatusPending {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ByStatus returns tasks in a given state.
+func (l *List) ByStatus(st Status) []*Task {
+	var out []*Task
+	for _, t := range l.Tasks {
+		if t.Status == st {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Counts summarizes task states.
+func (l *List) Counts() map[Status]int {
+	out := make(map[Status]int)
+	for _, t := range l.Tasks {
+		out[t.Status]++
+	}
+	return out
+}
+
+// Find returns the task with the given scenario ID.
+func (l *List) Find(id string) (*Task, bool) {
+	for _, t := range l.Tasks {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// ResetRunning returns in-flight tasks to pending, used when resuming an
+// interrupted collection.
+func (l *List) ResetRunning() int {
+	n := 0
+	for _, t := range l.Tasks {
+		if t.Status == StatusRunning {
+			t.Status = StatusPending
+			n++
+		}
+	}
+	return n
+}
+
+// Marshal renders the list as indented JSON, the paper's recorded task-list
+// file.
+func (l *List) Marshal() ([]byte, error) {
+	return json.MarshalIndent(l, "", "  ")
+}
+
+// Unmarshal parses a recorded task list.
+func Unmarshal(data []byte) (*List, error) {
+	var l List
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("scenario: parsing task list: %w", err)
+	}
+	return &l, nil
+}
+
+// SaveFile writes the task list to path.
+func (l *List) SaveFile(path string) error {
+	data, err := l.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadFile reads a task list from path.
+func LoadFile(path string) (*List, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}

@@ -1,0 +1,275 @@
+package scenario
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hpcadvisor/internal/catalog"
+)
+
+var cat = catalog.Default()
+
+func listing1Spec() Spec {
+	// The paper's Listing 1: 3 VM types x 6 node counts x 2 meshes = 36
+	// scenarios.
+	return Spec{
+		AppName: "openfoam",
+		SKUs:    []string{"Standard_HC44rs", "Standard_HB120rs_v2", "Standard_HB120rs_v3"},
+		NNodes:  []int{1, 2, 3, 4, 8, 16},
+		PPR:     100,
+		AppInputs: map[string][]string{
+			"mesh": {"80 24 24", "60 16 16"},
+		},
+		Tags: map[string]string{"version": "v1"},
+	}
+}
+
+func TestListing1Generates36Scenarios(t *testing.T) {
+	// "This generates 3x6x2 scenarios." — paper Section III-A.
+	list, err := Generate(listing1Spec(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Tasks) != 36 {
+		t.Fatalf("generated %d scenarios, want 36", len(list.Tasks))
+	}
+	for _, task := range list.Tasks {
+		if task.Status != StatusPending {
+			t.Errorf("%s status = %s, want pending", task.ID, task.Status)
+		}
+		if task.Tags["version"] != "v1" {
+			t.Errorf("%s missing tag", task.ID)
+		}
+	}
+}
+
+func TestGenerateIsSKUMajorOrdered(t *testing.T) {
+	// Algorithm 1 creates a new pool whenever the VM type changes; the
+	// generated order must group scenarios by SKU to reuse pools.
+	list, err := Generate(listing1Spec(), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	prev := ""
+	for _, task := range list.Tasks {
+		if task.SKU != prev {
+			changes++
+			prev = task.SKU
+		}
+	}
+	if changes != 3 {
+		t.Errorf("SKU changed %d times during the list, want 3 (one block per SKU)", changes)
+	}
+}
+
+func TestPPNFromPPR(t *testing.T) {
+	spec := listing1Spec()
+	spec.PPR = 50
+	list, err := Generate(spec, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range list.Tasks {
+		sku := cat.MustLookup(task.SKU)
+		want := sku.PhysicalCores / 2
+		if task.PPN != want {
+			t.Errorf("%s ppn = %d, want %d", task.ID, task.PPN, want)
+		}
+	}
+	// Defaults: PPR 0 means 100%.
+	spec.PPR = 0
+	list, err = Generate(spec, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Tasks[0].PPN != cat.MustLookup(list.Tasks[0].SKU).PhysicalCores {
+		t.Errorf("default ppr: ppn = %d", list.Tasks[0].PPN)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := listing1Spec()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no app", func(s *Spec) { s.AppName = "" }},
+		{"no skus", func(s *Spec) { s.SKUs = nil }},
+		{"no nodes", func(s *Spec) { s.NNodes = nil }},
+		{"bad ppr", func(s *Spec) { s.PPR = 150 }},
+		{"zero nodes entry", func(s *Spec) { s.NNodes = []int{0, 1} }},
+		{"unknown sku", func(s *Spec) { s.SKUs = []string{"Standard_Fake"} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := base
+			tc.mutate(&spec)
+			if _, err := Generate(spec, cat); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestExpandInputs(t *testing.T) {
+	got := ExpandInputs(map[string][]string{
+		"x": {"1", "2"},
+		"y": {"a"},
+	})
+	want := []map[string]string{
+		{"x": "1", "y": "a"},
+		{"x": "2", "y": "a"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ExpandInputs = %v, want %v", got, want)
+	}
+	// Empty input map yields exactly one empty combination.
+	if got := ExpandInputs(nil); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("ExpandInputs(nil) = %v", got)
+	}
+}
+
+// Property: the number of expanded combinations is the product of value
+// counts, and every combination has every key.
+func TestPropertyExpandInputsCardinality(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		na, nb, nc := int(a%4)+1, int(b%4)+1, int(c%4)+1
+		in := map[string][]string{}
+		mk := func(prefix string, n int) []string {
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = prefix + string(rune('0'+i))
+			}
+			return vals
+		}
+		in["p"] = mk("p", na)
+		in["q"] = mk("q", nb)
+		in["r"] = mk("r", nc)
+		combos := ExpandInputs(in)
+		if len(combos) != na*nb*nc {
+			return false
+		}
+		for _, combo := range combos {
+			if len(combo) != 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioIDsUniqueAndStable(t *testing.T) {
+	list1, _ := Generate(listing1Spec(), cat)
+	list2, _ := Generate(listing1Spec(), cat)
+	seen := map[string]bool{}
+	for i, task := range list1.Tasks {
+		if seen[task.ID] {
+			t.Errorf("duplicate scenario ID %s", task.ID)
+		}
+		seen[task.ID] = true
+		if list2.Tasks[i].ID != task.ID {
+			t.Errorf("IDs not stable across generations: %s vs %s", task.ID, list2.Tasks[i].ID)
+		}
+		if !strings.HasPrefix(task.ID, "openfoam-") {
+			t.Errorf("ID %q should carry the app name", task.ID)
+		}
+	}
+}
+
+func TestInputDescDeterministic(t *testing.T) {
+	s := Scenario{AppInput: map[string]string{"b": "2", "a": "1"}}
+	if got := s.InputDesc(); got != "a=1,b=2" {
+		t.Errorf("InputDesc = %q", got)
+	}
+	if (Scenario{}).InputDesc() != "" {
+		t.Error("empty input should have empty desc")
+	}
+}
+
+func TestStatusTransitionsAndCounts(t *testing.T) {
+	list, _ := Generate(listing1Spec(), cat)
+	list.Tasks[0].Status = StatusCompleted
+	list.Tasks[1].Status = StatusFailed
+	list.Tasks[2].Status = StatusRunning
+	list.Tasks[3].Status = StatusSkipped
+	counts := list.Counts()
+	if counts[StatusPending] != 32 || counts[StatusCompleted] != 1 || counts[StatusFailed] != 1 ||
+		counts[StatusRunning] != 1 || counts[StatusSkipped] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if len(list.Pending()) != 32 {
+		t.Errorf("pending = %d", len(list.Pending()))
+	}
+	if len(list.ByStatus(StatusFailed)) != 1 {
+		t.Errorf("failed = %d", len(list.ByStatus(StatusFailed)))
+	}
+	if n := list.ResetRunning(); n != 1 {
+		t.Errorf("ResetRunning = %d", n)
+	}
+	if len(list.Pending()) != 33 {
+		t.Errorf("pending after reset = %d", len(list.Pending()))
+	}
+}
+
+func TestFind(t *testing.T) {
+	list, _ := Generate(listing1Spec(), cat)
+	want := list.Tasks[7]
+	got, ok := list.Find(want.ID)
+	if !ok || got != want {
+		t.Errorf("Find(%q) = %v, %v", want.ID, got, ok)
+	}
+	if _, ok := list.Find("nope"); ok {
+		t.Error("Find(nope) should fail")
+	}
+}
+
+func TestJSONRoundTripViaFile(t *testing.T) {
+	list, _ := Generate(listing1Spec(), cat)
+	list.Tasks[5].Status = StatusCompleted
+	list.Tasks[5].Attempts = 2
+	list.Tasks[6].Status = StatusFailed
+	list.Tasks[6].Error = "out of memory"
+
+	path := filepath.Join(t.TempDir(), "tasks.json")
+	if err := list.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tasks) != len(list.Tasks) {
+		t.Fatalf("len = %d, want %d", len(got.Tasks), len(list.Tasks))
+	}
+	if got.Tasks[5].Status != StatusCompleted || got.Tasks[5].Attempts != 2 {
+		t.Errorf("task 5 = %+v", got.Tasks[5])
+	}
+	if got.Tasks[6].Error != "out of memory" {
+		t.Errorf("task 6 error = %q", got.Tasks[6].Error)
+	}
+	// Scenario identity survives the round trip.
+	for i := range got.Tasks {
+		if got.Tasks[i].ID != list.Tasks[i].ID {
+			t.Errorf("task %d ID changed", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("expected error for missing task list")
+	}
+}

@@ -1,0 +1,257 @@
+// Package vclock provides a discrete-event virtual clock used by the cloud
+// and batch simulators. All simulated latencies (node boot, provisioning,
+// application execution) are expressed against this clock, so experiments
+// that represent hours of cloud time execute in microseconds of real time
+// while cost accounting stays exact.
+//
+// The clock is single-threaded by design: events fire in (time, insertion
+// order) so simulations are fully deterministic.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Clock is a discrete-event simulation clock. The zero value is not usable;
+// call New.
+type Clock struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+}
+
+// Event is a handle to a scheduled callback. It can be cancelled before it
+// fires.
+type Event struct {
+	at        time.Duration
+	seq       int64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the virtual time at which the event is scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// New returns a clock positioned at virtual time zero with no pending events.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time as an offset from the simulation
+// start.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// NowSeconds returns the current virtual time in seconds.
+func (c *Clock) NowSeconds() float64 { return c.now.Seconds() }
+
+// Schedule registers fn to run after delay d. A negative delay is treated as
+// zero (the event fires on the next Step). The returned Event can be
+// cancelled.
+func (c *Clock) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.ScheduleAt(c.now+d, fn)
+}
+
+// ScheduleAt registers fn to run at absolute virtual time t. Times in the
+// past are clamped to the current time.
+func (c *Clock) ScheduleAt(t time.Duration, fn func()) *Event {
+	if t < c.now {
+		t = c.now
+	}
+	c.seq++
+	ev := &Event{at: t, seq: c.seq, fn: fn}
+	heap.Push(&c.events, ev)
+	return ev
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (c *Clock) Cancel(ev *Event) {
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if ev.index >= 0 && ev.index < len(c.events) {
+		heap.Remove(&c.events, ev.index)
+	}
+}
+
+// Pending reports the number of scheduled, uncancelled events.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// Step advances the clock to the next event and runs it. It reports whether
+// an event was executed.
+func (c *Clock) Step() bool {
+	for len(c.events) > 0 {
+		ev := heap.Pop(&c.events).(*Event)
+		ev.index = -1
+		if ev.cancelled {
+			continue
+		}
+		c.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain. Events may schedule further events;
+// Run keeps going until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with fire times <= t and then advances the clock
+// to exactly t.
+func (c *Clock) RunUntil(t time.Duration) {
+	for len(c.events) > 0 {
+		next := c.events[0]
+		if next.cancelled {
+			heap.Pop(&c.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		c.Step()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Advance moves the clock forward by d, executing all events that fall due.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	c.RunUntil(c.now + d)
+}
+
+// Seconds converts a floating-point number of seconds to a time.Duration,
+// the unit used throughout the simulators.
+func Seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// eventHeap orders events by (time, sequence) so same-time events fire in
+// scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Meter accumulates labelled usage, typically node-seconds per pool or per
+// SKU. It is the basis for all cost accounting in the simulators.
+type Meter struct {
+	usage map[string]float64
+	open  map[string]openInterval
+}
+
+type openInterval struct {
+	since time.Duration
+	units float64
+}
+
+// NewMeter returns an empty usage meter.
+func NewMeter() *Meter {
+	return &Meter{
+		usage: make(map[string]float64),
+		open:  make(map[string]openInterval),
+	}
+}
+
+// Add records amount units of usage (e.g. node-seconds) under key.
+func (m *Meter) Add(key string, amount float64) {
+	m.usage[key] += amount
+}
+
+// StartInterval opens a metering interval for key at virtual time now with a
+// rate of units per second (e.g. number of running nodes). Re-opening an
+// already open interval first closes the previous one at now.
+func (m *Meter) StartInterval(key string, now time.Duration, units float64) {
+	if _, ok := m.open[key]; ok {
+		m.StopInterval(key, now)
+	}
+	m.open[key] = openInterval{since: now, units: units}
+}
+
+// StopInterval closes the open interval for key at virtual time now,
+// accumulating units * elapsed-seconds. Stopping a key with no open interval
+// is a no-op.
+func (m *Meter) StopInterval(key string, now time.Duration) {
+	iv, ok := m.open[key]
+	if !ok {
+		return
+	}
+	delete(m.open, key)
+	elapsed := (now - iv.since).Seconds()
+	if elapsed > 0 {
+		m.usage[key] += iv.units * elapsed
+	}
+}
+
+// Total returns the accumulated usage for key, excluding any open interval.
+func (m *Meter) Total(key string) float64 { return m.usage[key] }
+
+// GrandTotal returns the sum of accumulated usage across all keys.
+func (m *Meter) GrandTotal() float64 {
+	var t float64
+	for _, v := range m.usage {
+		t += v
+	}
+	return t
+}
+
+// Keys returns the metered keys in sorted order.
+func (m *Meter) Keys() []string {
+	keys := make([]string, 0, len(m.usage))
+	for k := range m.usage {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String summarizes the meter, mostly for debugging and logs.
+func (m *Meter) String() string {
+	out := ""
+	for _, k := range m.Keys() {
+		out += fmt.Sprintf("%s=%.1f ", k, m.usage[k])
+	}
+	if out == "" {
+		return "(empty meter)"
+	}
+	return out[:len(out)-1]
+}

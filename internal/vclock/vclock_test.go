@@ -1,0 +1,277 @@
+package vclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("new clock has %d pending events, want 0", c.Pending())
+	}
+}
+
+func TestScheduleAndRunOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.Schedule(3*time.Second, func() { order = append(order, 3) })
+	c.Schedule(1*time.Second, func() { order = append(order, 1) })
+	c.Schedule(2*time.Second, func() { order = append(order, 2) })
+	c.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("clock at %v after run, want 3s", c.Now())
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	c.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events fired out of order: %v", order)
+	}
+}
+
+func TestNegativeDelayClampsToNow(t *testing.T) {
+	c := New()
+	c.Advance(5 * time.Second)
+	fired := time.Duration(-1)
+	c.Schedule(-10*time.Second, func() { fired = c.Now() })
+	c.Run()
+	if fired != 5*time.Second {
+		t.Fatalf("negative-delay event fired at %v, want 5s", fired)
+	}
+}
+
+func TestScheduleAtPastClamps(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Second)
+	var at time.Duration
+	c.ScheduleAt(3*time.Second, func() { at = c.Now() })
+	c.Run()
+	if at != 10*time.Second {
+		t.Fatalf("past event fired at %v, want clamped to 10s", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	c := New()
+	fired := false
+	ev := c.Schedule(time.Second, func() { fired = true })
+	c.Cancel(ev)
+	c.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling again (and cancelling nil) must be safe.
+	c.Cancel(ev)
+	c.Cancel(nil)
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	c := New()
+	var order []int
+	evs := make([]*Event, 5)
+	for i := 0; i < 5; i++ {
+		i := i
+		evs[i] = c.Schedule(time.Duration(i+1)*time.Second, func() { order = append(order, i) })
+	}
+	c.Cancel(evs[2])
+	c.Run()
+	for _, v := range order {
+		if v == 2 {
+			t.Fatalf("cancelled event 2 fired; order=%v", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("got %d events, want 4", len(order))
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	c := New()
+	var hits []time.Duration
+	var rec func()
+	n := 0
+	rec = func() {
+		hits = append(hits, c.Now())
+		n++
+		if n < 4 {
+			c.Schedule(2*time.Second, rec)
+		}
+	}
+	c.Schedule(time.Second, rec)
+	c.Run()
+	want := []time.Duration{1 * time.Second, 3 * time.Second, 5 * time.Second, 7 * time.Second}
+	if len(hits) != len(want) {
+		t.Fatalf("got %d firings, want %d", len(hits), len(want))
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	c := New()
+	var fired []int
+	c.Schedule(1*time.Second, func() { fired = append(fired, 1) })
+	c.Schedule(5*time.Second, func() { fired = append(fired, 5) })
+	c.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+	if c.Now() != 3*time.Second {
+		t.Fatalf("clock at %v, want 3s", c.Now())
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", c.Pending())
+	}
+}
+
+func TestAdvanceMovesTimeWithoutEvents(t *testing.T) {
+	c := New()
+	c.Advance(90 * time.Minute)
+	if c.Now() != 90*time.Minute {
+		t.Fatalf("clock at %v, want 90m", c.Now())
+	}
+	c.Advance(-time.Second) // negative advance is a no-op
+	if c.Now() != 90*time.Minute {
+		t.Fatalf("clock moved backwards to %v", c.Now())
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Fatalf("Seconds(1.5) = %v", Seconds(1.5))
+	}
+	if Seconds(0) != 0 {
+		t.Fatalf("Seconds(0) = %v", Seconds(0))
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order.
+func TestPropertyEventsFireInOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		c := New()
+		var times []time.Duration
+		for _, d := range delays {
+			c.Schedule(time.Duration(d)*time.Millisecond, func() {
+				times = append(times, c.Now())
+			})
+		}
+		c.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a meter interval accumulates exactly units * elapsed.
+func TestPropertyMeterIntervalAccounting(t *testing.T) {
+	f := func(startMS, lenMS uint16, units uint8) bool {
+		m := NewMeter()
+		start := time.Duration(startMS) * time.Millisecond
+		end := start + time.Duration(lenMS)*time.Millisecond
+		m.StartInterval("k", start, float64(units))
+		m.StopInterval("k", end)
+		want := float64(units) * (time.Duration(lenMS) * time.Millisecond).Seconds()
+		got := m.Total("k")
+		return got > want-1e-9 && got < want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterReopenClosesPrevious(t *testing.T) {
+	m := NewMeter()
+	m.StartInterval("pool", 0, 4)              // 4 nodes from t=0
+	m.StartInterval("pool", 10*time.Second, 8) // grows to 8 at t=10
+	m.StopInterval("pool", 15*time.Second)
+	want := 4.0*10 + 8.0*5
+	if got := m.Total("pool"); got != want {
+		t.Fatalf("Total = %v, want %v", got, want)
+	}
+}
+
+func TestMeterStopWithoutStartIsNoop(t *testing.T) {
+	m := NewMeter()
+	m.StopInterval("missing", time.Second)
+	if m.Total("missing") != 0 {
+		t.Fatal("phantom usage recorded")
+	}
+}
+
+func TestMeterAddAndTotals(t *testing.T) {
+	m := NewMeter()
+	m.Add("a", 2)
+	m.Add("a", 3)
+	m.Add("b", 10)
+	if m.Total("a") != 5 {
+		t.Fatalf("Total(a) = %v", m.Total("a"))
+	}
+	if m.GrandTotal() != 15 {
+		t.Fatalf("GrandTotal = %v", m.GrandTotal())
+	}
+	keys := m.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if m.String() == "(empty meter)" {
+		t.Fatal("non-empty meter printed as empty")
+	}
+	if NewMeter().String() != "(empty meter)" {
+		t.Fatal("empty meter should describe itself as empty")
+	}
+}
+
+func TestManyRandomEventsDrainCompletely(t *testing.T) {
+	c := New()
+	rng := rand.New(rand.NewSource(42))
+	count := 0
+	for i := 0; i < 5000; i++ {
+		c.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() { count++ })
+	}
+	c.Run()
+	if count != 5000 {
+		t.Fatalf("ran %d events, want 5000", count)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d after Run", c.Pending())
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for j := 0; j < 100; j++ {
+			c.Schedule(time.Duration(j)*time.Millisecond, func() {})
+		}
+		c.Run()
+	}
+}

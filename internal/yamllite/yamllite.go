@@ -1,0 +1,770 @@
+// Package yamllite implements a small YAML subset parser sufficient for the
+// HPCAdvisor main configuration file (paper Listing 1): nested block maps,
+// block sequences, flow sequences ([1, 2, 3]), single- and double-quoted
+// scalars, and comments.
+//
+// One deliberate extension: duplicate map keys are promoted to a list of
+// values rather than rejected. The paper's Listing 1 writes two application
+// inputs as repeated "mesh:" keys; with this rule the listing parses exactly
+// as printed, yielding mesh -> ["80 24 24", "60 16 16"].
+package yamllite
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the variants of a Value.
+type Kind int
+
+// Value kinds.
+const (
+	Null Kind = iota
+	Scalar
+	List
+	Map
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case Scalar:
+		return "scalar"
+	case List:
+		return "list"
+	case Map:
+		return "map"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Value is a parsed YAML node.
+type Value struct {
+	Kind    Kind
+	scalar  string
+	quoted  bool
+	list    []*Value
+	entries []MapEntry
+}
+
+// MapEntry is one key/value pair of a Map value; entry order is preserved.
+type MapEntry struct {
+	Key   string
+	Value *Value
+}
+
+// NewScalar builds a scalar Value, used mostly by tests and the encoder.
+func NewScalar(s string) *Value { return &Value{Kind: Scalar, scalar: s} }
+
+// NewList builds a list Value.
+func NewList(items ...*Value) *Value { return &Value{Kind: List, list: items} }
+
+// NewMap builds a map Value from entries.
+func NewMap(entries ...MapEntry) *Value { return &Value{Kind: Map, entries: entries} }
+
+// ParseError describes a syntax error with its 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("yamllite: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse parses a YAML document into a Value tree.
+func Parse(data []byte) (*Value, error) {
+	return ParseString(string(data))
+}
+
+// ParseString parses a YAML document held in a string.
+func ParseString(doc string) (*Value, error) {
+	lines, err := splitLines(doc)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return &Value{Kind: Null}, nil
+	}
+	p := &parser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("unexpected content %q", l.text)}
+	}
+	return v, nil
+}
+
+type line struct {
+	num    int
+	indent int
+	text   string // content with indentation and comments removed
+}
+
+// splitLines strips comments and blank lines, and records indentation.
+func splitLines(doc string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(doc, "\n") {
+		num := i + 1
+		if strings.Contains(raw, "\t") {
+			// Only reject tabs used as indentation; tabs inside values are
+			// unusual but harmless.
+			trimmed := strings.TrimLeft(raw, " ")
+			if strings.HasPrefix(trimmed, "\t") || strings.HasPrefix(raw, "\t") {
+				return nil, &ParseError{Line: num, Msg: "tab used for indentation"}
+			}
+		}
+		content := stripComment(raw)
+		trimmedRight := strings.TrimRight(content, " \r")
+		body := strings.TrimLeft(trimmedRight, " ")
+		if body == "" {
+			continue
+		}
+		if body == "---" {
+			continue // document start marker
+		}
+		out = append(out, line{
+			num:    num,
+			indent: len(trimmedRight) - len(body),
+			text:   body,
+		})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing comment. Per YAML, '#' starts a comment
+// only at line start or when preceded by whitespace, and never inside
+// quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if inSingle || inDouble {
+				continue
+			}
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) peek() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses a block node whose lines all share indentation indent.
+func (p *parser) parseBlock(indent int) (*Value, error) {
+	l, ok := p.peek()
+	if !ok || l.indent < indent {
+		return &Value{Kind: Null}, nil
+	}
+	if l.indent != indent {
+		return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("inconsistent indentation (got %d, expected %d)", l.indent, indent)}
+	}
+	if l.text[0] == '[' || l.text[0] == '{' {
+		// A flow document on a single line, e.g. "{}" or "[1, 2]".
+		p.pos++
+		return parseFlow(l.text, l.num)
+	}
+	if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *parser) parseSequence(indent int) (*Value, error) {
+	seq := &Value{Kind: List}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return seq, nil
+		}
+		if l.indent > indent {
+			return nil, &ParseError{Line: l.num, Msg: "unexpected indentation in sequence"}
+		}
+		if !strings.HasPrefix(l.text, "- ") && l.text != "-" {
+			return seq, nil // end of sequence, start of sibling mapping
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		if rest == "" {
+			// "-" alone: nested block on following deeper lines.
+			p.pos++
+			next, ok := p.peek()
+			if !ok || next.indent <= indent {
+				seq.list = append(seq.list, &Value{Kind: Null})
+				continue
+			}
+			item, err := p.parseBlock(next.indent)
+			if err != nil {
+				return nil, err
+			}
+			seq.list = append(seq.list, item)
+			continue
+		}
+		if k, v, isMap := splitKeyValue(rest); isMap {
+			// "- key: value" begins an inline map item; further keys may
+			// continue on deeper lines aligned with the key.
+			itemIndent := l.indent + (len(l.text) - len(rest))
+			p.pos++
+			item := &Value{Kind: Map}
+			val, err := p.inlineOrNested(v, l, itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			addEntry(item, k, val)
+			for {
+				nl, ok := p.peek()
+				if !ok || nl.indent != itemIndent {
+					break
+				}
+				if strings.HasPrefix(nl.text, "- ") || nl.text == "-" {
+					break
+				}
+				nk, nv, isM := splitKeyValue(nl.text)
+				if !isM {
+					return nil, &ParseError{Line: nl.num, Msg: "expected key: value inside sequence map item"}
+				}
+				p.pos++
+				nval, err := p.inlineOrNested(nv, nl, itemIndent)
+				if err != nil {
+					return nil, err
+				}
+				addEntry(item, nk, nval)
+			}
+			seq.list = append(seq.list, item)
+			continue
+		}
+		p.pos++
+		v, err := parseFlow(rest, l.num)
+		if err != nil {
+			return nil, err
+		}
+		seq.list = append(seq.list, v)
+	}
+}
+
+func (p *parser) parseMapping(indent int) (*Value, error) {
+	m := &Value{Kind: Map}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent < indent {
+			return m, nil
+		}
+		if l.indent > indent {
+			return nil, &ParseError{Line: l.num, Msg: "unexpected indentation in mapping"}
+		}
+		if strings.HasPrefix(l.text, "- ") || l.text == "-" {
+			return m, nil
+		}
+		key, rest, isMap := splitKeyValue(l.text)
+		if !isMap {
+			return nil, &ParseError{Line: l.num, Msg: fmt.Sprintf("expected key: value, got %q", l.text)}
+		}
+		p.pos++
+		val, err := p.inlineOrNested(rest, l, indent)
+		if err != nil {
+			return nil, err
+		}
+		addEntry(m, key, val)
+	}
+}
+
+// inlineOrNested interprets the text after "key:": either an inline scalar or
+// flow value, or (when empty) a nested block on the following deeper lines.
+func (p *parser) inlineOrNested(rest string, l line, indent int) (*Value, error) {
+	if rest != "" {
+		return parseFlow(rest, l.num)
+	}
+	next, ok := p.peek()
+	if !ok || next.indent <= indent {
+		// "key:" with nothing nested is a null value, except that a sequence
+		// may be written at the same indentation as its key.
+		if ok && next.indent == indent && (strings.HasPrefix(next.text, "- ") || next.text == "-") {
+			return p.parseSequence(indent)
+		}
+		return &Value{Kind: Null}, nil
+	}
+	return p.parseBlock(next.indent)
+}
+
+// addEntry inserts key into m, promoting duplicate keys to a list.
+func addEntry(m *Value, key string, val *Value) {
+	for i := range m.entries {
+		if m.entries[i].Key == key {
+			prev := m.entries[i].Value
+			if prev.Kind == List && prev.dupPromoted() {
+				prev.list = append(prev.list, val)
+			} else {
+				m.entries[i].Value = &Value{Kind: List, list: []*Value{prev, val}, quoted: true}
+			}
+			return
+		}
+	}
+	m.entries = append(m.entries, MapEntry{Key: key, Value: val})
+}
+
+// dupPromoted marks lists created by duplicate-key promotion; the quoted flag
+// is reused as the marker since it is meaningless for lists.
+func (v *Value) dupPromoted() bool { return v.Kind == List && v.quoted }
+
+// splitKeyValue splits "key: value" into its parts, honoring quoted keys and
+// requiring the colon to be followed by space or end of line.
+func splitKeyValue(s string) (key, value string, ok bool) {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ':':
+			if inSingle || inDouble {
+				continue
+			}
+			if i+1 == len(s) {
+				return unquote(strings.TrimSpace(s[:i])), "", true
+			}
+			if s[i+1] == ' ' {
+				return unquote(strings.TrimSpace(s[:i])), strings.TrimSpace(s[i+1:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// parseFlow parses an inline value: a flow sequence, a flow map, or a scalar.
+func parseFlow(s string, lineNum int) (*Value, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") {
+		items, rest, err := parseFlowSeq(s, lineNum)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, &ParseError{Line: lineNum, Msg: fmt.Sprintf("trailing content after flow sequence: %q", rest)}
+		}
+		return items, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		m, rest, err := parseFlowMap(s, lineNum)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, &ParseError{Line: lineNum, Msg: fmt.Sprintf("trailing content after flow mapping: %q", rest)}
+		}
+		return m, nil
+	}
+	return scalarValue(s), nil
+}
+
+func scalarValue(s string) *Value {
+	if s == "~" || s == "null" {
+		return &Value{Kind: Null}
+	}
+	if isQuoted(s) {
+		return &Value{Kind: Scalar, scalar: unquote(s), quoted: true}
+	}
+	return &Value{Kind: Scalar, scalar: s}
+}
+
+func parseFlowSeq(s string, lineNum int) (*Value, string, error) {
+	seq := &Value{Kind: List}
+	rest := s[1:] // past '['
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", &ParseError{Line: lineNum, Msg: "unterminated flow sequence"}
+		}
+		if rest[0] == ']' {
+			return seq, rest[1:], nil
+		}
+		var item *Value
+		var err error
+		switch rest[0] {
+		case '[':
+			item, rest, err = parseFlowSeq(rest, lineNum)
+		case '{':
+			item, rest, err = parseFlowMap(rest, lineNum)
+		default:
+			var tok string
+			tok, rest, err = flowToken(rest, lineNum)
+			if err == nil {
+				item = scalarValue(tok)
+			}
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		seq.list = append(seq.list, item)
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", &ParseError{Line: lineNum, Msg: "unterminated flow sequence"}
+		}
+		switch rest[0] {
+		case ',':
+			rest = rest[1:]
+		case ']':
+			// handled on next loop iteration
+		default:
+			return nil, "", &ParseError{Line: lineNum, Msg: fmt.Sprintf("expected ',' or ']' in flow sequence near %q", rest)}
+		}
+	}
+}
+
+func parseFlowMap(s string, lineNum int) (*Value, string, error) {
+	m := &Value{Kind: Map}
+	rest := s[1:] // past '{'
+	for {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", &ParseError{Line: lineNum, Msg: "unterminated flow mapping"}
+		}
+		if rest[0] == '}' {
+			return m, rest[1:], nil
+		}
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return nil, "", &ParseError{Line: lineNum, Msg: "missing ':' in flow mapping"}
+		}
+		key := unquote(strings.TrimSpace(rest[:colon]))
+		rest = strings.TrimLeft(rest[colon+1:], " ")
+		var val *Value
+		var err error
+		switch {
+		case rest == "":
+			return nil, "", &ParseError{Line: lineNum, Msg: "unterminated flow mapping"}
+		case rest[0] == '[':
+			val, rest, err = parseFlowSeq(rest, lineNum)
+		case rest[0] == '{':
+			val, rest, err = parseFlowMap(rest, lineNum)
+		default:
+			var tok string
+			tok, rest, err = flowTokenUntil(rest, lineNum, ",}")
+			if err == nil {
+				val = scalarValue(tok)
+			}
+		}
+		if err != nil {
+			return nil, "", err
+		}
+		addEntry(m, key, val)
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			return nil, "", &ParseError{Line: lineNum, Msg: "unterminated flow mapping"}
+		}
+		switch rest[0] {
+		case ',':
+			rest = rest[1:]
+		case '}':
+			// handled on next loop iteration
+		default:
+			return nil, "", &ParseError{Line: lineNum, Msg: fmt.Sprintf("expected ',' or '}' in flow mapping near %q", rest)}
+		}
+	}
+}
+
+// flowToken consumes a scalar token inside a flow sequence, stopping at an
+// unquoted ',' or ']'.
+func flowToken(s string, lineNum int) (token, rest string, err error) {
+	return flowTokenUntil(s, lineNum, ",]")
+}
+
+func flowTokenUntil(s string, lineNum int, stops string) (token, rest string, err error) {
+	if s == "" {
+		return "", "", &ParseError{Line: lineNum, Msg: "empty flow token"}
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		q := s[0]
+		for i := 1; i < len(s); i++ {
+			if s[i] == q {
+				return s[:i+1], s[i+1:], nil
+			}
+		}
+		return "", "", &ParseError{Line: lineNum, Msg: "unterminated quoted string"}
+	}
+	for i := 0; i < len(s); i++ {
+		if strings.IndexByte(stops, s[i]) >= 0 {
+			return strings.TrimSpace(s[:i]), s[i:], nil
+		}
+	}
+	return strings.TrimSpace(s), "", nil
+}
+
+func isQuoted(s string) bool {
+	return len(s) >= 2 &&
+		((s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\''))
+}
+
+func unquote(s string) string {
+	if !isQuoted(s) {
+		return s
+	}
+	inner := s[1 : len(s)-1]
+	if s[0] == '"' {
+		// Go escape syntax is a superset of the escapes this parser emits
+		// and of the common YAML ones, so try it first.
+		if u, err := strconv.Unquote(s); err == nil {
+			return u
+		}
+		r := strings.NewReplacer(`\"`, `"`, `\\`, `\`, `\n`, "\n", `\t`, "\t")
+		return r.Replace(inner)
+	}
+	return strings.ReplaceAll(inner, "''", "'")
+}
+
+//
+// Accessors
+//
+
+// IsNull reports whether the value is null (or a nil pointer).
+func (v *Value) IsNull() bool { return v == nil || v.Kind == Null }
+
+// Get returns the value for key in a map, or nil when absent or when v is
+// not a map.
+func (v *Value) Get(key string) *Value {
+	if v == nil || v.Kind != Map {
+		return nil
+	}
+	for _, e := range v.entries {
+		if e.Key == key {
+			return e.Value
+		}
+	}
+	return nil
+}
+
+// Has reports whether the map contains key.
+func (v *Value) Has(key string) bool { return v.Get(key) != nil }
+
+// Keys returns map keys in document order.
+func (v *Value) Keys() []string {
+	if v == nil || v.Kind != Map {
+		return nil
+	}
+	out := make([]string, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = e.Key
+	}
+	return out
+}
+
+// SortedKeys returns map keys sorted lexically.
+func (v *Value) SortedKeys() []string {
+	keys := v.Keys()
+	sort.Strings(keys)
+	return keys
+}
+
+// Entries returns the ordered key/value pairs of a map.
+func (v *Value) Entries() []MapEntry {
+	if v == nil || v.Kind != Map {
+		return nil
+	}
+	return v.entries
+}
+
+// Items returns the elements of a list, or a single-element slice for a
+// scalar (convenient for fields that accept one value or many).
+func (v *Value) Items() []*Value {
+	if v == nil {
+		return nil
+	}
+	switch v.Kind {
+	case List:
+		return v.list
+	case Scalar:
+		return []*Value{v}
+	}
+	return nil
+}
+
+// Len returns the number of elements in a list or entries in a map.
+func (v *Value) Len() int {
+	if v == nil {
+		return 0
+	}
+	switch v.Kind {
+	case List:
+		return len(v.list)
+	case Map:
+		return len(v.entries)
+	}
+	return 0
+}
+
+// Str returns the scalar text, or "" for non-scalars.
+func (v *Value) Str() string {
+	if v == nil || v.Kind != Scalar {
+		return ""
+	}
+	return v.scalar
+}
+
+// Int parses the scalar as an integer.
+func (v *Value) Int() (int, error) {
+	if v == nil || v.Kind != Scalar {
+		return 0, fmt.Errorf("yamllite: not a scalar (kind %v)", v.kindOrNull())
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(v.scalar))
+	if err != nil {
+		return 0, fmt.Errorf("yamllite: %q is not an integer", v.scalar)
+	}
+	return n, nil
+}
+
+// Float parses the scalar as a float64.
+func (v *Value) Float() (float64, error) {
+	if v == nil || v.Kind != Scalar {
+		return 0, fmt.Errorf("yamllite: not a scalar (kind %v)", v.kindOrNull())
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v.scalar), 64)
+	if err != nil {
+		return 0, fmt.Errorf("yamllite: %q is not a number", v.scalar)
+	}
+	return f, nil
+}
+
+// Bool parses the scalar as a boolean (true/false, yes/no, on/off).
+func (v *Value) Bool() (bool, error) {
+	if v == nil || v.Kind != Scalar {
+		return false, fmt.Errorf("yamllite: not a scalar (kind %v)", v.kindOrNull())
+	}
+	switch strings.ToLower(strings.TrimSpace(v.scalar)) {
+	case "true", "yes", "on":
+		return true, nil
+	case "false", "no", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("yamllite: %q is not a boolean", v.scalar)
+}
+
+// StringList returns list elements (or a lone scalar) as strings.
+func (v *Value) StringList() []string {
+	items := v.Items()
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, it.Str())
+	}
+	return out
+}
+
+// IntList returns list elements (or a lone scalar) as ints.
+func (v *Value) IntList() ([]int, error) {
+	items := v.Items()
+	out := make([]int, 0, len(items))
+	for _, it := range items {
+		n, err := it.Int()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func (v *Value) kindOrNull() Kind {
+	if v == nil {
+		return Null
+	}
+	return v.Kind
+}
+
+//
+// Encoder
+//
+
+// Marshal renders a Value tree back to YAML text.
+func Marshal(v *Value) []byte {
+	var b strings.Builder
+	encode(&b, v, 0, false)
+	return []byte(b.String())
+}
+
+func encode(b *strings.Builder, v *Value, indent int, inline bool) {
+	pad := strings.Repeat("  ", indent)
+	switch v.kindOrNull() {
+	case Null:
+		b.WriteString("null\n")
+	case Scalar:
+		b.WriteString(encodeScalar(v))
+		b.WriteString("\n")
+	case List:
+		if len(v.list) == 0 {
+			b.WriteString("[]\n")
+			return
+		}
+		if !inline {
+			b.WriteString("\n")
+		}
+		for _, item := range v.list {
+			b.WriteString(pad)
+			b.WriteString("- ")
+			switch item.kindOrNull() {
+			case Scalar, Null:
+				encode(b, item, 0, true)
+			default:
+				encode(b, item, indent+1, true)
+			}
+		}
+	case Map:
+		if len(v.entries) == 0 {
+			b.WriteString("{}\n")
+			return
+		}
+		if !inline {
+			b.WriteString("\n")
+		}
+		for i, e := range v.entries {
+			if !(inline && i == 0) {
+				b.WriteString(pad)
+			}
+			b.WriteString(e.Key)
+			b.WriteString(":")
+			switch e.Value.kindOrNull() {
+			case Scalar, Null:
+				b.WriteString(" ")
+				encode(b, e.Value, 0, true)
+			default:
+				encode(b, e.Value, indent+1, false)
+			}
+		}
+	}
+}
+
+func encodeScalar(v *Value) string {
+	s := v.scalar
+	if v.quoted || s == "" || strings.ContainsAny(s, ":#[]{},'\"") || s != strings.TrimSpace(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}

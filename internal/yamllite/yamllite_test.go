@@ -1,0 +1,443 @@
+package yamllite
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// listing1 is the paper's Listing 1 verbatim (including the duplicate
+// "mesh:" keys, which this parser promotes to a list).
+const listing1 = `# Example of main configuration file
+
+subscription: mysubscription
+skus:
+  - Standard_HC44rs
+  - Standard_HB120rs_v2
+  - Standard_HB120rs_v3
+rgprefix: hpcadvisortest1
+appsetupurl: https://.../openfoam.sh
+nnodes: [1, 2, 3, 4, 8, 16]
+appname: openfoam
+tags:
+  version: v1
+region: southcentralus
+createjumpbox: true
+ppr: 100
+appinputs:
+  mesh: "80 24 24"
+  mesh: "60 16 16"
+`
+
+func TestListing1Parses(t *testing.T) {
+	v, err := ParseString(listing1)
+	if err != nil {
+		t.Fatalf("parse Listing 1: %v", err)
+	}
+	if got := v.Get("subscription").Str(); got != "mysubscription" {
+		t.Errorf("subscription = %q", got)
+	}
+	skus := v.Get("skus").StringList()
+	wantSKUs := []string{"Standard_HC44rs", "Standard_HB120rs_v2", "Standard_HB120rs_v3"}
+	if !reflect.DeepEqual(skus, wantSKUs) {
+		t.Errorf("skus = %v, want %v", skus, wantSKUs)
+	}
+	nn, err := v.Get("nnodes").IntList()
+	if err != nil {
+		t.Fatalf("nnodes: %v", err)
+	}
+	if !reflect.DeepEqual(nn, []int{1, 2, 3, 4, 8, 16}) {
+		t.Errorf("nnodes = %v", nn)
+	}
+	if got := v.Get("tags").Get("version").Str(); got != "v1" {
+		t.Errorf("tags.version = %q", got)
+	}
+	jb, err := v.Get("createjumpbox").Bool()
+	if err != nil || !jb {
+		t.Errorf("createjumpbox = %v, %v", jb, err)
+	}
+	ppr, err := v.Get("ppr").Int()
+	if err != nil || ppr != 100 {
+		t.Errorf("ppr = %d, %v", ppr, err)
+	}
+	// Duplicate mesh keys become a two-element list.
+	meshes := v.Get("appinputs").Get("mesh").StringList()
+	if !reflect.DeepEqual(meshes, []string{"80 24 24", "60 16 16"}) {
+		t.Errorf("appinputs.mesh = %v", meshes)
+	}
+}
+
+func TestScalarTypes(t *testing.T) {
+	v, err := ParseString("a: 42\nb: 3.5\nc: hello\nd: true\ne: no\nf: ~\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.Get("a").Int(); n != 42 {
+		t.Errorf("a = %d", n)
+	}
+	if f, _ := v.Get("b").Float(); f != 3.5 {
+		t.Errorf("b = %v", f)
+	}
+	if s := v.Get("c").Str(); s != "hello" {
+		t.Errorf("c = %q", s)
+	}
+	if b, _ := v.Get("d").Bool(); !b {
+		t.Errorf("d = %v", b)
+	}
+	if b, _ := v.Get("e").Bool(); b {
+		t.Errorf("e = %v", b)
+	}
+	if !v.Get("f").IsNull() {
+		t.Errorf("f should be null")
+	}
+}
+
+func TestQuotedScalars(t *testing.T) {
+	v, err := ParseString(`a: "80 24 24"
+b: 'single quoted'
+c: "with # not a comment"
+d: plain # comment stripped
+e: "esc\"aped"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"a": "80 24 24",
+		"b": "single quoted",
+		"c": "with # not a comment",
+		"d": "plain",
+		"e": `esc"aped`,
+	}
+	for k, want := range cases {
+		if got := v.Get(k).Str(); got != want {
+			t.Errorf("%s = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNestedMaps(t *testing.T) {
+	v, err := ParseString(`outer:
+  middle:
+    inner: deep
+  sibling: x
+top: y
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Get("outer").Get("middle").Get("inner").Str(); got != "deep" {
+		t.Errorf("inner = %q", got)
+	}
+	if got := v.Get("outer").Get("sibling").Str(); got != "x" {
+		t.Errorf("sibling = %q", got)
+	}
+	if got := v.Get("top").Str(); got != "y" {
+		t.Errorf("top = %q", got)
+	}
+}
+
+func TestSequenceAtKeyIndent(t *testing.T) {
+	// YAML allows a block sequence at the same indentation as its key.
+	v, err := ParseString("skus:\n- a\n- b\nother: 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.Get("skus").StringList(), []string{"a", "b"}) {
+		t.Errorf("skus = %v", v.Get("skus").StringList())
+	}
+	if n, _ := v.Get("other").Int(); n != 1 {
+		t.Errorf("other = %d", n)
+	}
+}
+
+func TestSequenceOfMaps(t *testing.T) {
+	v, err := ParseString(`experiments:
+  - name: first
+    nodes: 2
+  - name: second
+    nodes: 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := v.Get("experiments").Items()
+	if len(items) != 2 {
+		t.Fatalf("len = %d", len(items))
+	}
+	if got := items[0].Get("name").Str(); got != "first" {
+		t.Errorf("first name = %q", got)
+	}
+	if n, _ := items[1].Get("nodes").Int(); n != 4 {
+		t.Errorf("second nodes = %d", n)
+	}
+}
+
+func TestFlowSequenceNested(t *testing.T) {
+	v, err := ParseString(`grid: [[1, 2], [3, 4]]
+mixed: [a, "b, c", 3]
+empty: []
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := v.Get("grid").Items()
+	if len(grid) != 2 {
+		t.Fatalf("grid len = %d", len(grid))
+	}
+	row, err := grid[1].IntList()
+	if err != nil || !reflect.DeepEqual(row, []int{3, 4}) {
+		t.Errorf("grid[1] = %v (%v)", row, err)
+	}
+	mixed := v.Get("mixed").StringList()
+	if !reflect.DeepEqual(mixed, []string{"a", "b, c", "3"}) {
+		t.Errorf("mixed = %v", mixed)
+	}
+	if v.Get("empty").Len() != 0 {
+		t.Errorf("empty len = %d", v.Get("empty").Len())
+	}
+}
+
+func TestFlowMap(t *testing.T) {
+	v, err := ParseString("point: {x: 1, y: 2, label: \"a b\"}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := v.Get("point")
+	if x, _ := p.Get("x").Int(); x != 1 {
+		t.Errorf("x = %d", x)
+	}
+	if got := p.Get("label").Str(); got != "a b" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestCommentHandling(t *testing.T) {
+	v, err := ParseString(`# full line comment
+a: 1 # trailing
+b: "x # y" # quoted hash preserved
+url: https://host/path#fragment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.Get("a").Int(); n != 1 {
+		t.Errorf("a = %d", n)
+	}
+	if got := v.Get("b").Str(); got != "x # y" {
+		t.Errorf("b = %q", got)
+	}
+	// '#' not preceded by a space is not a comment.
+	if got := v.Get("url").Str(); got != "https://host/path#fragment" {
+		t.Errorf("url = %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"tab indent", "a:\n\tb: 1\n"},
+		{"bare text", "just some words\n"},
+		{"unterminated flow", "a: [1, 2\n"},
+		{"unterminated quote in flow", `a: ["x]` + "\n"},
+		{"garbage after flow", "a: [1] extra\n"},
+		{"bad indent jump", "a: 1\n   b: 2\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.doc); err == nil {
+				t.Fatalf("expected error for %q", tc.doc)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := ParseString("a: 1\nb: [1,\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Errorf("message %q lacks line number", pe.Error())
+	}
+}
+
+func TestEmptyDocument(t *testing.T) {
+	for _, doc := range []string{"", "\n\n", "# only comments\n", "---\n"} {
+		v, err := ParseString(doc)
+		if err != nil {
+			t.Fatalf("doc %q: %v", doc, err)
+		}
+		if !v.IsNull() {
+			t.Errorf("doc %q: not null", doc)
+		}
+	}
+}
+
+func TestAccessorsOnWrongKinds(t *testing.T) {
+	v, _ := ParseString("m:\n  k: 1\nl: [1]\n")
+	if v.Get("m").Get("missing") != nil {
+		t.Error("missing key should be nil")
+	}
+	if v.Get("l").Get("k") != nil {
+		t.Error("Get on list should be nil")
+	}
+	if _, err := v.Get("m").Int(); err == nil {
+		t.Error("Int on map should error")
+	}
+	if _, err := v.Get("l").Bool(); err == nil {
+		t.Error("Bool on list should error")
+	}
+	var nilV *Value
+	if !nilV.IsNull() || nilV.Str() != "" || nilV.Len() != 0 {
+		t.Error("nil Value accessors misbehave")
+	}
+	if nilV.Items() != nil || nilV.Keys() != nil {
+		t.Error("nil Value slices should be nil")
+	}
+}
+
+func TestDuplicateKeysPromoteBeyondTwo(t *testing.T) {
+	v, err := ParseString("k: a\nk: b\nk: c\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Get("k").StringList(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("k = %v", got)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	docs := []string{
+		listing1,
+		"a: 1\nb:\n  c: [1, 2]\n  d: text\n",
+		"list:\n  - x: 1\n    y: 2\n  - x: 3\n    y: 4\n",
+	}
+	for _, doc := range docs {
+		v1, err := ParseString(doc)
+		if err != nil {
+			t.Fatalf("first parse: %v", err)
+		}
+		out := Marshal(v1)
+		v2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", out, err)
+		}
+		if !valuesEqual(v1, v2) {
+			t.Errorf("round trip mismatch:\noriginal:\n%s\nencoded:\n%s", doc, out)
+		}
+	}
+}
+
+// valuesEqual compares trees structurally, treating duplicate-promoted lists
+// and plain lists as equal.
+func valuesEqual(a, b *Value) bool {
+	if a.kindOrNull() != b.kindOrNull() {
+		return false
+	}
+	switch a.kindOrNull() {
+	case Null:
+		return true
+	case Scalar:
+		return a.scalar == b.scalar
+	case List:
+		if len(a.list) != len(b.list) {
+			return false
+		}
+		for i := range a.list {
+			if !valuesEqual(a.list[i], b.list[i]) {
+				return false
+			}
+		}
+		return true
+	case Map:
+		if len(a.entries) != len(b.entries) {
+			return false
+		}
+		for i := range a.entries {
+			if a.entries[i].Key != b.entries[i].Key {
+				return false
+			}
+			if !valuesEqual(a.entries[i].Value, b.entries[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Property: scalar maps built programmatically survive Marshal/Parse.
+func TestPropertyMarshalParseRoundTrip(t *testing.T) {
+	f := func(keys []string, vals []string) bool {
+		m := &Value{Kind: Map}
+		seen := map[string]bool{}
+		for i, k := range keys {
+			k = sanitizeKey(k)
+			if k == "" || seen[k] {
+				continue
+			}
+			seen[k] = true
+			val := ""
+			if i < len(vals) {
+				val = vals[i]
+			}
+			m.entries = append(m.entries, MapEntry{Key: k, Value: &Value{Kind: Scalar, scalar: val, quoted: true}})
+		}
+		out := Marshal(m)
+		v2, err := Parse(out)
+		if err != nil {
+			return false
+		}
+		return valuesEqual(m, v2)
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitizeKey(k string) string {
+	var b strings.Builder
+	for _, r := range k {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func TestIntListErrors(t *testing.T) {
+	v, _ := ParseString("l: [1, two, 3]\n")
+	if _, err := v.Get("l").IntList(); err == nil {
+		t.Error("IntList should fail on non-integer element")
+	}
+}
+
+func TestKeysAndEntriesOrder(t *testing.T) {
+	v, _ := ParseString("z: 1\na: 2\nm: 3\n")
+	if got := v.Keys(); !reflect.DeepEqual(got, []string{"z", "a", "m"}) {
+		t.Errorf("Keys = %v (document order expected)", got)
+	}
+	if got := v.SortedKeys(); !reflect.DeepEqual(got, []string{"a", "m", "z"}) {
+		t.Errorf("SortedKeys = %v", got)
+	}
+	if len(v.Entries()) != 3 {
+		t.Errorf("Entries len = %d", len(v.Entries()))
+	}
+}
+
+func BenchmarkParseListing1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(listing1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
