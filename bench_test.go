@@ -693,6 +693,51 @@ func BenchmarkSpotVsOnDemandCollection(b *testing.B) {
 }
 
 //
+// Extension: concurrent multi-pool collection engine — time-to-advice.
+//
+
+// BenchmarkConcurrentCollection measures the same 3-SKU LAMMPS sweep
+// collected sequentially and with the per-VM-type lane engine. ns/op is the
+// real time to simulate the collection; cloud_hours_elapsed is the modeled
+// wall-clock a user would wait for the pools in the cloud (the makespan of
+// the lanes), which the engine reduces while producing a byte-identical
+// dataset. cloud_speedup = sequential-equivalent hours / elapsed hours.
+func BenchmarkConcurrentCollection(b *testing.B) {
+	run := func(b *testing.B, pools int) {
+		var report *collector.Report
+		var n int
+		for i := 0; i < b.N; i++ {
+			cfg, err := config.Parse([]byte(lammpsSweepConfig))
+			if err != nil {
+				b.Fatal(err)
+			}
+			adv := core.New(cfg.Subscription)
+			dep, err := adv.DeployCreate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			report, err = adv.Collect(dep.Name, cfg, core.CollectOptions{MaxParallelPools: pools})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if report.Completed != 18 {
+				b.Fatalf("completed = %d", report.Completed)
+			}
+			n = adv.Store.Len()
+		}
+		if n != 18 {
+			b.Fatalf("dataset has %d points", n)
+		}
+		b.ReportMetric(report.VirtualSeconds/3600, "cloud_hours_seq_equiv")
+		b.ReportMetric(report.ElapsedVirtualSeconds/3600, "cloud_hours_elapsed")
+		b.ReportMetric(report.VirtualSeconds/report.ElapsedVirtualSeconds, "cloud_speedup")
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel-2", func(b *testing.B) { run(b, 2) })
+	b.Run("parallel-3", func(b *testing.B) { run(b, 3) })
+}
+
+//
 // Extension: adaptive budgeted collection — front recall per dollar.
 //
 

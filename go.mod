@@ -1,0 +1,3 @@
+module hpcadvisor
+
+go 1.21

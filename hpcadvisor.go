@@ -46,6 +46,12 @@
 // regression-based performance factors, bottleneck hints) are available via
 // CollectOptions.Sampler ("discard", "perffactor", "bottleneck",
 // "combined").
+//
+// Multi-SKU sweeps can collect VM types concurrently by setting
+// CollectOptions.MaxParallelPools > 1 (the CLI's -parallel-pools): the
+// scenario list is partitioned per VM type into independent pool lanes and
+// the resulting dataset is byte-identical to the sequential run — only the
+// time to advice shrinks. See docs/ARCHITECTURE.md.
 package hpcadvisor
 
 import (

@@ -8,10 +8,19 @@
 //	create pool(vmtype) / resize pool / delete pool
 //	create setup task / create compute task / execute / wait
 //
-// All durations run on the shared virtual clock, and a vclock.Meter records
-// billed node-seconds per pool (nodes are billed from provisioning start,
-// including boot and idle time, as in the real service), which feeds the
-// total data-collection cost accounting.
+// All durations run on the service's virtual clock, and a vclock.Meter
+// records billed node-seconds per pool (nodes are billed from provisioning
+// start, including boot and idle time, as in the real service), which feeds
+// the total data-collection cost accounting.
+//
+// A Service and its clock are single-goroutine objects. Concurrent
+// collection does not share one Service across pools in lock-step ticks;
+// instead each pool lane obtains a private Service via Lane — its own event
+// queue, clock, and control-plane replica — and the lanes' event queues are
+// arbitrated independently, with meters merged after the lanes join. All
+// stochastic behavior (spot preemption) is keyed to pool-relative
+// coordinates, so a lane replays the exact event sequence the sequential
+// collector would have produced for that pool.
 package batchsim
 
 import (
@@ -123,6 +132,10 @@ type Pool struct {
 	nodes   []*node
 	queue   []*Task
 	nextNum int
+	// createdAt anchors pool-relative time, the coordinate system used for
+	// spot-preemption draws so outcomes do not depend on what other pools
+	// ran before (or concurrently with) this one.
+	createdAt time.Duration
 }
 
 // TargetNodes returns the current resize target.
@@ -203,10 +216,36 @@ func (s *Service) createPool(id, skuName string, setupSeconds float64, spot bool
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{ID: id, SKU: sku, SetupSeconds: setupSeconds, Spot: spot, svc: s}
+	p := &Pool{ID: id, SKU: sku, SetupSeconds: setupSeconds, Spot: spot, svc: s, createdAt: s.Clock.Now()}
 	s.pools[id] = p
 	s.meter(p)
 	return p, nil
+}
+
+// Lane derives a private Service for one pool lane of a concurrent
+// collection: a fresh virtual clock at time zero, a control-plane replica of
+// this service's deployment (same region, same quota), and empty pool and
+// task tables. The lane is owned by a single goroutine; when it finishes,
+// merge its usage into the parent with
+// parent.Meter.AddTotals(lane.UsageSnapshot()).
+func (s *Service) Lane() (*Service, error) {
+	clock := vclock.New()
+	cloud, err := s.cloud.Replica(clock, s.subID, s.rgName)
+	if err != nil {
+		return nil, err
+	}
+	return New(clock, cloud, s.subID, s.rgName), nil
+}
+
+// UsageSnapshot closes and reopens the metering intervals of every live pool
+// at the current virtual time and returns the service's meter, whose totals
+// are then current. It is the hand-off point for folding a finished lane's
+// billed node-seconds into another meter.
+func (s *Service) UsageSnapshot() *vclock.Meter {
+	for _, p := range s.pools {
+		s.meter(p)
+	}
+	return s.Meter
 }
 
 // Pool resolves a pool by ID.
@@ -408,7 +447,7 @@ func (s *Service) trySchedule(p *Pool) {
 		// reclaimed node is replaced (boot + setup latency again).
 		preempted := false
 		if p.Spot && result.ExitCode == 0 {
-			if frac, hit := preemption(next.ID, s.Clock.Now()); hit {
+			if frac, hit := preemption(next.Spec.Name, s.Clock.Now()-p.createdAt); hit {
 				preempted = true
 				result = TaskResult{
 					DurationSeconds: result.DurationSeconds * frac,
@@ -442,12 +481,16 @@ func (s *Service) trySchedule(p *Pool) {
 // preemptProbability is the chance a spot task loses a node mid-run.
 const preemptProbability = 0.25
 
-// preemption deterministically decides whether a spot task starting at the
-// given virtual time is reclaimed, and how far through its run. Retried
-// attempts start at different times, so they re-roll.
-func preemption(taskID string, at time.Duration) (fraction float64, hit bool) {
+// preemption deterministically decides whether a spot task is reclaimed,
+// and how far through its run. The draw is keyed on the task's submitted
+// name and its start time relative to pool creation — coordinates that are
+// identical whether the pool runs alone, after other pools, or concurrently
+// with them in a collection lane — so spot outcomes are a property of the
+// scenario, not of the execution schedule. Retried attempts start at
+// different pool-relative times, so they re-roll.
+func preemption(name string, at time.Duration) (fraction float64, hit bool) {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d", taskID, at)
+	fmt.Fprintf(h, "%s|%d", name, at)
 	u := float64(h.Sum64()%1_000_000) / 1_000_000
 	if u >= preemptProbability {
 		return 0, false
@@ -491,10 +534,7 @@ func (s *Service) meter(p *Pool) {
 // including deleted ones. Open intervals are included up to the current
 // virtual time.
 func (s *Service) NodeSecondsBySKU() map[string]float64 {
-	// Close and reopen intervals so usage is current.
-	for _, p := range s.pools {
-		s.meter(p)
-	}
+	s.UsageSnapshot() // close and reopen intervals so usage is current
 	out := make(map[string]float64)
 	for _, key := range s.Meter.Keys() {
 		sku := key

@@ -1,0 +1,101 @@
+package batchsim
+
+import (
+	"testing"
+
+	"hpcadvisor/internal/vclock"
+)
+
+func TestLaneIsolation(t *testing.T) {
+	f := newFixture(t)
+	// Put the parent mid-simulation with a live pool.
+	if _, err := f.svc.CreatePool("pool-hb", "Standard_HB120rs_v3", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svc.Resize("pool-hb", 2); err != nil {
+		t.Fatal(err)
+	}
+	f.clock.Run()
+
+	lane, err := f.svc.Lane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lane.Clock == f.svc.Clock {
+		t.Fatal("lane shares the parent clock")
+	}
+	if lane.Clock.Now() != 0 {
+		t.Fatalf("lane clock starts at %v, want 0", lane.Clock.Now())
+	}
+	// The parent's pool does not exist on the lane: the same ID is free.
+	if _, err := lane.CreatePool("pool-hb", "Standard_HB120rs_v3", 60); err != nil {
+		t.Fatalf("lane pool creation: %v", err)
+	}
+	if err := lane.Resize("pool-hb", 4); err != nil {
+		t.Fatal(err)
+	}
+	lane.Clock.Run()
+	if _, err := lane.Pool("pool-hb"); err != nil {
+		t.Fatal(err)
+	}
+	// Lane activity must not leak into the parent's pool or meter.
+	parentPool, err := f.svc.Pool("pool-hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parentPool.CountNodes() != 2 {
+		t.Fatalf("parent pool resized to %d by lane activity", parentPool.CountNodes())
+	}
+
+	// Merging the lane's usage is explicit, via UsageSnapshot + AddTotals.
+	before := f.svc.NodeSecondsBySKU()["Standard_HB120rs_v3"]
+	laneNS := lane.NodeSecondsBySKU()["Standard_HB120rs_v3"]
+	if laneNS <= 0 {
+		t.Fatal("lane accrued no node-seconds")
+	}
+	f.svc.Meter.AddTotals(lane.UsageSnapshot())
+	after := f.svc.NodeSecondsBySKU()["Standard_HB120rs_v3"]
+	if diff := after - before - laneNS; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("merged node-seconds off by %f", diff)
+	}
+}
+
+func TestLaneQuotaMatchesParent(t *testing.T) {
+	f := newFixture(t)
+	sub, err := f.cloud.Subscription("sub1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tighten quota so only 2 HB nodes (120 cores each) fit.
+	sub.SetQuota("southcentralus", "HBv3", 240)
+
+	lane, err := f.svc.Lane()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lane.CreatePool("p", "Standard_HB120rs_v3", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := lane.Resize("p", 2); err != nil {
+		t.Fatalf("resize within quota: %v", err)
+	}
+	if err := lane.Resize("p", 3); err == nil {
+		t.Fatal("lane ignored the replicated quota")
+	}
+	// The lane's reservations never touched the parent's ledger.
+	if got := sub.QuotaRemaining("southcentralus", "HBv3"); got != 240 {
+		t.Fatalf("parent quota remaining = %d, want 240", got)
+	}
+}
+
+func TestMeterAddTotals(t *testing.T) {
+	a := vclock.NewMeter()
+	b := vclock.NewMeter()
+	a.Add("x", 10)
+	b.Add("x", 5)
+	b.Add("y", 7)
+	a.AddTotals(b)
+	if a.Total("x") != 15 || a.Total("y") != 7 {
+		t.Fatalf("merged totals: x=%f y=%f", a.Total("x"), a.Total("y"))
+	}
+}

@@ -323,3 +323,43 @@ func TestCollectBudgetFlag(t *testing.T) {
 		t.Fatalf("advice after budget collect: %s", r.err.String())
 	}
 }
+
+func TestCollectParallelPoolsFlag(t *testing.T) {
+	// The same 3-SKU sweep collected sequentially and with -parallel-pools
+	// must leave byte-identical dataset files behind, and the parallel run
+	// reports its concurrent cloud time.
+	multiSKU := strings.Replace(testConfig,
+		"skus:\n  - Standard_HB120rs_v3",
+		"skus:\n  - Standard_HB120rs_v3\n  - Standard_HB120rs_v2\n  - Standard_HC44rs", 1)
+
+	collect := func(extra ...string) (string, []byte) {
+		dir := t.TempDir()
+		state := filepath.Join(dir, ".hpcadvisor")
+		cfgPath := filepath.Join(dir, "config.yaml")
+		if err := os.WriteFile(cfgPath, []byte(multiSKU), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		exec(t, state, "deploy", "create", "-c", cfgPath)
+		r := exec(t, state, append([]string{"collect", "-c", cfgPath}, extra...)...)
+		if r.code != 0 {
+			t.Fatalf("collect %v failed: %s", extra, r.err.String())
+		}
+		data, err := os.ReadFile(filepath.Join(state, "dataset.jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.out.String(), data
+	}
+
+	_, seqData := collect()
+	out, parData := collect("-parallel-pools", "3")
+	if !bytes.Equal(seqData, parData) {
+		t.Error("-parallel-pools 3 dataset differs from sequential collect")
+	}
+	if !strings.Contains(out, "parallel lanes: 3 pools x 3 workers") {
+		t.Errorf("parallel collect output missing lane summary: %q", out)
+	}
+	if !strings.Contains(out, "6 completed") {
+		t.Errorf("parallel collect output = %q", out)
+	}
+}

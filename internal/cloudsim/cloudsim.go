@@ -85,6 +85,53 @@ func (c *Cloud) AddSubscription(id string) *Subscription {
 	return s
 }
 
+// Replica creates a detached control-plane replica for one resource group:
+// a new Cloud on the given (typically private) virtual clock, carrying a
+// copy of the subscription's quota table and current usage plus a resource
+// group of the same name and region. Replication is instantaneous — no
+// provisioning latency is charged — because the replica models resources
+// that already exist.
+//
+// Replicas are how concurrent collection lanes each get an isolated
+// simulation substrate: every lane advances its own clock and reserves
+// cores against its own quota copy, so lanes never contend on shared maps
+// and outcomes stay independent of lane interleaving. Quota behavior
+// matches the sequential collector, which fully releases one pool's cores
+// before the next pool grows.
+func (c *Cloud) Replica(clock *vclock.Clock, subID, rgName string) (*Cloud, error) {
+	sub, err := c.Subscription(subID)
+	if err != nil {
+		return nil, err
+	}
+	rg, err := c.ResourceGroup(subID, rgName)
+	if err != nil {
+		return nil, err
+	}
+	r := &Cloud{
+		Clock:        clock,
+		Catalog:      c.Catalog,
+		subs:         make(map[string]*Subscription),
+		faults:       make(map[string]error),
+		storageNames: make(map[string]bool),
+	}
+	rsub := r.AddSubscription(subID)
+	for k, v := range sub.quota {
+		rsub.quota[k] = v
+	}
+	for k, v := range sub.usage {
+		rsub.usage[k] = v
+	}
+	rsub.groups[rgName] = &ResourceGroup{
+		Name: rgName, Region: rg.Region, CreatedAt: clock.Now(),
+		vnets:    make(map[string]*VNet),
+		storage:  make(map[string]*StorageAccount),
+		batch:    make(map[string]*BatchAccount),
+		vms:      make(map[string]*VM),
+		peerings: make(map[string]*Peering),
+	}
+	return r, nil
+}
+
 // Subscription resolves a subscription by ID.
 func (c *Cloud) Subscription(id string) (*Subscription, error) {
 	if s, ok := c.subs[id]; ok {

@@ -5,11 +5,21 @@
 // the reported variables, and stores a datapoint. When the VM type changes,
 // the previous pool is resized to zero or deleted according to user
 // preference.
+//
+// The walk runs in one of two modes. The default (Options.MaxParallelPools
+// <= 1) is the paper's sequential loop: one pool at a time, one scenario at
+// a time, everything on the deployment's shared virtual clock. With
+// MaxParallelPools > 1 the scenario list is partitioned per VM type into
+// independent pool lanes and up to that many lanes collect concurrently,
+// each on a private simulation substrate (see engine.go). Both modes
+// produce byte-identical datasets and identical accounting for the same
+// scenario list — parallelism reorders execution, not outcomes.
 package collector
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"hpcadvisor/internal/appmodel"
 	"hpcadvisor/internal/batchsim"
@@ -25,7 +35,11 @@ import (
 // sampler (Section III-F) plugs in here. A nil Planner runs everything.
 type Planner interface {
 	// Decide inspects the task and the data collected so far. Returning
-	// run=false skips the scenario, recording the reason.
+	// run=false skips the scenario, recording the reason. In sequential
+	// mode store is the collection's target store; in concurrent mode it is
+	// the lane's own shard, so cross-VM-type strategies (e.g. aggressive
+	// discarding) only see evidence from their own lane — use sequential
+	// collection when a strategy needs to compare VM types.
 	Decide(t *scenario.Task, store *dataset.Store) (run bool, reason string)
 }
 
@@ -38,15 +52,55 @@ type Options struct {
 	MaxAttempts int
 	// Planner optionally prunes scenarios (smart sampling).
 	Planner Planner
-	// Progress, when set, is invoked after every task state change.
+	// Progress, when set, is invoked after every task state change. With
+	// MaxParallelPools > 1 it is still called serially (an internal mutex
+	// guards it), but calls from different lanes interleave in real-time
+	// order, which varies run to run.
 	Progress func(t *scenario.Task)
 	// UseSpot collects on spot (low-priority) capacity: pools are billed at
 	// the spot rate but tasks can be preempted; pair with MaxAttempts > 1.
 	UseSpot bool
+	// MaxParallelPools caps how many VM-type pool lanes collect
+	// concurrently. Zero or one preserves the sequential Algorithm 1 walk.
+	// Larger values partition the task list per VM type into independent
+	// lanes, each simulated on a private virtual clock, and execute up to
+	// this many lanes at once on real OS threads. For a fresh collection
+	// the resulting dataset is byte-identical to the sequential run and the
+	// report totals are equal; only real wall-clock time and the modeled
+	// concurrent makespan (Report.ElapsedVirtualSeconds) shrink.
+	MaxParallelPools int
+}
+
+// LaneReport is one VM type's share of a collection run. In concurrent mode
+// a lane is the unit of parallel execution; in sequential mode the same
+// accounting is kept per VM type so the two modes report identically. Lane
+// sums equal the report totals by construction.
+type LaneReport struct {
+	// SKU and SKUAlias identify the lane's VM type.
+	SKU      string
+	SKUAlias string
+	// Completed, Failed, Skipped, and Attempts count this lane's task
+	// outcomes, mirroring the top-level report fields.
+	Completed int
+	Failed    int
+	Skipped   int
+	Attempts  int
+	// NodeSeconds is the billed node time this lane accrued, including
+	// boot, setup, and idle time.
+	NodeSeconds float64
+	// CostUSD prices the lane's node-seconds at the lane SKU's hourly rate.
+	CostUSD float64
+	// VirtualSeconds is how long the lane occupied its (virtual) timeline.
+	VirtualSeconds float64
+	// MeanUtil is the mean infrastructure utilization over the lane's
+	// successful scenarios; Samples is how many contributed.
+	MeanUtil monitor.Sample
+	Samples  int
 }
 
 // Report summarizes a collection run.
 type Report struct {
+	// Completed, Failed, and Skipped count scenario outcomes.
 	Completed int
 	Failed    int
 	Skipped   int
@@ -59,8 +113,21 @@ type Report struct {
 	// CollectionCostUSD prices the billed node-seconds: the total cost of
 	// obtaining the data (Section III-C, "data collection incurs a cost").
 	CollectionCostUSD float64
-	// VirtualSeconds is how long the collection took on the virtual clock.
+	// VirtualSeconds is the canonical (sequential-equivalent) virtual
+	// duration of the collection: the sum of all lane durations. It is
+	// identical whatever MaxParallelPools is, which keeps timestamps and
+	// accounting mode-independent.
 	VirtualSeconds float64
+	// ElapsedVirtualSeconds is the modeled wall-clock of the run: with
+	// concurrent lanes it is the makespan of scheduling the lanes onto
+	// MaxParallelPools workers, and with sequential collection it equals
+	// VirtualSeconds. This is the "time to advice" that concurrency
+	// reduces.
+	ElapsedVirtualSeconds float64
+	// Lanes breaks the run down per VM type, in first-appearance order of
+	// the task list. Counter, node-second, cost, and virtual-second sums
+	// over lanes equal the top-level fields for a fresh collection.
+	Lanes []LaneReport
 }
 
 // Collector runs scenario lists against a deployed batch service.
@@ -79,20 +146,63 @@ func New(svc *batchsim.Service, apps *appmodel.Registry, prices *pricing.PriceBo
 }
 
 // Run executes Algorithm 1 over the task list, appending datapoints to
-// store. It returns a report of what ran and what it cost.
+// store. It returns a report of what ran and what it cost. With
+// Options.MaxParallelPools > 1 the run is delegated to the concurrent lane
+// engine; outcomes are identical either way.
 func (c *Collector) Run(list *scenario.List, store *dataset.Store, opts Options) (*Report, error) {
 	if opts.MaxAttempts < 1 {
 		opts.MaxAttempts = 1
 	}
+	if opts.MaxParallelPools > 1 && countPendingSKUs(list) > 1 {
+		return c.runConcurrent(list, store, opts)
+	}
+	return c.runSequential(list, store, opts)
+}
+
+// countPendingSKUs reports how many distinct VM types still have pending
+// tasks — the number of lanes a concurrent run would create.
+func countPendingSKUs(list *scenario.List) int {
+	seen := map[string]bool{}
+	for _, t := range list.Tasks {
+		if t.Status == scenario.StatusPending {
+			seen[t.SKU] = true
+		}
+	}
+	return len(seen)
+}
+
+// runSequential is the paper's Algorithm 1: one pool at a time on the
+// deployment's shared clock, with per-VM-type lane accounting maintained
+// along the way so its report matches the concurrent engine's.
+func (c *Collector) runSequential(list *scenario.List, store *dataset.Store, opts Options) (*Report, error) {
 	start := c.Service.Clock.Now()
 	report := &Report{NodeSecondsBySKU: make(map[string]float64)}
+	agg := monitor.NewAggregator()
+	lanes := newLaneSet()
+	defer func() {
+		c.priceLanes(lanes.all, opts.UseSpot)
+		foldLanes(report, lanes.all, agg)
+	}()
 
 	previousVMType := ""
 	poolID := ""
+	segStart := start // virtual time the active pool segment opened
+	segNS := 0.0      // the active SKU's node-second total at segment open
+	closeSegment := func() {
+		if previousVMType == "" {
+			return
+		}
+		ln := lanes.get(previousVMType, "")
+		now := c.Service.Clock.Now()
+		ln.VirtualSeconds += (now - segStart).Seconds()
+		ln.NodeSeconds += c.Service.NodeSecondsBySKU()[previousVMType] - segNS
+		segStart = now
+	}
 	teardown := func() error {
 		if poolID == "" {
 			return nil
 		}
+		closeSegment()
 		if opts.DeletePoolAfter {
 			if err := c.Service.DeletePool(poolID); err != nil {
 				return err
@@ -108,11 +218,12 @@ func (c *Collector) Run(list *scenario.List, store *dataset.Store, opts Options)
 		if task.Status != scenario.StatusPending {
 			continue
 		}
+		lane := lanes.get(task.SKU, task.SKUAlias)
 		if opts.Planner != nil {
 			if run, reason := opts.Planner.Decide(task, store); !run {
 				task.Status = scenario.StatusSkipped
 				task.Error = reason
-				report.Skipped++
+				lane.Skipped++
 				notify(opts, task)
 				continue
 			}
@@ -135,16 +246,18 @@ func (c *Collector) Run(list *scenario.List, store *dataset.Store, opts Options)
 				}
 			}
 			previousVMType = task.SKU
+			segStart = c.Service.Clock.Now()
+			segNS = c.Service.NodeSecondsBySKU()[task.SKU]
 		}
 		if err := c.Service.Resize(poolID, task.NNodes); err != nil {
 			task.Status = scenario.StatusFailed
 			task.Error = err.Error()
-			report.Failed++
+			lane.Failed++
 			notify(opts, task)
 			continue
 		}
 
-		if err := c.runScenario(task, store, opts, poolID, report); err != nil {
+		if err := c.runScenario(c.Service, task, opts, poolID, lane, agg, store.Add); err != nil {
 			return report, err
 		}
 	}
@@ -153,24 +266,25 @@ func (c *Collector) Run(list *scenario.List, store *dataset.Store, opts Options)
 	}
 
 	report.NodeSecondsBySKU = c.Service.NodeSecondsBySKU()
-	for sku, ns := range report.NodeSecondsBySKU {
-		hourly, err := c.hourly(sku, opts.UseSpot)
-		if err != nil {
-			return report, err
-		}
-		report.CollectionCostUSD += ns * hourly / 3600
+	cost, err := c.priceNodeSeconds(report.NodeSecondsBySKU, opts.UseSpot)
+	if err != nil {
+		return report, err
 	}
+	report.CollectionCostUSD = cost
 	report.VirtualSeconds = (c.Service.Clock.Now() - start).Seconds()
+	report.ElapsedVirtualSeconds = report.VirtualSeconds
 	return report, nil
 }
 
-// runScenario executes one task with retries and records its datapoint.
-func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts Options, poolID string, report *Report) error {
+// runScenario executes one task with retries on svc's pool and records its
+// datapoint through addPoint, updating the lane's counters. It is the
+// per-scenario core shared by the sequential walk and the concurrent lanes.
+func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts Options, poolID string, lane *LaneReport, agg *monitor.Aggregator, addPoint func(dataset.Point)) error {
 	app, err := c.Apps.Get(task.AppName)
 	if err != nil {
 		task.Status = scenario.StatusFailed
 		task.Error = err.Error()
-		report.Failed++
+		lane.Failed++
 		notify(opts, task)
 		return nil
 	}
@@ -178,7 +292,7 @@ func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts 
 	if err != nil {
 		task.Status = scenario.StatusFailed
 		task.Error = err.Error()
-		report.Failed++
+		lane.Failed++
 		notify(opts, task)
 		return nil
 	}
@@ -191,7 +305,7 @@ func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts 
 	// task a fresh attempt budget.
 	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
 		task.Attempts++
-		report.Attempts++
+		lane.Attempts++
 		spec := batchsim.TaskSpec{
 			Name:          task.ID,
 			NodesRequired: task.NNodes,
@@ -208,7 +322,7 @@ func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts 
 				return runner.NewTaskFunc(app, w, env)(tc)
 			},
 		}
-		bt, err = c.Service.RunToCompletion(poolID, spec)
+		bt, err = svc.RunToCompletion(poolID, spec)
 		if err != nil {
 			return fmt.Errorf("collector: scenario %s: %w", task.ID, err)
 		}
@@ -221,8 +335,8 @@ func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts 
 	if bt.Status != batchsim.TaskCompleted {
 		task.Status = scenario.StatusFailed
 		task.Error = firstLine(bt.Result.Stdout)
-		report.Failed++
-		store.Add(dataset.Point{
+		lane.Failed++
+		addPoint(dataset.Point{
 			ScenarioID: task.ID,
 			Deployment: c.Deployment,
 			AppName:    task.AppName,
@@ -236,7 +350,7 @@ func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts 
 			Failed:     true,
 			Error:      task.Error,
 
-			CollectedAt: c.Service.Clock.NowSeconds(),
+			CollectedAt: svc.Clock.NowSeconds(),
 		})
 		notify(opts, task)
 		return nil
@@ -260,8 +374,9 @@ func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts 
 		return fmt.Errorf("collector: profiling scenario %s: %w", task.ID, err)
 	}
 	sample := monitor.FromProfile(prof)
+	agg.Observe(task.SKU, sample)
 
-	store.Add(dataset.Point{
+	addPoint(dataset.Point{
 		ScenarioID:  task.ID,
 		Deployment:  c.Deployment,
 		AppName:     task.AppName,
@@ -277,11 +392,11 @@ func (c *Collector) runScenario(task *scenario.Task, store *dataset.Store, opts 
 		Metrics:     runner.ParseVars(bt.Result.Stdout),
 		Utilization: sample,
 		Bottleneck:  monitor.Classify(sample),
-		CollectedAt: c.Service.Clock.NowSeconds(),
+		CollectedAt: svc.Clock.NowSeconds(),
 	})
 	task.Status = scenario.StatusCompleted
 	task.Error = ""
-	report.Completed++
+	lane.Completed++
 	notify(opts, task)
 	return nil
 }
@@ -292,6 +407,80 @@ func (c *Collector) hourly(sku string, spot bool) (float64, error) {
 		return c.Prices.HourlySpot(c.Region, sku)
 	}
 	return c.Prices.Hourly(c.Region, sku)
+}
+
+// priceNodeSeconds totals the cost of a node-seconds-by-SKU map, summing in
+// sorted SKU order so the float result is deterministic.
+func (c *Collector) priceNodeSeconds(ns map[string]float64, spot bool) (float64, error) {
+	total := 0.0
+	for _, sku := range sortedKeys(ns) {
+		hourly, err := c.hourly(sku, spot)
+		if err != nil {
+			return 0, err
+		}
+		total += ns[sku] * hourly / 3600
+	}
+	return total, nil
+}
+
+// priceLanes fills each lane's CostUSD from its node-seconds. Pricing
+// errors surface through the run's own pricing path; here they only leave
+// the lane cost at zero.
+func (c *Collector) priceLanes(lanes []*LaneReport, spot bool) {
+	for _, ln := range lanes {
+		hourly, err := c.hourly(ln.SKU, spot)
+		if err != nil {
+			continue
+		}
+		ln.CostUSD = ln.NodeSeconds * hourly / 3600
+	}
+}
+
+// laneSet tracks per-VM-type lane reports in first-appearance order.
+type laneSet struct {
+	index map[string]int
+	all   []*LaneReport
+}
+
+func newLaneSet() *laneSet {
+	return &laneSet{index: map[string]int{}}
+}
+
+func (s *laneSet) get(sku, alias string) *LaneReport {
+	if i, ok := s.index[sku]; ok {
+		if s.all[i].SKUAlias == "" {
+			s.all[i].SKUAlias = alias
+		}
+		return s.all[i]
+	}
+	s.index[sku] = len(s.all)
+	s.all = append(s.all, &LaneReport{SKU: sku, SKUAlias: alias})
+	return s.all[len(s.all)-1]
+}
+
+// foldLanes finalizes per-lane utilization means and accumulates lane
+// counters into the report totals, so lane sums equal totals by
+// construction in both collection modes.
+func foldLanes(report *Report, lanes []*LaneReport, agg *monitor.Aggregator) {
+	for _, ln := range lanes {
+		if mean, n := agg.Mean(ln.SKU); n > 0 {
+			ln.MeanUtil, ln.Samples = mean, n
+		}
+		report.Completed += ln.Completed
+		report.Failed += ln.Failed
+		report.Skipped += ln.Skipped
+		report.Attempts += ln.Attempts
+		report.Lanes = append(report.Lanes, *ln)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func describeInput(w appmodel.Workload, task *scenario.Task) string {

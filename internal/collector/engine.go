@@ -1,0 +1,269 @@
+// The concurrent collection engine. The scenario list is partitioned per VM
+// type into independent pool lanes; each lane replays exactly the pool
+// lifecycle the sequential collector would have given it — create, resize
+// per scenario, execute, teardown — but on a private simulation substrate: a
+// fresh virtual clock at time zero, a control-plane replica with its own
+// quota ledger, and a private batch service (batchsim.Service.Lane). A
+// bounded worker pool runs up to Options.MaxParallelPools lanes at once on
+// real OS threads.
+//
+// Determinism comes from the merge, not from the schedule. Every simulated
+// quantity a lane produces (execution times, costs, metrics, spot
+// preemption draws, node names) depends only on pool-relative coordinates,
+// so each lane's local timeline is a time-shifted copy of its segment of
+// the sequential timeline. After the lanes join, their datapoint shards are
+// concatenated in canonical lane order (first appearance of the VM type in
+// the task list) and each point's timestamp is rebased — in integer
+// nanosecond arithmetic, so not even a float ulp drifts — onto the
+// sequential-equivalent timeline: lane k's local time t becomes
+// start + sum(duration of lanes < k) + t. The result is byte-identical to
+// the dataset the sequential walk writes for the same list.
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hpcadvisor/internal/batchsim"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/monitor"
+	"hpcadvisor/internal/runner"
+	"hpcadvisor/internal/scenario"
+)
+
+// lane is one VM type's partition of the task list plus everything its
+// worker produced: the private service, the datapoint shard, per-point
+// completion stamps on the lane clock, and the lane report.
+type lane struct {
+	sku    string
+	alias  string
+	tasks  []*scenario.Task
+	svc    *batchsim.Service
+	shard  *dataset.Store
+	stamps []time.Duration // lane-clock completion time per shard point
+	rep    LaneReport
+	// duration is the lane's virtual timeline length: zero until the first
+	// pool is created, then the last task completion time on the lane
+	// clock (lane clocks start at zero).
+	duration time.Duration
+	err      error
+}
+
+// runConcurrent executes the task list with per-VM-type lanes at bounded
+// concurrency and merges the lane results into store deterministically.
+func (c *Collector) runConcurrent(list *scenario.List, store *dataset.Store, opts Options) (*Report, error) {
+	report := &Report{NodeSecondsBySKU: make(map[string]float64)}
+	lanes := partitionLanes(list)
+	agg := monitor.NewAggregator()
+
+	// Shards are created up front, in canonical lane order, so the merged
+	// snapshot order never depends on worker scheduling.
+	shards := dataset.NewSharded()
+	for _, ln := range lanes {
+		ln.shard = shards.Shard(ln.sku)
+	}
+
+	// Progress callbacks fire from lane goroutines; serialize them so user
+	// code never observes two concurrent calls.
+	laneOpts := opts
+	if opts.Progress != nil {
+		var mu sync.Mutex
+		inner := opts.Progress
+		laneOpts.Progress = func(t *scenario.Task) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(t)
+		}
+	}
+
+	workers := opts.MaxParallelPools
+	if workers > len(lanes) {
+		workers = len(lanes)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, ln := range lanes {
+		wg.Add(1)
+		go func(ln *lane) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ln.err = c.runLane(ln, laneOpts, agg)
+		}(ln)
+	}
+	wg.Wait()
+
+	// Merge in canonical lane order: rebase timestamps onto the
+	// sequential-equivalent timeline, renumber batch task IDs into one
+	// global sequence, and fold meters and counters.
+	start := c.Service.Clock.Now()
+	var cum time.Duration
+	taskOffset := 0
+	var firstErr error
+	laneReports := make([]*LaneReport, 0, len(lanes))
+	for _, ln := range lanes {
+		pts := ln.shard.All()
+		for i := range pts {
+			pts[i].CollectedAt = (start + cum + ln.stamps[i]).Seconds()
+		}
+		store.AddAll(pts)
+		renumberTasks(ln.tasks, taskOffset)
+		if ln.err != nil && firstErr == nil {
+			firstErr = ln.err
+		}
+		ln.rep.VirtualSeconds = ln.duration.Seconds()
+		if ln.svc != nil {
+			ln.rep.NodeSeconds = ln.svc.NodeSecondsBySKU()[ln.sku]
+			c.Service.Meter.AddTotals(ln.svc.UsageSnapshot())
+		}
+		cum += ln.duration
+		taskOffset += ln.rep.Attempts
+		laneReports = append(laneReports, &ln.rep)
+	}
+	c.Service.Clock.Advance(cum)
+
+	c.priceLanes(laneReports, opts.UseSpot)
+	foldLanes(report, laneReports, agg)
+	report.NodeSecondsBySKU = c.Service.NodeSecondsBySKU()
+	cost, err := c.priceNodeSeconds(report.NodeSecondsBySKU, opts.UseSpot)
+	if err != nil && firstErr == nil {
+		firstErr = err
+	}
+	report.CollectionCostUSD = cost
+	report.VirtualSeconds = cum.Seconds()
+	report.ElapsedVirtualSeconds = makespan(lanes, opts.MaxParallelPools).Seconds()
+	return report, firstErr
+}
+
+// partitionLanes groups the pending tasks per VM type, preserving task
+// order within each lane and ordering lanes by first appearance — the order
+// the sequential walk would open their pools.
+func partitionLanes(list *scenario.List) []*lane {
+	index := map[string]int{}
+	var lanes []*lane
+	for _, t := range list.Tasks {
+		if t.Status != scenario.StatusPending {
+			continue
+		}
+		i, ok := index[t.SKU]
+		if !ok {
+			i = len(lanes)
+			index[t.SKU] = i
+			lanes = append(lanes, &lane{sku: t.SKU, alias: t.SKUAlias,
+				rep: LaneReport{SKU: t.SKU, SKUAlias: t.SKUAlias}})
+		}
+		lanes[i].tasks = append(lanes[i].tasks, t)
+	}
+	return lanes
+}
+
+// runLane executes one VM type's scenarios on a private service. The
+// per-task sequence mirrors runSequential exactly: planner decision first,
+// pool created lazily on the first non-skipped task, resize per scenario,
+// teardown at the end.
+func (c *Collector) runLane(ln *lane, opts Options, agg *monitor.Aggregator) error {
+	svc, err := c.Service.Lane()
+	if err != nil {
+		return err
+	}
+	ln.svc = svc
+	addPoint := func(p dataset.Point) {
+		ln.shard.Add(p)
+		ln.stamps = append(ln.stamps, svc.Clock.Now())
+	}
+
+	poolID := ""
+	for _, task := range ln.tasks {
+		if task.Status != scenario.StatusPending {
+			continue
+		}
+		if opts.Planner != nil {
+			if run, reason := opts.Planner.Decide(task, ln.shard); !run {
+				task.Status = scenario.StatusSkipped
+				task.Error = reason
+				ln.rep.Skipped++
+				notify(opts, task)
+				continue
+			}
+		}
+		if poolID == "" {
+			poolID = "pool-" + task.SKUAlias
+			create := svc.CreatePool
+			if opts.UseSpot {
+				create = svc.CreateSpotPool
+			}
+			if _, err := create(poolID, task.SKU, runner.SetupSeconds); err != nil {
+				return err
+			}
+		}
+		if err := svc.Resize(poolID, task.NNodes); err != nil {
+			task.Status = scenario.StatusFailed
+			task.Error = err.Error()
+			ln.rep.Failed++
+			notify(opts, task)
+			continue
+		}
+		if err := c.runScenario(svc, task, opts, poolID, &ln.rep, agg, addPoint); err != nil {
+			ln.duration = svc.Clock.Now()
+			return err
+		}
+	}
+	if poolID != "" {
+		ln.duration = svc.Clock.Now()
+		if opts.DeletePoolAfter {
+			return svc.DeletePool(poolID)
+		}
+		return svc.Resize(poolID, 0)
+	}
+	return nil
+}
+
+// renumberTasks rewrites the lane-local batch task IDs recorded on the
+// scenario tasks ("task-00001"...) into the global sequence the sequential
+// walk would have assigned, by offsetting with the attempts of all earlier
+// lanes.
+func renumberTasks(tasks []*scenario.Task, offset int) {
+	if offset == 0 {
+		return
+	}
+	for _, t := range tasks {
+		var n int
+		if _, err := fmt.Sscanf(t.TaskID, "task-%05d", &n); err == nil && n > 0 {
+			t.TaskID = fmt.Sprintf("task-%05d", n+offset)
+		}
+	}
+}
+
+// makespan models scheduling the lanes, in canonical order, onto `workers`
+// parallel slots (earliest-free slot first): the virtual wall-clock a user
+// would wait if the pools really ran concurrently in the cloud. With one
+// worker it degenerates to the sequential total.
+func makespan(lanes []*lane, workers int) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(lanes) {
+		workers = len(lanes)
+	}
+	if workers == 0 {
+		return 0
+	}
+	free := make([]time.Duration, workers)
+	for _, ln := range lanes {
+		w := 0
+		for i := range free {
+			if free[i] < free[w] {
+				w = i
+			}
+		}
+		free[w] += ln.duration
+	}
+	var end time.Duration
+	for _, f := range free {
+		if f > end {
+			end = f
+		}
+	}
+	return end
+}

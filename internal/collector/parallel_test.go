@@ -1,0 +1,192 @@
+package collector
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hpcadvisor/internal/scenario"
+)
+
+// collectWith runs one fresh collection and returns everything needed for
+// equivalence checks.
+func collectWith(t *testing.T, opts Options, skus []string, nnodes []int) (*fixture, *scenario.List, *Report) {
+	t.Helper()
+	f := newFixture(t)
+	list := smallLAMMPSList(t, skus, nnodes)
+	rep, err := f.col.Run(list, f.store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, list, rep
+}
+
+var threeSKUs = []string{"Standard_HB120rs_v3", "Standard_HB120rs_v2", "Standard_HC44rs"}
+
+// TestParallelGoldenEquivalence is the engine's core contract: a multi-SKU
+// sweep collected with MaxParallelPools > 1 must produce a dataset
+// byte-identical to the sequential run — timestamps, ordering, every field.
+func TestParallelGoldenEquivalence(t *testing.T) {
+	nnodes := []int{1, 2, 4, 8}
+	seqF, seqList, seqRep := collectWith(t, Options{}, threeSKUs, nnodes)
+	parF, parList, parRep := collectWith(t, Options{MaxParallelPools: 3}, threeSKUs, nnodes)
+
+	seqBytes, err := seqF.store.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parBytes, err := parF.store.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqBytes, parBytes) {
+		t.Fatalf("parallel dataset differs from sequential:\nseq:\n%s\npar:\n%s", seqBytes, parBytes)
+	}
+
+	// The recorded task lists must also match: same statuses, same batch
+	// task IDs (renumbered into the global sequence).
+	seqTasks, err := seqList.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parTasks, err := parList.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqTasks, parTasks) {
+		t.Fatalf("parallel task list differs from sequential:\nseq:\n%s\npar:\n%s", seqTasks, parTasks)
+	}
+
+	assertReportsEqual(t, seqRep, parRep)
+}
+
+// TestParallelSpotEquivalence checks that spot collections — where
+// preemption draws and retries shape the timeline — are also mode
+// independent, because draws are keyed to pool-relative coordinates.
+func TestParallelSpotEquivalence(t *testing.T) {
+	opts := Options{UseSpot: true, MaxAttempts: 12}
+	popts := opts
+	popts.MaxParallelPools = 3
+	nnodes := []int{1, 2, 3, 4, 8}
+	seqF, _, seqRep := collectWith(t, opts, threeSKUs, nnodes)
+	parF, _, parRep := collectWith(t, popts, threeSKUs, nnodes)
+
+	seqBytes, _ := seqF.store.Marshal()
+	parBytes, _ := parF.store.Marshal()
+	if !bytes.Equal(seqBytes, parBytes) {
+		t.Fatalf("spot parallel dataset differs from sequential:\nseq:\n%s\npar:\n%s", seqBytes, parBytes)
+	}
+	if seqRep.Attempts <= seqRep.Completed {
+		t.Fatalf("fixture has no retries (attempts %d, completed %d); spot equivalence untested",
+			seqRep.Attempts, seqRep.Completed)
+	}
+	assertReportsEqual(t, seqRep, parRep)
+}
+
+// TestParallelRepeatable: two concurrent runs with the same inputs are
+// identical to each other regardless of goroutine scheduling. Run with
+// -race (CI does) this also exercises the engine's synchronization across
+// >= 3 lanes.
+func TestParallelRepeatable(t *testing.T) {
+	opts := Options{MaxParallelPools: 3, Progress: func(t *scenario.Task) {}}
+	aF, _, _ := collectWith(t, opts, threeSKUs, []int{1, 2, 4})
+	bF, _, _ := collectWith(t, opts, threeSKUs, []int{1, 2, 4})
+	aBytes, _ := aF.store.Marshal()
+	bBytes, _ := bF.store.Marshal()
+	if !bytes.Equal(aBytes, bBytes) {
+		t.Fatal("two identical parallel runs produced different datasets")
+	}
+}
+
+// TestReportLaneAccounting: per-lane numbers sum exactly to the run totals
+// in both modes, and both modes agree lane by lane.
+func TestReportLaneAccounting(t *testing.T) {
+	_, _, seqRep := collectWith(t, Options{}, threeSKUs, []int{1, 2, 4})
+	_, _, parRep := collectWith(t, Options{MaxParallelPools: 2}, threeSKUs, []int{1, 2, 4})
+
+	for _, rep := range []*Report{seqRep, parRep} {
+		if len(rep.Lanes) != 3 {
+			t.Fatalf("lanes = %d, want 3", len(rep.Lanes))
+		}
+		var completed, failed, skipped, attempts int
+		var ns, cost, vsec float64
+		for _, ln := range rep.Lanes {
+			completed += ln.Completed
+			failed += ln.Failed
+			skipped += ln.Skipped
+			attempts += ln.Attempts
+			ns += ln.NodeSeconds
+			cost += ln.CostUSD
+			vsec += ln.VirtualSeconds
+		}
+		if completed != rep.Completed || failed != rep.Failed || skipped != rep.Skipped || attempts != rep.Attempts {
+			t.Errorf("lane counter sums (%d,%d,%d,%d) != totals (%d,%d,%d,%d)",
+				completed, failed, skipped, attempts,
+				rep.Completed, rep.Failed, rep.Skipped, rep.Attempts)
+		}
+		var nsTotal float64
+		for _, v := range rep.NodeSecondsBySKU {
+			nsTotal += v
+		}
+		if math.Abs(ns-nsTotal) > 1e-6 {
+			t.Errorf("lane node-seconds %.3f != total %.3f", ns, nsTotal)
+		}
+		if math.Abs(cost-rep.CollectionCostUSD) > 1e-9 {
+			t.Errorf("lane cost sum %.6f != total %.6f", cost, rep.CollectionCostUSD)
+		}
+		if math.Abs(vsec-rep.VirtualSeconds) > 1e-9 {
+			t.Errorf("lane virtual-seconds sum %.3f != total %.3f", vsec, rep.VirtualSeconds)
+		}
+		samples := 0
+		for _, ln := range rep.Lanes {
+			samples += ln.Samples
+			if ln.Completed > 0 && ln.MeanUtil.CPUUtil <= 0 {
+				t.Errorf("lane %s has completions but zero mean CPU utilization", ln.SKUAlias)
+			}
+		}
+		if samples != rep.Completed {
+			t.Errorf("utilization samples %d != completed %d", samples, rep.Completed)
+		}
+	}
+	for i := range seqRep.Lanes {
+		if seqRep.Lanes[i] != parRep.Lanes[i] {
+			t.Errorf("lane %d differs between modes:\nseq: %+v\npar: %+v",
+				i, seqRep.Lanes[i], parRep.Lanes[i])
+		}
+	}
+}
+
+// TestParallelReducesMakespan: with 3 lanes on 3 workers the modeled
+// concurrent wall-clock must be strictly below the sequential total.
+func TestParallelReducesMakespan(t *testing.T) {
+	_, _, rep := collectWith(t, Options{MaxParallelPools: 3}, threeSKUs, []int{1, 2, 4})
+	if rep.ElapsedVirtualSeconds >= rep.VirtualSeconds {
+		t.Errorf("elapsed %.1fs not below sequential-equivalent %.1fs",
+			rep.ElapsedVirtualSeconds, rep.VirtualSeconds)
+	}
+	if rep.ElapsedVirtualSeconds <= 0 {
+		t.Error("elapsed makespan is zero")
+	}
+}
+
+func assertReportsEqual(t *testing.T, seq, par *Report) {
+	t.Helper()
+	if seq.Completed != par.Completed || seq.Failed != par.Failed ||
+		seq.Skipped != par.Skipped || seq.Attempts != par.Attempts {
+		t.Errorf("counters differ: seq %+v par %+v", seq, par)
+	}
+	if math.Abs(seq.VirtualSeconds-par.VirtualSeconds) > 1e-9 {
+		t.Errorf("virtual seconds differ: seq %.6f par %.6f", seq.VirtualSeconds, par.VirtualSeconds)
+	}
+	if math.Abs(seq.CollectionCostUSD-par.CollectionCostUSD) > 1e-9 {
+		t.Errorf("cost differs: seq %.9f par %.9f", seq.CollectionCostUSD, par.CollectionCostUSD)
+	}
+	if len(seq.NodeSecondsBySKU) != len(par.NodeSecondsBySKU) {
+		t.Fatalf("node-second keys differ: %v vs %v", seq.NodeSecondsBySKU, par.NodeSecondsBySKU)
+	}
+	for sku, v := range seq.NodeSecondsBySKU {
+		if math.Abs(par.NodeSecondsBySKU[sku]-v) > 1e-6 {
+			t.Errorf("node-seconds for %s differ: seq %.3f par %.3f", sku, v, par.NodeSecondsBySKU[sku])
+		}
+	}
+}

@@ -108,5 +108,9 @@ func (a *Advisor) CollectAdaptive(deploymentName string, cfg *config.Config, bud
 	}
 	agg.CollectionCostUSD = cost
 	agg.VirtualSeconds = (svc.Clock.Now() - start).Seconds()
+	// Adaptive steps run one scenario at a time on the shared clock, so the
+	// elapsed wall-clock is the sequential total (MaxParallelPools does not
+	// apply to this mode).
+	agg.ElapsedVirtualSeconds = agg.VirtualSeconds
 	return agg, nil
 }

@@ -186,6 +186,11 @@ type CollectOptions struct {
 	// UseSpot collects on spot capacity (cheaper, preemptible); pair with
 	// MaxAttempts > 1 so preempted scenarios are retried.
 	UseSpot bool
+	// MaxParallelPools runs up to this many VM-type pool lanes concurrently
+	// during collection (the CLI's --parallel-pools). Zero or one keeps the
+	// paper's sequential walk; higher values cut time-to-advice on
+	// multi-SKU sweeps while producing an identical dataset and report.
+	MaxParallelPools int
 }
 
 // Collect generates (or resumes) the scenario list for the configuration
@@ -218,11 +223,12 @@ func (a *Advisor) Collect(deploymentName string, cfg *config.Config, opts Collec
 	}
 	col := collector.New(svc, a.Apps, a.Prices, a.Catalog, d.Region, d.Name)
 	return col.Run(list, a.Store, collector.Options{
-		DeletePoolAfter: opts.DeletePoolAfter,
-		MaxAttempts:     opts.MaxAttempts,
-		Planner:         planner,
-		Progress:        opts.Progress,
-		UseSpot:         opts.UseSpot,
+		DeletePoolAfter:  opts.DeletePoolAfter,
+		MaxAttempts:      opts.MaxAttempts,
+		Planner:          planner,
+		Progress:         opts.Progress,
+		UseSpot:          opts.UseSpot,
+		MaxParallelPools: opts.MaxParallelPools,
 	})
 }
 

@@ -4,6 +4,12 @@
 // utilization, and identifying tags. Plot generation and advice both consume
 // this store through filters, matching the paper's "data is collected,
 // filtered, and organized" pipeline.
+//
+// Store is safe for concurrent use: appends and reads are guarded by a
+// read-write mutex, so progress callbacks and the GUI may read while a
+// collection appends. High-throughput concurrent producers — the collector's
+// parallel pool lanes — should not contend on one Store at all; they write
+// to per-SKU shards of a Sharded store and merge a snapshot afterwards.
 package dataset
 
 import (
@@ -14,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 
 	"hpcadvisor/internal/monitor"
 )
@@ -52,8 +59,9 @@ type Point struct {
 // TotalCores is the scenario's process count (nodes x ppn).
 func (p Point) TotalCores() int { return p.NNodes * p.PPN }
 
-// Store is an append-only collection of points.
+// Store is an append-only collection of points, safe for concurrent use.
 type Store struct {
+	mu     sync.RWMutex
 	points []Point
 }
 
@@ -61,13 +69,30 @@ type Store struct {
 func NewStore() *Store { return &Store{} }
 
 // Add appends a point.
-func (s *Store) Add(p Point) { s.points = append(s.points, p) }
+func (s *Store) Add(p Point) {
+	s.mu.Lock()
+	s.points = append(s.points, p)
+	s.mu.Unlock()
+}
+
+// AddAll appends points in order.
+func (s *Store) AddAll(pts []Point) {
+	s.mu.Lock()
+	s.points = append(s.points, pts...)
+	s.mu.Unlock()
+}
 
 // Len returns the number of stored points.
-func (s *Store) Len() int { return len(s.points) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.points)
+}
 
 // All returns a copy of every point.
 func (s *Store) All() []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]Point, len(s.points))
 	copy(out, s.points)
 	return out
@@ -116,6 +141,8 @@ func (f Filter) Match(p Point) bool {
 
 // Select returns points passing the filter, ordered by (SKU, input, nodes).
 func (s *Store) Select(f Filter) []Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []Point
 	for _, p := range s.points {
 		if f.Match(p) {
@@ -140,6 +167,7 @@ type SeriesKey struct {
 	InputDesc string
 }
 
+// String renders the key as a plot legend label.
 func (k SeriesKey) String() string {
 	if k.InputDesc == "" {
 		return k.SKUAlias
@@ -164,6 +192,8 @@ func (s *Store) GroupSeries(f Filter) map[SeriesKey][]Point {
 
 // Apps lists distinct application names present, sorted.
 func (s *Store) Apps() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	seen := map[string]bool{}
 	for _, p := range s.points {
 		seen[p.AppName] = true
@@ -176,8 +206,10 @@ func (s *Store) Apps() []string {
 	return out
 }
 
-// Marshal renders the store as JSON Lines.
+// Marshal renders the store as JSON Lines, points in append order.
 func (s *Store) Marshal() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, p := range s.points {

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShardedSnapshotOrderIsCreationOrder(t *testing.T) {
+	s := NewSharded()
+	// Create shards in a deliberate, non-alphabetical order.
+	for _, sku := range []string{"hc44rs", "hb120rs_v3", "hb120rs_v2"} {
+		s.Shard(sku)
+	}
+	// Fill them out of order.
+	s.Shard("hb120rs_v2").Add(Point{ScenarioID: "b1", SKUAlias: "hb120rs_v2"})
+	s.Shard("hc44rs").Add(Point{ScenarioID: "c1", SKUAlias: "hc44rs"})
+	s.Shard("hc44rs").Add(Point{ScenarioID: "c2", SKUAlias: "hc44rs"})
+	s.Shard("hb120rs_v3").Add(Point{ScenarioID: "a1", SKUAlias: "hb120rs_v3"})
+
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	want := []string{"c1", "c2", "a1", "b1"}
+	snap := s.Snapshot().All()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d points, want %d", len(snap), len(want))
+	}
+	for i, p := range snap {
+		if p.ScenarioID != want[i] {
+			t.Errorf("snapshot[%d] = %s, want %s", i, p.ScenarioID, want[i])
+		}
+	}
+	keys := s.Keys()
+	if len(keys) != 3 || keys[0] != "hc44rs" || keys[1] != "hb120rs_v3" || keys[2] != "hb120rs_v2" {
+		t.Errorf("Keys = %v, want creation order", keys)
+	}
+}
+
+func TestShardedConcurrentProducers(t *testing.T) {
+	// One producer per shard, the collector's pattern. Run with -race.
+	s := NewSharded()
+	const perShard = 200
+	skus := []string{"a", "b", "c", "d"}
+	for _, sku := range skus {
+		s.Shard(sku) // canonical order fixed before producers start
+	}
+	var wg sync.WaitGroup
+	for _, sku := range skus {
+		wg.Add(1)
+		go func(sku string) {
+			defer wg.Done()
+			shard := s.Shard(sku)
+			for i := 0; i < perShard; i++ {
+				shard.Add(Point{ScenarioID: fmt.Sprintf("%s-%03d", sku, i), SKU: sku})
+			}
+		}(sku)
+	}
+	wg.Wait()
+	if got := s.Len(); got != perShard*len(skus) {
+		t.Fatalf("Len = %d, want %d", got, perShard*len(skus))
+	}
+	snap := s.Snapshot().All()
+	for i, p := range snap {
+		wantSKU := skus[i/perShard]
+		wantID := fmt.Sprintf("%s-%03d", wantSKU, i%perShard)
+		if p.ScenarioID != wantID {
+			t.Fatalf("snapshot[%d] = %s, want %s (order must be schedule-independent)", i, p.ScenarioID, wantID)
+		}
+	}
+}
+
+func TestStoreConcurrentAddAndRead(t *testing.T) {
+	// Store itself must tolerate concurrent appends and reads (progress
+	// callbacks and the GUI read while collection appends). Run with -race.
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Add(Point{ScenarioID: fmt.Sprintf("w%d-%d", w, i), AppName: "lammps"})
+			}
+		}(w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Len()
+				_ = s.Select(Filter{AppName: "lammps"})
+				_ = s.Apps()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", s.Len())
+	}
+	if _, err := s.Marshal(); err != nil {
+		t.Fatal(err)
+	}
+}

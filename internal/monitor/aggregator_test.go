@@ -1,0 +1,61 @@
+package monitor
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAggregatorMean(t *testing.T) {
+	a := NewAggregator()
+	if _, n := a.Mean("sku"); n != 0 {
+		t.Fatalf("empty aggregator reported %d samples", n)
+	}
+	a.Observe("sku", Sample{CPUUtil: 0.2, MemBWUtil: 0.4, NetUtil: 0.6})
+	a.Observe("sku", Sample{CPUUtil: 0.4, MemBWUtil: 0.2, NetUtil: 0.0})
+	mean, n := a.Mean("sku")
+	if n != 2 {
+		t.Fatalf("samples = %d, want 2", n)
+	}
+	want := Sample{CPUUtil: 0.3, MemBWUtil: 0.3, NetUtil: 0.3}
+	for name, pair := range map[string][2]float64{
+		"cpu":   {mean.CPUUtil, want.CPUUtil},
+		"membw": {mean.MemBWUtil, want.MemBWUtil},
+		"net":   {mean.NetUtil, want.NetUtil},
+	} {
+		if math.Abs(pair[0]-pair[1]) > 1e-12 {
+			t.Errorf("%s mean = %f, want %f", name, pair[0], pair[1])
+		}
+	}
+}
+
+func TestAggregatorConcurrentObserve(t *testing.T) {
+	// Concurrent collection lanes all observe into one aggregator; means
+	// must come out schedule-independent. Run with -race.
+	a := NewAggregator()
+	keys := []string{"hb120rs_v3", "hb120rs_v2", "hc44rs"}
+	const perKey = 500
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			for i := 0; i < perKey; i++ {
+				a.Observe(key, Sample{CPUUtil: 0.5, MemBWUtil: 0.25, NetUtil: 0.125})
+			}
+		}(key)
+	}
+	wg.Wait()
+	if got := a.Keys(); len(got) != len(keys) {
+		t.Fatalf("Keys = %v", got)
+	}
+	for _, key := range keys {
+		mean, n := a.Mean(key)
+		if n != perKey {
+			t.Errorf("%s: samples = %d, want %d", key, n, perKey)
+		}
+		if math.Abs(mean.CPUUtil-0.5) > 1e-9 || math.Abs(mean.NetUtil-0.125) > 1e-9 {
+			t.Errorf("%s: mean = %+v", key, mean)
+		}
+	}
+}

@@ -5,10 +5,16 @@
 // discarding future scenarios; this package provides those signals from the
 // performance model's term decomposition and the classification rule the
 // sampler consumes.
+// An Aggregator additionally accumulates the samples of a whole collection
+// run — including runs where several pool lanes execute concurrently, each
+// advancing its own virtual clock — into per-key utilization means that feed
+// the per-lane collection report.
 package monitor
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"hpcadvisor/internal/appmodel"
 )
@@ -66,6 +72,65 @@ func (s Sample) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Aggregator accumulates utilization samples under string keys (the
+// collector keys by SKU). It is safe for concurrent use: when collection
+// lanes run in parallel, every lane observes into the same aggregator from
+// its own goroutine. Aggregation is commutative, so the resulting means do
+// not depend on lane scheduling. The zero value is not usable; call
+// NewAggregator.
+type Aggregator struct {
+	mu     sync.Mutex
+	sums   map[string]Sample
+	counts map[string]int
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{sums: make(map[string]Sample), counts: make(map[string]int)}
+}
+
+// Observe folds one sample into the running totals for key.
+func (a *Aggregator) Observe(key string, s Sample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sum := a.sums[key]
+	sum.CPUUtil += s.CPUUtil
+	sum.MemBWUtil += s.MemBWUtil
+	sum.NetUtil += s.NetUtil
+	a.sums[key] = sum
+	a.counts[key]++
+}
+
+// Mean returns the per-dimension mean of the samples observed for key and
+// how many samples contributed. A key with no observations yields a zero
+// Sample and count 0.
+func (a *Aggregator) Mean(key string) (Sample, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.counts[key]
+	if n == 0 {
+		return Sample{}, 0
+	}
+	sum := a.sums[key]
+	return Sample{
+		CPUUtil:   sum.CPUUtil / float64(n),
+		MemBWUtil: sum.MemBWUtil / float64(n),
+		NetUtil:   sum.NetUtil / float64(n),
+	}, n
+}
+
+// Keys returns the observed keys, sorted.
+func (a *Aggregator) Keys() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.counts))
+	for k := range a.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ScalingHint summarizes what a bottleneck implies for scenario planning,

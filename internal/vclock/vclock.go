@@ -5,7 +5,11 @@
 // while cost accounting stays exact.
 //
 // The clock is single-threaded by design: events fire in (time, insertion
-// order) so simulations are fully deterministic.
+// order) so simulations are fully deterministic. Concurrency in the system
+// is achieved by running several clocks — one per collection lane — each
+// owned by exactly one goroutine, and merging their meters afterwards with
+// Meter.AddTotals; a single Clock or Meter must never be shared across
+// goroutines.
 package vclock
 
 import (
@@ -219,6 +223,17 @@ func (m *Meter) StopInterval(key string, now time.Duration) {
 	elapsed := (now - iv.since).Seconds()
 	if elapsed > 0 {
 		m.usage[key] += iv.units * elapsed
+	}
+}
+
+// AddTotals folds another meter's accumulated usage into this one, key by
+// key. Open intervals on src are not included; close them first (e.g. via
+// StopInterval or batchsim's usage snapshot) if they should count. This is
+// how per-lane meters from concurrent collection are merged into the
+// deployment-wide meter once the lanes have finished.
+func (m *Meter) AddTotals(src *Meter) {
+	for _, k := range src.Keys() {
+		m.usage[k] += src.usage[k]
 	}
 }
 
