@@ -8,6 +8,7 @@
 package hpcadvisor_test
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/queryengine"
 	"hpcadvisor/internal/regression"
 	"hpcadvisor/internal/runner"
 	"hpcadvisor/internal/sampler"
@@ -31,6 +33,8 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
+	"time"
 )
 
 //
@@ -735,6 +739,189 @@ func BenchmarkConcurrentCollection(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { run(b, 1) })
 	b.Run("parallel-2", func(b *testing.B) { run(b, 2) })
 	b.Run("parallel-3", func(b *testing.B) { run(b, 3) })
+}
+
+//
+// Extension: indexed snapshot query engine — advice/plot serving
+// throughput.
+//
+
+// queryBenchStore builds a deterministic ~n-point dataset shaped like many
+// collections worth of sweeps: several apps, SKUs, inputs, node counts.
+func queryBenchStore(n int) *dataset.Store {
+	apps := []string{"lammps", "openfoam", "wrf", "gromacs"}
+	skus := [][2]string{
+		{"Standard_HB120rs_v3", "hb120rs_v3"},
+		{"Standard_HB120rs_v2", "hb120rs_v2"},
+		{"Standard_HC44rs", "hc44rs"},
+		{"Standard_D32s_v5", "d32s_v5"},
+	}
+	inputs := []string{"atoms=864M", "atoms=4B", "mesh=40 16 16", "mesh=80 32 32"}
+	rng := rand.New(rand.NewSource(11))
+	store := dataset.NewStore()
+	for i := 0; i < n; i++ {
+		sku := skus[i%len(skus)]
+		store.Add(dataset.Point{
+			ScenarioID:  scenarioName(i),
+			AppName:     apps[i%len(apps)],
+			SKU:         sku[0],
+			SKUAlias:    sku[1],
+			NNodes:      1 << (i % 5),
+			PPN:         100,
+			InputDesc:   inputs[i%len(inputs)],
+			ExecTimeSec: rng.Float64()*1000 + 1,
+			CostUSD:     rng.Float64() * 10,
+		})
+	}
+	return store
+}
+
+var queryBenchFilters = []dataset.Filter{
+	{AppName: "lammps"},
+	{AppName: "openfoam", SKU: "hb120rs_v3"},
+	{AppName: "wrf", InputDesc: "mesh=40 16 16"},
+	{SKU: "Standard_HC44rs", MinNodes: 2, MaxNodes: 8},
+}
+
+// appendPoint is the datapoint a background collector drips into the store
+// while readers query, forcing generation bumps and cache rebuilds.
+func appendPoint(i int) dataset.Point {
+	return dataset.Point{
+		ScenarioID: "live" + scenarioName(i), AppName: "lammps",
+		SKU: "Standard_HB120rs_v3", SKUAlias: "hb120rs_v3",
+		NNodes: 1 + i%16, PPN: 100, InputDesc: "atoms=864M",
+		ExecTimeSec: float64(i%997) + 1, CostUSD: float64(i%89) + 0.1,
+	}
+}
+
+// BenchmarkAdviceQueryThroughput measures the advice serving path on a
+// ~10k-point store with 8 parallel readers — the seed full-scan path
+// against the indexed+cached query engine — and repeats both while a
+// collector goroutine appends concurrently (every append bumps the store
+// generation, so the engine must re-derive instead of serving stale
+// entries). qps is queries served per second across all readers.
+func BenchmarkAdviceQueryThroughput(b *testing.B) {
+	const readers = 8
+
+	// Each sub-benchmark builds its own store so the append variants never
+	// grow the dataset another variant (or a -count re-run) then measures.
+	seedQuery := func(store *dataset.Store) func(i int) error {
+		return func(i int) error {
+			f := queryBenchFilters[i%len(queryBenchFilters)]
+			if pareto.FormatAdviceTable(pareto.Advice(store.SelectScan(f), pareto.ByTime)) == "" {
+				return fmt.Errorf("empty advice")
+			}
+			return nil
+		}
+	}
+	engineQuery := func(store *dataset.Store) func(i int) error {
+		eng := queryengine.New(store, 0)
+		return func(i int) error {
+			f := queryBenchFilters[i%len(queryBenchFilters)]
+			if eng.AdviceTable(f, pareto.ByTime) == "" {
+				return fmt.Errorf("empty advice")
+			}
+			return nil
+		}
+	}
+
+	run := func(b *testing.B, store *dataset.Store, query func(i int) error) {
+		b.ResetTimer()
+		start := time.Now()
+		var next int64 = -1
+		var failed int32
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := atomic.AddInt64(&next, 1)
+					if i >= int64(b.N) || atomic.LoadInt32(&failed) != 0 {
+						return
+					}
+					if err := query(int(i)); err != nil {
+						atomic.StoreInt32(&failed, 1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if failed != 0 {
+			b.Error("empty advice")
+			return
+		}
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "qps")
+		}
+	}
+	withAppends := func(b *testing.B, store *dataset.Store, query func(i int) error) {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				store.Add(appendPoint(i))
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+		run(b, store, query)
+		close(stop)
+		wg.Wait()
+	}
+
+	b.Run("seed-scan", func(b *testing.B) {
+		store := queryBenchStore(10000)
+		run(b, store, seedQuery(store))
+	})
+	b.Run("engine", func(b *testing.B) {
+		store := queryBenchStore(10000)
+		run(b, store, engineQuery(store))
+	})
+	b.Run("seed-scan-appends", func(b *testing.B) {
+		store := queryBenchStore(10000)
+		withAppends(b, store, seedQuery(store))
+	})
+	b.Run("engine-appends", func(b *testing.B) {
+		store := queryBenchStore(10000)
+		withAppends(b, store, engineQuery(store))
+	})
+}
+
+// Ablation: the indexed snapshot Select against the scan path it replaced,
+// isolated from caching. Tag-only filters have no posting list and fall
+// back to scanning the snapshot, so they bound the index's worst case.
+func BenchmarkAblationIndexVsScan(b *testing.B) {
+	store := queryBenchStore(10000)
+	store.Snapshot() // build once; both paths then measure steady state
+	cases := []struct {
+		name string
+		f    dataset.Filter
+	}{
+		{"selective", dataset.Filter{AppName: "openfoam", SKU: "hb120rs_v3", InputDesc: "atoms=4B"}},
+		{"one-app", dataset.Filter{AppName: "lammps"}},
+		{"tag-fallback", dataset.Filter{Tags: map[string]string{"run": "r1"}}},
+	}
+	for _, tc := range cases {
+		b.Run("indexed/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = store.Select(tc.f)
+			}
+		})
+		b.Run("scan/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = store.SelectScan(tc.f)
+			}
+		})
+	}
 }
 
 //

@@ -174,7 +174,7 @@ func (c *CLI) advisorFor(subscription string, st *state) (*core.Advisor, error) 
 	if err != nil {
 		return nil, err
 	}
-	adv.Store = store
+	adv.SetStore(store)
 	return adv, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"hpcadvisor/internal/appmodel"
 	"hpcadvisor/internal/batchsim"
@@ -27,6 +28,7 @@ import (
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
 	"hpcadvisor/internal/pricing"
+	"hpcadvisor/internal/queryengine"
 	"hpcadvisor/internal/recipes"
 	"hpcadvisor/internal/sampler"
 	"hpcadvisor/internal/scenario"
@@ -46,6 +48,11 @@ type Advisor struct {
 	deployments map[string]*deploy.Deployment
 	services    map[string]*batchsim.Service
 	lists       map[string]*scenario.List
+
+	// engMu guards the lazily (re)bound query engine; see Engine.
+	engMu    sync.Mutex
+	eng      *queryengine.Engine
+	engStore *dataset.Store
 }
 
 // New creates an advisor bound to one cloud subscription, with the default
@@ -66,6 +73,31 @@ func New(subscriptionID string) *Advisor {
 		services:    make(map[string]*batchsim.Service),
 		lists:       make(map[string]*scenario.List),
 	}
+}
+
+// Engine returns the query engine serving advice and plot requests over
+// the advisor's dataset. It is bound lazily and rebound whenever the Store
+// field was swapped (the CLI does this when rehydrating state), so cached
+// results can never leak across datasets. The engine is safe for concurrent
+// use — the GUI serves every read request through it.
+func (a *Advisor) Engine() *queryengine.Engine {
+	a.engMu.Lock()
+	defer a.engMu.Unlock()
+	if a.eng == nil || a.engStore != a.Store {
+		a.eng = queryengine.New(a.Store, queryengine.DefaultCacheEntries)
+		a.engStore = a.Store
+	}
+	return a.eng
+}
+
+// SetStore replaces the advisor's dataset; subsequent queries serve from
+// the new store through a fresh query engine.
+func (a *Advisor) SetStore(s *dataset.Store) {
+	a.engMu.Lock()
+	defer a.engMu.Unlock()
+	a.Store = s
+	a.eng = queryengine.New(s, queryengine.DefaultCacheEntries)
+	a.engStore = s
 }
 
 // DeployCreate provisions a new environment from the configuration
@@ -250,28 +282,12 @@ func (a *Advisor) SetTaskList(deploymentName string, list *scenario.List) {
 
 // PlotSet is the full set of plots the tool generates for a filter
 // (Section III-D's four plots plus the Figure 6 Pareto scatter).
-type PlotSet struct {
-	ExecTimeVsNodes plot.Plot
-	ExecTimeVsCost  plot.Plot
-	Speedup         plot.Plot
-	Efficiency      plot.Plot
-	Pareto          plot.Plot
-}
+type PlotSet = plot.Set
 
-// All returns the plots in presentation order.
-func (ps PlotSet) All() []plot.Plot {
-	return []plot.Plot{ps.ExecTimeVsNodes, ps.ExecTimeVsCost, ps.Speedup, ps.Efficiency, ps.Pareto}
-}
-
-// Plots computes the plot set over the dataset (Table II: "plot").
+// Plots computes the plot set over the dataset (Table II: "plot"), served
+// and memoized by the query engine.
 func (a *Advisor) Plots(f dataset.Filter) PlotSet {
-	return PlotSet{
-		ExecTimeVsNodes: plot.ExecTimeVsNodes(a.Store, f),
-		ExecTimeVsCost:  plot.ExecTimeVsCost(a.Store, f),
-		Speedup:         plot.Speedup(a.Store, f),
-		Efficiency:      plot.Efficiency(a.Store, f),
-		Pareto:          plot.ParetoScatter(a.Store, f),
-	}
+	return a.Engine().PlotSet(f)
 }
 
 // WritePlotsSVG renders the plot set into dir and returns the file paths.
@@ -281,13 +297,15 @@ func (a *Advisor) WritePlotsSVG(dir string, f dataset.Filter) ([]string, error) 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	set := a.Plots(f)
-	names := []string{"exectime_vs_nodes", "exectime_vs_cost", "speedup", "efficiency", "pareto"}
-	plots := set.All()
+	eng := a.Engine()
 	var paths []string
-	for i, p := range plots {
-		path := filepath.Join(dir, names[i]+".svg")
-		if err := os.WriteFile(path, plot.RenderSVG(p), 0o644); err != nil {
+	for _, name := range plot.SetNames {
+		data, err := eng.SVG(name, f)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, name+".svg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
 			return nil, err
 		}
 		paths = append(paths, path)
@@ -296,14 +314,15 @@ func (a *Advisor) WritePlotsSVG(dir string, f dataset.Filter) ([]string, error) 
 }
 
 // Advice computes the Pareto front over the filtered dataset, ordered by
-// execution time or cost (Table II: "advice"; Section III-E).
+// execution time or cost (Table II: "advice"; Section III-E), served and
+// memoized by the query engine.
 func (a *Advisor) Advice(f dataset.Filter, order pareto.SortOrder) []dataset.Point {
-	return pareto.Advice(a.Store.Select(f), order)
+	return a.Engine().Advice(f, order)
 }
 
 // AdviceTable renders the advice exactly as the paper's Listings 3-4.
 func (a *Advisor) AdviceTable(f dataset.Filter, order pareto.SortOrder) string {
-	return pareto.FormatAdviceTable(a.Advice(f, order))
+	return a.Engine().AdviceTable(f, order)
 }
 
 // RepriceAdvice recomputes scenario costs under different pricing terms —
@@ -313,18 +332,24 @@ func (a *Advisor) AdviceTable(f dataset.Filter, order pareto.SortOrder) string {
 // what-if questions a user has after one collection: "what would the advice
 // be in westeurope?", "what if I run production on spot?".
 func (a *Advisor) RepriceAdvice(f dataset.Filter, order pareto.SortOrder, region string, spot bool) ([]dataset.Point, error) {
-	pts := a.Store.Select(f)
+	pts := a.Engine().Select(f)
+	// A sweep has few distinct VM types but many points per type: look each
+	// SKU's hourly rate up once, not once per point.
+	rates := make(map[string]float64)
 	repriced := make([]dataset.Point, 0, len(pts))
 	for _, p := range pts {
-		var hourly float64
-		var err error
-		if spot {
-			hourly, err = a.Prices.HourlySpot(region, p.SKU)
-		} else {
-			hourly, err = a.Prices.Hourly(region, p.SKU)
-		}
-		if err != nil {
-			return nil, err
+		hourly, ok := rates[p.SKU]
+		if !ok {
+			var err error
+			if spot {
+				hourly, err = a.Prices.HourlySpot(region, p.SKU)
+			} else {
+				hourly, err = a.Prices.Hourly(region, p.SKU)
+			}
+			if err != nil {
+				return nil, err
+			}
+			rates[p.SKU] = hourly
 		}
 		p.CostUSD = pricing.CostAt(hourly, p.NNodes, p.ExecTimeSec)
 		repriced = append(repriced, p)

@@ -60,26 +60,65 @@ type Point struct {
 func (p Point) TotalCores() int { return p.NNodes * p.PPN }
 
 // Store is an append-only collection of points, safe for concurrent use.
+// Reads are served from an immutable copy-on-write Snapshot built at most
+// once per generation (see snapshot.go), so queries never hold the lock
+// while filtering and never contend with concurrent appends.
 type Store struct {
 	mu     sync.RWMutex
 	points []Point
+	gen    uint64
+	snap   *Snapshot // cached; valid iff snap.gen == gen, kept stale for merge amortization
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
 
-// Add appends a point.
+// Add appends a point and bumps the store generation.
 func (s *Store) Add(p Point) {
 	s.mu.Lock()
 	s.points = append(s.points, p)
+	s.gen++
 	s.mu.Unlock()
 }
 
-// AddAll appends points in order.
+// AddAll appends points in order; a non-empty batch bumps the generation
+// once.
 func (s *Store) AddAll(pts []Point) {
+	if len(pts) == 0 {
+		return
+	}
 	s.mu.Lock()
 	s.points = append(s.points, pts...)
+	s.gen++
 	s.mu.Unlock()
+}
+
+// Generation counts mutations; it changes whenever query results may.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gen
+}
+
+// Snapshot returns the read-optimized view of the current generation,
+// building it lazily on first use after a mutation. The returned snapshot
+// is immutable and shared: concurrent readers get the same pointer, and a
+// rebuild merges only the newly appended suffix into the previous sorted
+// order.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	if s.snap != nil && s.snap.gen == s.gen {
+		snap := s.snap
+		s.mu.RUnlock()
+		return snap
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil || s.snap.gen != s.gen {
+		s.snap = buildSnapshot(s.snap, s.points, s.gen)
+	}
+	return s.snap
 }
 
 // Len returns the number of stored points.
@@ -111,53 +150,37 @@ type Filter struct {
 	IncludeFailed bool
 }
 
-// Match reports whether a point passes the filter.
+// Match reports whether a point passes the filter. Loops matching many
+// points should canonicalize once (Filter.Canonical) instead of paying the
+// per-point folding here.
 func (f Filter) Match(p Point) bool {
-	if !f.IncludeFailed && p.Failed {
-		return false
-	}
-	if f.AppName != "" && !strings.EqualFold(f.AppName, p.AppName) {
-		return false
-	}
-	if f.SKU != "" && !strings.EqualFold(f.SKU, p.SKU) && !strings.EqualFold(f.SKU, p.SKUAlias) {
-		return false
-	}
-	if f.InputDesc != "" && f.InputDesc != p.InputDesc {
-		return false
-	}
-	if f.MinNodes > 0 && p.NNodes < f.MinNodes {
-		return false
-	}
-	if f.MaxNodes > 0 && p.NNodes > f.MaxNodes {
-		return false
-	}
-	for k, v := range f.Tags {
-		if p.Tags[k] != v {
-			return false
-		}
-	}
-	return true
+	c := f.Canonical()
+	return c.Match(&p)
 }
 
-// Select returns points passing the filter, ordered by (SKU, input, nodes).
+// Select returns points passing the filter, ordered by (SKU, input, nodes),
+// ties in append order. It is served from the current Snapshot: an index
+// probe over the smallest matching posting list, falling back to a scan of
+// the sorted points only for tag-only filters.
 func (s *Store) Select(f Filter) []Point {
+	return s.Snapshot().Select(f)
+}
+
+// SelectScan is the pre-index reference path: canonicalize the filter once,
+// scan every point under the read lock, then sort. It returns exactly what
+// Select returns and is retained as the correctness oracle for property
+// tests and the baseline for the index-vs-scan ablation benchmarks.
+func (s *Store) SelectScan(f Filter) []Point {
+	c := f.Canonical()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Point
-	for _, p := range s.points {
-		if f.Match(p) {
-			out = append(out, p)
+	for i := range s.points {
+		if c.Match(&s.points[i]) {
+			out = append(out, s.points[i])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].SKUAlias != out[j].SKUAlias {
-			return out[i].SKUAlias < out[j].SKUAlias
-		}
-		if out[i].InputDesc != out[j].InputDesc {
-			return out[i].InputDesc < out[j].InputDesc
-		}
-		return out[i].NNodes < out[j].NNodes
-	})
+	s.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool { return pointLess(&out[i], &out[j]) })
 	return out
 }
 
@@ -177,33 +200,15 @@ func (k SeriesKey) String() string {
 
 // GroupSeries groups filtered points into plot series, each sorted by node
 // count — the structure behind the paper's Figures 2-5, one curve per VM
-// type per input.
+// type per input. Select already yields (SKU, input, nodes) order, so the
+// groups need no re-sort.
 func (s *Store) GroupSeries(f Filter) map[SeriesKey][]Point {
-	out := make(map[SeriesKey][]Point)
-	for _, p := range s.Select(f) {
-		k := SeriesKey{SKUAlias: p.SKUAlias, InputDesc: p.InputDesc}
-		out[k] = append(out[k], p)
-	}
-	for _, pts := range out {
-		sort.Slice(pts, func(i, j int) bool { return pts[i].NNodes < pts[j].NNodes })
-	}
-	return out
+	return s.Snapshot().GroupSeries(f)
 }
 
 // Apps lists distinct application names present, sorted.
 func (s *Store) Apps() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen := map[string]bool{}
-	for _, p := range s.points {
-		seen[p.AppName] = true
-	}
-	out := make([]string, 0, len(seen))
-	for k := range seen {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return s.Snapshot().Apps()
 }
 
 // Marshal renders the store as JSON Lines, points in append order.

@@ -1,0 +1,314 @@
+package dataset
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the read-optimized side of the store: immutable
+// Snapshots holding the points in canonical (SKU alias, input, nodes) order
+// with inverted indexes by application, SKU, and input. A snapshot is built
+// at most once per store generation and shared by every concurrent reader,
+// so the advice/plot serving path never contends with collectors appending.
+//
+// Ordering contract: Select returns points sorted by (SKUAlias, InputDesc,
+// NNodes), ties broken by append order (stable). The scan baseline
+// (SelectScan) and the indexed path agree exactly; the property test in
+// snapshot_test.go holds them to it.
+
+// pointLess is the canonical (SKU alias, input, nodes) order shared by the
+// sorted snapshot and the scan baseline. Equal keys compare as "not less" so
+// stable sorts and merges preserve append order.
+func pointLess(a, b *Point) bool {
+	if a.SKUAlias != b.SKUAlias {
+		return a.SKUAlias < b.SKUAlias
+	}
+	if a.InputDesc != b.InputDesc {
+		return a.InputDesc < b.InputDesc
+	}
+	return a.NNodes < b.NNodes
+}
+
+// tagPair is one canonicalized tag constraint.
+type tagPair struct{ k, v string }
+
+// CanonicalFilter is a Filter pre-processed for repeated matching: the
+// case-insensitive fields are folded once, and the tag map is flattened into
+// a sorted slice, so matching a point does no per-point canonicalization and
+// no map iteration. It also renders a canonical cache key, which the query
+// engine combines with the store generation.
+type CanonicalFilter struct {
+	app   string // lowercased AppName; "" matches all
+	sku   string // lowercased SKU name or alias; "" matches all
+	input string // exact InputDesc; "" matches all
+
+	minNodes, maxNodes int
+	tags               []tagPair
+	includeFailed      bool
+}
+
+// Canonical folds the filter once for repeated matching and cache keying.
+func (f Filter) Canonical() CanonicalFilter {
+	c := CanonicalFilter{
+		app:           strings.ToLower(f.AppName),
+		sku:           strings.ToLower(f.SKU),
+		input:         f.InputDesc,
+		minNodes:      f.MinNodes,
+		maxNodes:      f.MaxNodes,
+		includeFailed: f.IncludeFailed,
+	}
+	if len(f.Tags) > 0 {
+		c.tags = make([]tagPair, 0, len(f.Tags))
+		for k, v := range f.Tags {
+			c.tags = append(c.tags, tagPair{k, v})
+		}
+		sort.Slice(c.tags, func(i, j int) bool { return c.tags[i].k < c.tags[j].k })
+	}
+	return c
+}
+
+// Match reports whether a point passes the canonicalized filter.
+func (c *CanonicalFilter) Match(p *Point) bool {
+	if !c.includeFailed && p.Failed {
+		return false
+	}
+	if c.app != "" && !strings.EqualFold(c.app, p.AppName) {
+		return false
+	}
+	if c.sku != "" && !strings.EqualFold(c.sku, p.SKU) && !strings.EqualFold(c.sku, p.SKUAlias) {
+		return false
+	}
+	if c.input != "" && c.input != p.InputDesc {
+		return false
+	}
+	if c.minNodes > 0 && p.NNodes < c.minNodes {
+		return false
+	}
+	if c.maxNodes > 0 && p.NNodes > c.maxNodes {
+		return false
+	}
+	for _, t := range c.tags {
+		if p.Tags[t.k] != t.v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders the canonical filter as a deterministic cache-key fragment:
+// filters that select the same points (up to case folding and tag order)
+// render the same key, and distinct filters never collide — user-supplied
+// strings are quoted so embedded separators cannot forge another filter's
+// key.
+func (c *CanonicalFilter) Key() string {
+	var b strings.Builder
+	b.WriteString("app=")
+	b.WriteString(strconv.Quote(c.app))
+	b.WriteString("|sku=")
+	b.WriteString(strconv.Quote(c.sku))
+	b.WriteString("|in=")
+	b.WriteString(strconv.Quote(c.input))
+	b.WriteString("|n=")
+	b.WriteString(strconv.Itoa(c.minNodes))
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(c.maxNodes))
+	if c.includeFailed {
+		b.WriteString("|failed")
+	}
+	for _, t := range c.tags {
+		b.WriteString("|t:")
+		b.WriteString(strconv.Quote(t.k))
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(t.v))
+	}
+	return b.String()
+}
+
+// Snapshot is an immutable, read-optimized view of a store at one
+// generation: the points in canonical sorted order plus inverted indexes.
+// Snapshots are never modified after construction, so any number of
+// goroutines may query one concurrently, and queries never block appends.
+type Snapshot struct {
+	gen uint64
+	n   int // append-order points covered, for merge amortization
+
+	sorted []Point
+
+	// Posting lists of positions into sorted, ascending, so index probes
+	// return points already in canonical order. Keys are lowercased for the
+	// case-insensitive fields.
+	byApp   map[string][]int32
+	bySKU   map[string][]int32 // both full name and alias key the same list
+	byInput map[string][]int32
+
+	apps []string // distinct AppNames (original case), sorted
+}
+
+// Generation identifies the store state the snapshot was built from.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Len returns the number of points in the snapshot.
+func (sn *Snapshot) Len() int { return len(sn.sorted) }
+
+// Apps lists distinct application names present, sorted.
+func (sn *Snapshot) Apps() []string {
+	out := make([]string, len(sn.apps))
+	copy(out, sn.apps)
+	return out
+}
+
+// postings returns the candidate positions for the filter's indexed
+// fields: the smallest applicable posting list intersected with the
+// others (all lists are ascending, so the intersection is a linear merge
+// that preserves canonical order). The second result is false when no
+// indexed field is constrained — tag-only or unconstrained filters fall
+// back to scanning the sorted points.
+func (sn *Snapshot) postings(c *CanonicalFilter) ([]int32, bool) {
+	var lists [][]int32
+	if c.app != "" {
+		lists = append(lists, sn.byApp[c.app])
+	}
+	if c.sku != "" {
+		lists = append(lists, sn.bySKU[c.sku])
+	}
+	if c.input != "" {
+		lists = append(lists, sn.byInput[c.input])
+	}
+	if len(lists) == 0 {
+		return nil, false
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := lists[0]
+	for _, next := range lists[1:] {
+		if len(out) == 0 {
+			break
+		}
+		out = intersectPostings(out, next)
+	}
+	return out, true
+}
+
+// intersectPostings intersects two ascending posting lists.
+func intersectPostings(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Select returns points passing the filter in canonical (SKU alias, input,
+// nodes) order. Indexed fields probe the smallest posting list; only the
+// residual predicates are evaluated per candidate.
+func (sn *Snapshot) Select(f Filter) []Point {
+	c := f.Canonical()
+	return sn.selectCanonical(&c)
+}
+
+func (sn *Snapshot) selectCanonical(c *CanonicalFilter) []Point {
+	var out []Point
+	if list, ok := sn.postings(c); ok {
+		for _, i := range list {
+			if c.Match(&sn.sorted[i]) {
+				out = append(out, sn.sorted[i])
+			}
+		}
+		return out
+	}
+	for i := range sn.sorted {
+		if c.Match(&sn.sorted[i]) {
+			out = append(out, sn.sorted[i])
+		}
+	}
+	return out
+}
+
+// GroupSeries groups filtered points into plot series. Select already
+// returns (SKU alias, input, nodes) order, so each group comes out sorted
+// by node count with no per-group re-sort.
+func (sn *Snapshot) GroupSeries(f Filter) map[SeriesKey][]Point {
+	out := make(map[SeriesKey][]Point)
+	for _, p := range sn.Select(f) {
+		k := SeriesKey{SKUAlias: p.SKUAlias, InputDesc: p.InputDesc}
+		out[k] = append(out[k], p)
+	}
+	return out
+}
+
+// buildSnapshot constructs the snapshot for points at gen. When prev covers
+// a prefix of points (the append-only store guarantees it), only the new
+// suffix is sorted and merged with prev's already-sorted slice, so a
+// snapshot rebuild after k appends costs O(k log k + n) instead of
+// O(n log n).
+func buildSnapshot(prev *Snapshot, points []Point, gen uint64) *Snapshot {
+	sn := &Snapshot{gen: gen, n: len(points)}
+	var sortedPrefix []Point
+	covered := 0
+	if prev != nil && prev.n <= len(points) {
+		sortedPrefix = prev.sorted
+		covered = prev.n
+	}
+	fresh := make([]Point, len(points)-covered)
+	copy(fresh, points[covered:])
+	sort.SliceStable(fresh, func(i, j int) bool { return pointLess(&fresh[i], &fresh[j]) })
+	sn.sorted = mergeSorted(sortedPrefix, fresh)
+	sn.buildIndexes()
+	return sn
+}
+
+// mergeSorted stably merges two sorted slices; on equal keys the left
+// (earlier-appended) element wins, preserving append order.
+func mergeSorted(a, b []Point) []Point {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Point, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if pointLess(&b[j], &a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func (sn *Snapshot) buildIndexes() {
+	sn.byApp = make(map[string][]int32)
+	sn.bySKU = make(map[string][]int32)
+	sn.byInput = make(map[string][]int32)
+	appSeen := make(map[string]bool)
+	for i := range sn.sorted {
+		p := &sn.sorted[i]
+		pos := int32(i)
+		app := strings.ToLower(p.AppName)
+		sn.byApp[app] = append(sn.byApp[app], pos)
+		sku := strings.ToLower(p.SKU)
+		sn.bySKU[sku] = append(sn.bySKU[sku], pos)
+		if alias := strings.ToLower(p.SKUAlias); alias != sku {
+			sn.bySKU[alias] = append(sn.bySKU[alias], pos)
+		}
+		sn.byInput[p.InputDesc] = append(sn.byInput[p.InputDesc], pos)
+		if !appSeen[p.AppName] {
+			appSeen[p.AppName] = true
+			sn.apps = append(sn.apps, p.AppName)
+		}
+	}
+	sort.Strings(sn.apps)
+}

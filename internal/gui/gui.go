@@ -20,6 +20,13 @@ import (
 )
 
 // Server is the GUI over one advisor and configuration.
+//
+// The read-only pages (plots, plot.svg, advice) are served straight from
+// the advisor's query engine, which reads immutable dataset snapshots and
+// memoizes results — those handlers take no server lock and are safe for
+// arbitrarily many concurrent requests, even while a collection appends
+// datapoints. The mutex only guards the mutating operations (deploy,
+// collect) and the activity log.
 type Server struct {
 	mu  sync.Mutex
 	adv *core.Advisor
@@ -219,19 +226,17 @@ sampler: <select name="sampler">
 	s.render(w, template.HTML(b.String()))
 }
 
-var plotNames = []string{"exectime_vs_nodes", "exectime_vs_cost", "speedup", "efficiency", "pareto"}
-
+// handlePlots lists the plot images; lock-free (Store.Len is
+// concurrency-safe and nothing else is server state).
 func (s *Server) handlePlots(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
 	n := s.adv.Store.Len()
-	s.mu.Unlock()
 	var b strings.Builder
 	b.WriteString("<h2>Plots</h2>")
 	if n == 0 {
 		b.WriteString("<p>No data collected yet.</p>")
 	} else {
 		app := r.URL.Query().Get("app")
-		for _, name := range plotNames {
+		for _, name := range plot.SetNames {
 			fmt.Fprintf(&b, `<div><img src="/plot.svg?name=%s&app=%s" alt="%s"/></div>`,
 				name, template.HTMLEscapeString(app), name)
 		}
@@ -239,38 +244,25 @@ func (s *Server) handlePlots(w http.ResponseWriter, r *http.Request) {
 	s.render(w, template.HTML(b.String()))
 }
 
+// handlePlotSVG serves rendered plot bytes straight from the query engine's
+// SVG cache; concurrent requests for one (plot, filter) render it once.
 func (s *Server) handlePlotSVG(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	f := dataset.Filter{
 		AppName:   r.URL.Query().Get("app"),
 		SKU:       r.URL.Query().Get("sku"),
 		InputDesc: r.URL.Query().Get("input"),
 	}
-	set := s.adv.Plots(f)
-	var p plot.Plot
-	switch r.URL.Query().Get("name") {
-	case "exectime_vs_nodes":
-		p = set.ExecTimeVsNodes
-	case "exectime_vs_cost":
-		p = set.ExecTimeVsCost
-	case "speedup":
-		p = set.Speedup
-	case "efficiency":
-		p = set.Efficiency
-	case "pareto":
-		p = set.Pareto
-	default:
+	data, err := s.adv.Engine().SVG(r.URL.Query().Get("name"), f)
+	if err != nil {
 		http.Error(w, "unknown plot", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
-	_, _ = w.Write(plot.RenderSVG(p))
+	_, _ = w.Write(data)
 }
 
+// handleAdvice serves the advice table from the query engine; lock-free.
 func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	order := pareto.ByTime
 	if r.URL.Query().Get("sort") == "cost" {
 		order = pareto.ByCost
@@ -286,7 +278,7 @@ func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
 	if len(rows) == 0 {
 		b.WriteString("<p>No data collected yet.</p>")
 	} else {
-		b.WriteString("<pre>" + template.HTMLEscapeString(pareto.FormatAdviceTable(rows)) + "</pre>")
+		b.WriteString("<pre>" + template.HTMLEscapeString(s.adv.AdviceTable(f, order)) + "</pre>")
 		b.WriteString(`<p><a href="/advice?sort=cost">sort by cost</a> | <a href="/advice?sort=time">sort by time</a></p>`)
 	}
 	s.render(w, template.HTML(b.String()))

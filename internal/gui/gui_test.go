@@ -1,15 +1,20 @@
 package gui
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"hpcadvisor/internal/config"
 	"hpcadvisor/internal/core"
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/plot"
 )
 
 const testConfig = `subscription: mysubscription
@@ -101,14 +106,14 @@ func TestFullGUIWorkflow(t *testing.T) {
 
 	// Plots page embeds the five SVG charts.
 	_, body = get(t, ts, "/plots")
-	for _, name := range plotNames {
+	for _, name := range plot.SetNames {
 		if !strings.Contains(body, "/plot.svg?name="+name) {
 			t.Errorf("plots page missing %s", name)
 		}
 	}
 
 	// Each SVG renders.
-	for _, name := range plotNames {
+	for _, name := range plot.SetNames {
 		code, svg := get(t, ts, "/plot.svg?name="+name)
 		if code != 200 || !strings.HasPrefix(svg, "<svg") {
 			t.Errorf("plot %s = %d, %q...", name, code, svg[:min(len(svg), 20)])
@@ -212,6 +217,63 @@ func TestGUIFiltersAndSampler(t *testing.T) {
 	if !strings.Contains(body, "Recent activity") {
 		t.Error("activity log missing")
 	}
+}
+
+func TestGUIConcurrentReadsWhileCollecting(t *testing.T) {
+	// The read handlers are lock-free and engine-served: hammer plots and
+	// advice from many goroutines while datapoints are appended to the
+	// store, as a live collection would. Run with -race.
+	s, adv, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+	if code, _ := post(t, ts, "/deploy/create", url.Values{}); code != 200 {
+		t.Fatal("deploy failed")
+	}
+	if code, _ := post(t, ts, "/collect", url.Values{"sampler": {"full"}}); code != 200 {
+		t.Fatal("collect failed")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			adv.Store.Add(dataset.Point{
+				ScenarioID: fmt.Sprintf("live-%d", i), AppName: "lammps",
+				SKU: "Standard_HB120rs_v3", SKUAlias: "hb120rs_v3",
+				NNodes: 1 + i%8, ExecTimeSec: float64(i + 1), CostUSD: 0.5,
+			})
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if code, _ := get(t, ts, "/advice"); code != 200 {
+					t.Error("advice failed under concurrency")
+					return
+				}
+				if code, svg := get(t, ts, "/plot.svg?name=pareto&app=lammps"); code != 200 || !strings.HasPrefix(svg, "<svg") {
+					t.Error("plot.svg failed under concurrency")
+					return
+				}
+				if code, _ := get(t, ts, "/plots"); code != 200 {
+					t.Error("plots failed under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }
 
 func TestGUICollectWithBadSampler(t *testing.T) {

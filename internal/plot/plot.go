@@ -14,6 +14,15 @@ import (
 	"hpcadvisor/internal/pareto"
 )
 
+// Source is any queryable view of the dataset: the live *dataset.Store or
+// an immutable *dataset.Snapshot. Plot builders only read through this
+// surface, so the query engine can pin all plots of one set to a single
+// snapshot generation.
+type Source interface {
+	Select(dataset.Filter) []dataset.Point
+	GroupSeries(dataset.Filter) map[dataset.SeriesKey][]dataset.Point
+}
+
 // XY is one plotted point.
 type XY struct {
 	X float64
@@ -38,13 +47,13 @@ type Plot struct {
 
 // ExecTimeVsNodes builds the paper's Figure 2: execution time as a function
 // of node count, one series per VM type.
-func ExecTimeVsNodes(store *dataset.Store, f dataset.Filter) Plot {
+func ExecTimeVsNodes(src Source, f dataset.Filter) Plot {
 	p := Plot{
 		Title:  "Exectime",
 		XLabel: "Number of VMs",
 		YLabel: "Execution time (seconds)",
 	}
-	buildSeries(&p, store, f, func(pt dataset.Point) XY {
+	buildSeries(&p, src, f, func(pt dataset.Point) XY {
 		return XY{X: float64(pt.NNodes), Y: pt.ExecTimeSec}
 	})
 	return p
@@ -52,13 +61,13 @@ func ExecTimeVsNodes(store *dataset.Store, f dataset.Filter) Plot {
 
 // ExecTimeVsCost builds the paper's Figure 3: cost against execution time,
 // one series per VM type (scatter style, as each point is one scenario).
-func ExecTimeVsCost(store *dataset.Store, f dataset.Filter) Plot {
+func ExecTimeVsCost(src Source, f dataset.Filter) Plot {
 	p := Plot{
 		Title:  "Cost",
 		XLabel: "Execution time (seconds)",
 		YLabel: "Cost (USD)",
 	}
-	buildSeries(&p, store, f, func(pt dataset.Point) XY {
+	buildSeries(&p, src, f, func(pt dataset.Point) XY {
 		return XY{X: pt.ExecTimeSec, Y: pt.CostUSD}
 	})
 	for i := range p.Series {
@@ -70,13 +79,13 @@ func ExecTimeVsCost(store *dataset.Store, f dataset.Filter) Plot {
 
 // Speedup builds the paper's Figure 4: s(n) = T(base)/T(n) per series,
 // where base is the smallest measured node count (1 in the paper's sweeps).
-func Speedup(store *dataset.Store, f dataset.Filter) Plot {
+func Speedup(src Source, f dataset.Filter) Plot {
 	p := Plot{
 		Title:  "Speedup",
 		XLabel: "Number of VMs",
 		YLabel: "Speedup",
 	}
-	buildRelativeSeries(&p, store, f, func(base dataset.Point, pt dataset.Point) XY {
+	buildRelativeSeries(&p, src, f, func(base dataset.Point, pt dataset.Point) XY {
 		return XY{X: float64(pt.NNodes), Y: base.ExecTimeSec / pt.ExecTimeSec * float64(base.NNodes)}
 	})
 	return p
@@ -84,13 +93,13 @@ func Speedup(store *dataset.Store, f dataset.Filter) Plot {
 
 // Efficiency builds the paper's Figure 5: e(n) = speedup(n)/n. Values above
 // 1 are super-linear.
-func Efficiency(store *dataset.Store, f dataset.Filter) Plot {
+func Efficiency(src Source, f dataset.Filter) Plot {
 	p := Plot{
 		Title:  "Efficiency",
 		XLabel: "Number of VMs",
 		YLabel: "Efficiency",
 	}
-	buildRelativeSeries(&p, store, f, func(base dataset.Point, pt dataset.Point) XY {
+	buildRelativeSeries(&p, src, f, func(base dataset.Point, pt dataset.Point) XY {
 		speedup := base.ExecTimeSec / pt.ExecTimeSec * float64(base.NNodes)
 		return XY{X: float64(pt.NNodes), Y: speedup / float64(pt.NNodes)}
 	})
@@ -99,8 +108,8 @@ func Efficiency(store *dataset.Store, f dataset.Filter) Plot {
 
 // ParetoScatter builds the paper's Figure 6: every scenario as a scatter
 // point plus the Pareto front as a line.
-func ParetoScatter(store *dataset.Store, f dataset.Filter) Plot {
-	pts := store.Select(f)
+func ParetoScatter(src Source, f dataset.Filter) Plot {
+	pts := src.Select(f)
 	p := Plot{
 		Title:  "Advice based on pareto front",
 		XLabel: "Cost (USD)",
@@ -124,9 +133,11 @@ func ParetoScatter(store *dataset.Store, f dataset.Filter) Plot {
 }
 
 // buildSeries groups the dataset into per-(SKU, input) series with a direct
-// point mapping.
-func buildSeries(p *Plot, store *dataset.Store, f dataset.Filter, toXY func(dataset.Point) XY) {
-	groups := store.GroupSeries(f)
+// point mapping. One GroupSeries call feeds both the series and the
+// subtitle — the groups partition exactly the filtered points, so no second
+// Select is needed.
+func buildSeries(p *Plot, src Source, f dataset.Filter, toXY func(dataset.Point) XY) {
+	groups := src.GroupSeries(f)
 	keys := make([]dataset.SeriesKey, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
@@ -142,13 +153,14 @@ func buildSeries(p *Plot, store *dataset.Store, f dataset.Filter, toXY func(data
 		}
 		p.Series = append(p.Series, s)
 	}
-	p.Subtitle = subtitleFor(store.Select(f))
+	p.Subtitle = subtitleFromGroups(groups)
 }
 
 // buildRelativeSeries maps each point relative to its series' smallest-n
-// baseline; series without at least two points are omitted.
-func buildRelativeSeries(p *Plot, store *dataset.Store, f dataset.Filter, toXY func(base, pt dataset.Point) XY) {
-	groups := store.GroupSeries(f)
+// baseline; series without at least two points are omitted. The subtitle
+// still reflects every filtered point, including those in omitted series.
+func buildRelativeSeries(p *Plot, src Source, f dataset.Filter, toXY func(base, pt dataset.Point) XY) {
+	groups := src.GroupSeries(f)
 	keys := make([]dataset.SeriesKey, 0, len(groups))
 	for k := range groups {
 		keys = append(keys, k)
@@ -169,7 +181,7 @@ func buildRelativeSeries(p *Plot, store *dataset.Store, f dataset.Filter, toXY f
 		}
 		p.Series = append(p.Series, s)
 	}
-	p.Subtitle = subtitleFor(store.Select(f))
+	p.Subtitle = subtitleFromGroups(groups)
 }
 
 func multipleInputs(keys []dataset.SeriesKey) bool {
@@ -189,6 +201,25 @@ func subtitleFor(pts []dataset.Point) string {
 	desc := pts[0].InputDesc
 	for _, p := range pts {
 		if p.InputDesc != desc {
+			return ""
+		}
+	}
+	return desc
+}
+
+// subtitleFromGroups derives the same subtitle from already-grouped points:
+// the group keys carry every distinct input description.
+func subtitleFromGroups(groups map[dataset.SeriesKey][]dataset.Point) string {
+	desc, first := "", true
+	for k, pts := range groups {
+		if len(pts) == 0 {
+			continue
+		}
+		if first {
+			desc, first = k.InputDesc, false
+			continue
+		}
+		if k.InputDesc != desc {
 			return ""
 		}
 	}

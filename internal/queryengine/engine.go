@@ -1,0 +1,280 @@
+// Package queryengine is the read-optimized serving layer between the
+// dataset and the front ends (CLI, GUI, public API). Every advice table,
+// plot set, and rendered SVG is memoized under a key combining the
+// canonical filter, the requested ordering, and the store generation, so a
+// repeated query is a cache hit instead of a dataset walk, and any append
+// to the store invalidates exactly by changing the generation — no explicit
+// flushes. A bounded LRU keeps memory finite and single-flight collapses a
+// thundering herd on one cold key into a single computation.
+//
+// The engine is safe for concurrent use and never blocks writers: it reads
+// through immutable dataset.Snapshots (see internal/dataset/snapshot.go).
+package queryengine
+
+import (
+	"container/list"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/plot"
+)
+
+// Source is anything that can produce read-optimized snapshots: a
+// *dataset.Store, or an adapter over dataset.Sharded's View.
+type Source interface {
+	Snapshot() *dataset.Snapshot
+}
+
+// DefaultCacheEntries bounds the LRU when callers pass 0: generous for
+// interactive use (five plots x a handful of filters x a few generations)
+// while keeping worst-case memory small.
+const DefaultCacheEntries = 512
+
+// Stats counts cache traffic. Joins on an in-flight computation count as
+// hits (the work was shared, not repeated).
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Engine memoizes advice and plot queries over a snapshot source.
+type Engine struct {
+	src Source
+	max int
+
+	mu       sync.Mutex
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*call
+	stats    Stats
+}
+
+type entry struct {
+	key string
+	val any
+}
+
+type call struct {
+	done chan struct{}
+	val  any
+}
+
+// New builds an engine over src with a bounded LRU of maxEntries (0 means
+// DefaultCacheEntries).
+func New(src Source, maxEntries int) *Engine {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Engine{
+		src:      src,
+		max:      maxEntries,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*call),
+	}
+}
+
+// Snapshot exposes the engine's current read view.
+func (e *Engine) Snapshot() *dataset.Snapshot { return e.src.Snapshot() }
+
+// Stats returns a copy of the cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Len returns the number of cached entries.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.entries)
+}
+
+// testHookCompute, when set, runs inside every cache-miss computation;
+// tests use it to hold a computation open and observe single-flight.
+var testHookCompute func()
+
+// get returns the cached value for key, computing it at most once across
+// concurrent callers.
+func (e *Engine) get(key string, compute func() any) any {
+	e.mu.Lock()
+	if el, ok := e.entries[key]; ok {
+		e.lru.MoveToFront(el)
+		v := el.Value.(*entry).val
+		e.stats.Hits++
+		e.mu.Unlock()
+		return v
+	}
+	if c, ok := e.inflight[key]; ok {
+		e.stats.Hits++
+		e.mu.Unlock()
+		<-c.done
+		return c.val
+	}
+	c := &call{done: make(chan struct{})}
+	e.inflight[key] = c
+	e.stats.Misses++
+	e.mu.Unlock()
+
+	if testHookCompute != nil {
+		testHookCompute()
+	}
+	c.val = compute()
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	e.entries[key] = e.lru.PushFront(&entry{key: key, val: c.val})
+	for e.lru.Len() > e.max {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.entries, oldest.Value.(*entry).key)
+		e.stats.Evictions++
+	}
+	e.mu.Unlock()
+	close(c.done)
+	return c.val
+}
+
+// key renders a cache key: query kind, store generation, canonical filter,
+// and any extra discriminator (sort order, plot name).
+func key(kind string, gen uint64, c *dataset.CanonicalFilter, extra string) string {
+	k := kind + "|g" + strconv.FormatUint(gen, 10) + "|" + c.Key()
+	if extra != "" {
+		k += "|" + extra
+	}
+	return k
+}
+
+func orderKey(order pareto.SortOrder) string {
+	if order == pareto.ByCost {
+		return "cost"
+	}
+	return "time"
+}
+
+// Select returns the filtered points from the current snapshot. It is an
+// index probe, not a scan, and is left uncached: the snapshot already makes
+// it cheap, and callers (repricing) may mutate the returned copies.
+func (e *Engine) Select(f dataset.Filter) []dataset.Point {
+	return e.src.Snapshot().Select(f)
+}
+
+// adviceAt memoizes the Pareto front at one captured snapshot; the shared
+// cached slice must not be modified.
+func (e *Engine) adviceAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.SortOrder) []dataset.Point {
+	c := f.Canonical()
+	v := e.get(key("advice", sn.Generation(), &c, orderKey(order)), func() any {
+		return pareto.Advice(sn.Select(f), order)
+	})
+	return v.([]dataset.Point)
+}
+
+// Advice returns the Pareto front over the filtered dataset in the given
+// order, memoized per (filter, order, generation). The returned slice is a
+// fresh copy; callers may modify it.
+func (e *Engine) Advice(f dataset.Filter, order pareto.SortOrder) []dataset.Point {
+	rows := e.adviceAt(e.src.Snapshot(), f, order)
+	out := make([]dataset.Point, len(rows))
+	copy(out, rows)
+	return out
+}
+
+// AdviceTable returns the advice rendered exactly as the paper's Listings
+// 3-4, memoized separately from Advice so repeated table requests skip even
+// the formatting. Its compute layers on the memoized front, so a cold table
+// after a cold Advice (the GUI does both per request) formats the cached
+// rows instead of re-running the Pareto computation.
+func (e *Engine) AdviceTable(f dataset.Filter, order pareto.SortOrder) string {
+	sn := e.src.Snapshot()
+	c := f.Canonical()
+	v := e.get(key("advicetable", sn.Generation(), &c, orderKey(order)), func() any {
+		return pareto.FormatAdviceTable(e.adviceAt(sn, f, order))
+	})
+	return v.(string)
+}
+
+// GroupSeries returns the per-(SKU, input) series of the filtered dataset,
+// memoized per (filter, generation). The map is a fresh shallow copy; the
+// point slices are shared and must be treated as read-only.
+func (e *Engine) GroupSeries(f dataset.Filter) map[dataset.SeriesKey][]dataset.Point {
+	sn := e.src.Snapshot()
+	c := f.Canonical()
+	v := e.get(key("groups", sn.Generation(), &c, ""), func() any {
+		return sn.GroupSeries(f)
+	})
+	cached := v.(map[dataset.SeriesKey][]dataset.Point)
+	out := make(map[dataset.SeriesKey][]dataset.Point, len(cached))
+	for k, pts := range cached {
+		out[k] = pts
+	}
+	return out
+}
+
+// plotSetAt memoizes the plot set at one captured snapshot, so every
+// consumer of one (filter, generation) — PlotSet calls and all five SVG
+// renders — shares a single set computation pinned to that generation.
+func (e *Engine) plotSetAt(sn *dataset.Snapshot, f dataset.Filter) plot.Set {
+	c := f.Canonical()
+	v := e.get(key("plotset", sn.Generation(), &c, ""), func() any {
+		return plot.BuildSet(&memoSource{sn: sn}, f)
+	})
+	return v.(plot.Set)
+}
+
+// PlotSet returns all five plots for the filter, computed from one snapshot
+// so the set is internally consistent, memoized per (filter, generation).
+// The set is returned by value; its series slices are shared and read-only.
+func (e *Engine) PlotSet(f dataset.Filter) plot.Set {
+	return e.plotSetAt(e.src.Snapshot(), f)
+}
+
+// SVG returns the named plot of the set rendered as SVG bytes, memoized per
+// (name, filter, generation) — the bytes are rendered from the same
+// snapshot the key's generation names, never a newer one. The returned
+// bytes are shared with the cache and must not be modified. Unknown names
+// error.
+func (e *Engine) SVG(name string, f dataset.Filter) ([]byte, error) {
+	sn := e.src.Snapshot()
+	c := f.Canonical()
+	if _, ok := (plot.Set{}).ByName(name); !ok {
+		return nil, fmt.Errorf("queryengine: unknown plot %q", name)
+	}
+	v := e.get(key("svg", sn.Generation(), &c, name), func() any {
+		p, _ := e.plotSetAt(sn, f).ByName(name)
+		return plot.RenderSVG(p)
+	})
+	return v.([]byte), nil
+}
+
+// memoSource caches the Select and GroupSeries of a single snapshot while
+// one plot set is built: the five builders share one Select and one
+// grouping instead of five of each. It is used by exactly one goroutine
+// during one BuildSet call.
+type memoSource struct {
+	sn        *dataset.Snapshot
+	selected  []dataset.Point
+	selectOK  bool
+	grouped   map[dataset.SeriesKey][]dataset.Point
+	groupedOK bool
+}
+
+func (m *memoSource) Select(f dataset.Filter) []dataset.Point {
+	if !m.selectOK {
+		m.selected = m.sn.Select(f)
+		m.selectOK = true
+	}
+	return m.selected
+}
+
+func (m *memoSource) GroupSeries(f dataset.Filter) map[dataset.SeriesKey][]dataset.Point {
+	if !m.groupedOK {
+		m.grouped = m.sn.GroupSeries(f)
+		m.groupedOK = true
+	}
+	return m.grouped
+}
