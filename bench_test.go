@@ -24,6 +24,8 @@ import (
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/predictor"
+	"hpcadvisor/internal/pricing"
 	"hpcadvisor/internal/queryengine"
 	"hpcadvisor/internal/regression"
 	"hpcadvisor/internal/runner"
@@ -958,4 +960,113 @@ func BenchmarkAdaptiveBudget(b *testing.B) {
 			b.ReportMetric(float64(completed), "scenarios_run")
 		})
 	}
+}
+
+// predictBenchStore builds an Amdahl-shaped multi-app/multi-SKU dataset
+// whose groups pass the predictor's fit-quality gate, so the benchmark
+// exercises the full fit + synthesize + merge path.
+func predictBenchStore() *dataset.Store {
+	apps := []string{"lammps", "openfoam", "wrf", "gromacs"}
+	skus := [][2]string{
+		{"Standard_HB120rs_v3", "hb120rs_v3"},
+		{"Standard_HB120rs_v2", "hb120rs_v2"},
+		{"Standard_HC44rs", "hc44rs"},
+		{"Standard_F64s_v2", "f64s_v2"},
+	}
+	inputs := []string{"atoms=864M", "atoms=4B"}
+	store := dataset.NewStore()
+	id := 0
+	for ai, app := range apps {
+		for si, sku := range skus {
+			for ii, input := range inputs {
+				t1 := 400 + float64(200*ai+60*si+30*ii)
+				serial := 0.03 + 0.01*float64(si)
+				for _, n := range []int{1, 2, 4, 8, 16} {
+					sec := t1 * (serial + (1-serial)/float64(n))
+					store.Add(dataset.Point{
+						ScenarioID:  "pb" + strconv.Itoa(id),
+						AppName:     app,
+						SKU:         sku[0],
+						SKUAlias:    sku[1],
+						NNodes:      n,
+						PPN:         100,
+						InputDesc:   input,
+						ExecTimeSec: sec,
+						CostUSD:     float64(n) * sec * 3.6 / 3600,
+					})
+					id++
+				}
+			}
+		}
+	}
+	return store
+}
+
+// BenchmarkPredictedAdviceThroughput measures serving merged
+// measured+predicted advice: the uncached fit+synthesize+merge baseline
+// against the query-engine cached path (8 readers, per-filter keys) — the
+// latency a GUI /predict page actually pays.
+func BenchmarkPredictedAdviceThroughput(b *testing.B) {
+	const readers = 8
+	cfg := predictor.Config{
+		Prices: pricing.Default(),
+		Region: "southcentralus",
+		Grid:   []int{1, 2, 4, 8, 16, 32, 64},
+	}
+	filters := []dataset.Filter{
+		{},
+		{AppName: "lammps"},
+		{AppName: "openfoam"},
+		{AppName: "wrf", SKU: "hc44rs"},
+		{AppName: "gromacs", InputDesc: "atoms=4B"},
+	}
+
+	b.Run("direct", func(b *testing.B) {
+		store := predictBenchStore()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := filters[i%len(filters)]
+			rows := predictor.Advice(store.Select(f), cfg, pareto.ByTime)
+			if len(rows) == 0 {
+				b.Fatal("empty predicted advice")
+			}
+		}
+	})
+
+	b.Run("engine", func(b *testing.B) {
+		store := predictBenchStore()
+		eng := queryengine.New(store, 0)
+		b.ResetTimer()
+		start := time.Now()
+		var next int64 = -1
+		var failed int32
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := atomic.AddInt64(&next, 1)
+					if i >= int64(b.N) || atomic.LoadInt32(&failed) != 0 {
+						return
+					}
+					f := filters[int(i)%len(filters)]
+					// The table always carries a header; require actual
+					// predicted content so a gate regression fails the bench.
+					if !strings.Contains(eng.PredictedAdviceTable(f, pareto.ByTime, cfg), "predicted/") {
+						atomic.StoreInt32(&failed, 1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if failed != 0 {
+			b.Fatal("empty predicted advice")
+		}
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "qps")
+		}
+	})
 }

@@ -1,0 +1,101 @@
+// Predicted advice: serving (SKU, node count) combinations that were never
+// run — the paper's Section III-F vision of advice "with minimal or no
+// executions in the cloud".
+//
+// A deliberately sparse sweep measures only 1-8 nodes on two VM types. The
+// predictor then fits scaling models per VM type and extends the advice out
+// to 64 nodes, each predicted row marked with its model family, fit
+// quality, and prediction interval. A leave-one-out backtest quantifies how
+// far the models can be trusted, and the full sweep is finally collected to
+// show the predictions against the truth.
+//
+// Run with: go run ./examples/predicted_advice
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpcadvisor"
+)
+
+const sparseYAML = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: predicted
+nnodes: [1, 2, 4, 8]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "20"
+`
+
+const fullYAML = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: predicted
+nnodes: [1, 2, 4, 8, 16, 32, 64]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "20"
+`
+
+func collect(yaml string) (*hpcadvisor.Advisor, float64) {
+	cfg, err := hpcadvisor.ParseConfig([]byte(yaml))
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := hpcadvisor.New(cfg.Subscription)
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := adv.Collect(dep.Name, cfg, hpcadvisor.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return adv, report.CollectionCostUSD
+}
+
+func main() {
+	grid := []int{1, 2, 4, 8, 16, 32, 64}
+
+	sparse, sparseCost := collect(sparseYAML)
+	fmt.Printf("sparse sweep collected (1-8 nodes, 2 VM types) for $%.2f\n\n", sparseCost)
+
+	filter := hpcadvisor.Filter{AppName: "lammps"}
+	cfg := sparse.PredictorConfig("southcentralus", grid)
+
+	fmt.Println("merged advice, predictions extending the sweep to 64 nodes:")
+	fmt.Print(sparse.PredictedAdviceTable(filter, hpcadvisor.ByTime, cfg))
+	fmt.Println()
+	fmt.Println(sparse.Backtest(filter, cfg).String())
+	fmt.Println()
+
+	full, fullCost := collect(fullYAML)
+	fmt.Printf("ground truth: the full sweep to 64 nodes cost $%.2f (%.1fx the sparse sweep)\n",
+		fullCost, fullCost/sparseCost)
+	fmt.Print(full.AdviceTable(filter, hpcadvisor.ByTime))
+
+	// How close did the cheap predicted front come to the expensive truth?
+	predicted := sparse.PredictedAdvice(filter, hpcadvisor.ByTime, cfg)
+	truth := full.Advice(filter, hpcadvisor.ByTime)
+	fmt.Println()
+	for _, row := range predicted {
+		if !row.Predicted {
+			continue
+		}
+		for _, m := range truth {
+			if m.SKU == row.SKU && m.NNodes == row.NNodes {
+				errPct := (row.ExecTimeSec - m.ExecTimeSec) / m.ExecTimeSec * 100
+				fmt.Printf("predicted %s @ %2d nodes: %4.0f s vs measured %4.0f s (%+.1f%%)\n",
+					row.SKUAlias, row.NNodes, row.ExecTimeSec, m.ExecTimeSec, errPct)
+			}
+		}
+	}
+}

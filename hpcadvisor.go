@@ -52,6 +52,13 @@
 // scenario list is partitioned per VM type into independent pool lanes and
 // the resulting dataset is byte-identical to the sequential run — only the
 // time to advice shrinks. See docs/ARCHITECTURE.md.
+//
+// Advice is not limited to executed scenarios: PredictedAdvice fits scaling
+// models per (application, input, SKU) group and merges model-predicted
+// points at untested node counts into the front, every predicted row
+// visibly marked — the paper's Section III-F advice "with minimal or no
+// executions in the cloud". Backtest reports how far those models can be
+// trusted.
 package hpcadvisor
 
 import (
@@ -62,6 +69,7 @@ import (
 	"hpcadvisor/internal/deploy"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/predictor"
 )
 
 // Advisor is the top-level entry point; see package core for the method
@@ -126,6 +134,26 @@ func FormatAdviceTable(rows []DataPoint) string {
 // given datapoints.
 func ParetoFront(points []DataPoint) []DataPoint {
 	return pareto.Front(points)
+}
+
+// PredictorConfig tunes the prediction of untested scenarios: the node
+// grid, the evidence and fit-quality gates, and the pricing of synthesized
+// points. Build one with Advisor.PredictorConfig.
+type PredictorConfig = predictor.Config
+
+// PredictedRow is one merged-advice row: a measured datapoint or a
+// model-synthesized one (Predicted true) with its model family, fit
+// quality, and prediction interval.
+type PredictedRow = predictor.Row
+
+// BacktestReport is the leave-one-out accuracy of the scaling models,
+// as MAPE per model family.
+type BacktestReport = predictor.BacktestReport
+
+// FormatPredictedAdviceTable renders merged advice rows with their Source
+// markings (measured vs predicted/model).
+func FormatPredictedAdviceTable(rows []PredictedRow) string {
+	return predictor.FormatAdviceTable(rows)
 }
 
 // Plot is a renderable chart from the tool's plot set.

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"hpcadvisor/internal/collector"
@@ -32,6 +33,7 @@ import (
 	"hpcadvisor/internal/gui"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/predictor"
 	"hpcadvisor/internal/scenario"
 )
 
@@ -72,11 +74,19 @@ commands (paper Table II):
                                    pools concurrently (for full sweeps: same
                                    dataset, less time; cross-VM-type samplers
                                    prune less across concurrent lanes)
-  plot [-app A] [-sku S] [-o dir] [-ascii]
-                                   generate plots from collected data
-  advice [-app A] [-sort time|cost] [-recipes]
+  plot [-app A] [-sku S] [-o dir] [-ascii] [-predict]
+                                   generate plots from collected data;
+                                   -predict overlays fitted scaling curves
+                                   and prediction-interval bands
+  advice [-app A] [-sort time|cost] [-recipes] [-predict] [-grid "1,2,4"]
                                    generate advice (Pareto front); -recipes
-                                   adds a Slurm script + cluster recipe per row
+                                   adds a Slurm script + cluster recipe per
+                                   row, -predict merges model-predicted
+                                   scenarios (marked in the Source column)
+  predict [-app A] [-sort time|cost] [-grid "1,2,4"] [-region R]
+                                   predicted advice over untested (SKU, node
+                                   count) scenarios plus a leave-one-out
+                                   backtest of the scaling models
   gui [-addr :8199] -c config.yaml start the GUI mode
   apps                             list available application models
 `
@@ -103,6 +113,8 @@ func (c *CLI) run(args []string) error {
 		return c.cmdPlot(rest[1:])
 	case "advice":
 		return c.cmdAdvice(rest[1:])
+	case "predict":
+		return c.cmdPredict(rest[1:])
 	case "gui":
 		return c.cmdGUI(rest[1:])
 	case "apps":
@@ -380,6 +392,9 @@ func (c *CLI) cmdPlot(args []string) error {
 	app, sku, input := c.filterFlags(fs)
 	outDir := fs.String("o", ".", "output directory for SVG files")
 	ascii := fs.Bool("ascii", false, "print ASCII charts instead of writing SVGs")
+	predict := fs.Bool("predict", false, "overlay fitted scaling curves and prediction intervals")
+	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
+	region := fs.String("region", "southcentralus", "pricing region for predicted points")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -391,17 +406,37 @@ func (c *CLI) cmdPlot(args []string) error {
 	if err != nil {
 		return err
 	}
+	if !*predict && *gridSpec != "" {
+		return fmt.Errorf("-grid requires -predict")
+	}
 	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
 	if adv.Store.Len() == 0 {
 		return fmt.Errorf("dataset is empty; run 'hpcadvisor collect' first")
 	}
+	var cfg predictor.Config
+	if *predict {
+		grid, err := parseGrid(*gridSpec)
+		if err != nil {
+			return err
+		}
+		cfg = adv.PredictorConfig(*region, grid)
+	}
 	if *ascii {
-		for _, p := range adv.Plots(f).All() {
+		set := adv.Plots(f)
+		if *predict {
+			set = adv.PredictedPlots(f, cfg)
+		}
+		for _, p := range set.All() {
 			fmt.Fprintln(c.Stdout, plot.RenderASCII(p, 72, 20))
 		}
 		return nil
 	}
-	paths, err := adv.WritePlotsSVG(*outDir, f)
+	var paths []string
+	if *predict {
+		paths, err = adv.WritePredictedPlotsSVG(*outDir, f, cfg)
+	} else {
+		paths, err = adv.WritePlotsSVG(*outDir, f)
+	}
 	if err != nil {
 		return err
 	}
@@ -411,13 +446,31 @@ func (c *CLI) cmdPlot(args []string) error {
 	return nil
 }
 
+// parseGrid parses the -grid flag: comma-separated positive node counts.
+func parseGrid(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, field := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid -grid %q: want comma-separated node counts >= 1", spec)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func (c *CLI) cmdAdvice(args []string) error {
 	fs := flag.NewFlagSet("advice", flag.ContinueOnError)
 	fs.SetOutput(c.Stderr)
 	app, sku, input := c.filterFlags(fs)
 	sortBy := fs.String("sort", "time", "sort advice by 'time' or 'cost'")
 	withRecipes := fs.Bool("recipes", false, "emit a Slurm script and cluster recipe per advice row")
-	region := fs.String("region", "southcentralus", "pricing region for recipes")
+	region := fs.String("region", "southcentralus", "pricing region for recipes and predictions")
+	predict := fs.Bool("predict", false, "merge model-predicted scenarios into the advice (marked in the Source column)")
+	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -429,28 +482,105 @@ func (c *CLI) cmdAdvice(args []string) error {
 	if err != nil {
 		return err
 	}
-	order := pareto.ByTime
-	switch *sortBy {
-	case "time":
-	case "cost":
-		order = pareto.ByCost
-	default:
-		return fmt.Errorf("unknown sort %q (want time or cost)", *sortBy)
+	order, err := parseOrder(*sortBy)
+	if err != nil {
+		return err
+	}
+	if !*predict && *gridSpec != "" {
+		return fmt.Errorf("-grid requires -predict")
 	}
 	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
-	rows := adv.Advice(f, order)
-	if len(rows) == 0 {
-		return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
+	// recipeRows is what -recipes renders: exactly the measured rows of the
+	// front that was just displayed (predicted rows name scenarios that were
+	// never run, so there is nothing to write a recipe for).
+	var recipeRows []dataset.Point
+	if *predict {
+		grid, err := parseGrid(*gridSpec)
+		if err != nil {
+			return err
+		}
+		cfg := adv.PredictorConfig(*region, grid)
+		rows := adv.PredictedAdvice(f, order, cfg)
+		if len(rows) == 0 {
+			return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
+		}
+		fmt.Fprint(c.Stdout, predictor.FormatAdviceTable(rows))
+		for _, r := range rows {
+			if !r.Predicted {
+				recipeRows = append(recipeRows, r.Point)
+			}
+		}
+		if *withRecipes && len(recipeRows) < len(rows) {
+			fmt.Fprintf(c.Stderr, "note: recipes cover the %d measured rows only; predicted rows have no executed scenario to replay\n",
+				len(recipeRows))
+		}
+	} else {
+		rows := adv.Advice(f, order)
+		if len(rows) == 0 {
+			return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
+		}
+		fmt.Fprint(c.Stdout, pareto.FormatAdviceTable(rows))
+		recipeRows = rows
 	}
-	fmt.Fprint(c.Stdout, pareto.FormatAdviceTable(rows))
 	if *withRecipes {
-		bundle, err := adv.AdviceRecipes(f, order, *region)
+		bundle, err := adv.RecipesFor(recipeRows, *region)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(c.Stdout)
 		fmt.Fprint(c.Stdout, bundle)
 	}
+	return nil
+}
+
+func parseOrder(sortBy string) (pareto.SortOrder, error) {
+	switch sortBy {
+	case "time":
+		return pareto.ByTime, nil
+	case "cost":
+		return pareto.ByCost, nil
+	}
+	return pareto.ByTime, fmt.Errorf("unknown sort %q (want time or cost)", sortBy)
+}
+
+// cmdPredict serves advice over untested scenarios: the merged
+// measured+predicted front plus the leave-one-out backtest that says how
+// far the scaling models can be trusted.
+func (c *CLI) cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	app, sku, input := c.filterFlags(fs)
+	sortBy := fs.String("sort", "time", "sort advice by 'time' or 'cost'")
+	region := fs.String("region", "southcentralus", "pricing region for predicted points")
+	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := c.loadState()
+	if err != nil {
+		return err
+	}
+	adv, err := c.advisorFor("", st)
+	if err != nil {
+		return err
+	}
+	order, err := parseOrder(*sortBy)
+	if err != nil {
+		return err
+	}
+	grid, err := parseGrid(*gridSpec)
+	if err != nil {
+		return err
+	}
+	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
+	cfg := adv.PredictorConfig(*region, grid)
+	rows := adv.PredictedAdvice(f, order, cfg)
+	if len(rows) == 0 {
+		return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
+	}
+	fmt.Fprint(c.Stdout, predictor.FormatAdviceTable(rows))
+	fmt.Fprintln(c.Stdout)
+	fmt.Fprintln(c.Stdout, adv.Backtest(f, cfg).String())
 	return nil
 }
 

@@ -363,3 +363,126 @@ func TestCollectParallelPoolsFlag(t *testing.T) {
 		t.Errorf("parallel collect output = %q", out)
 	}
 }
+
+const predictConfig = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: clitest
+nnodes: [1, 2, 4, 8]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "12"
+`
+
+func collectPredictFixture(t *testing.T) (stateDir string) {
+	t.Helper()
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	path := filepath.Join(dir, "config.yaml")
+	if err := os.WriteFile(path, []byte(predictConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if r := exec(t, state, "deploy", "create", "-c", path); r.code != 0 {
+		t.Fatalf("deploy create failed: %s", r.err.String())
+	}
+	if r := exec(t, state, "collect", "-c", path); r.code != 0 {
+		t.Fatalf("collect failed: %s", r.err.String())
+	}
+	return state
+}
+
+func TestPredictCommand(t *testing.T) {
+	state := collectPredictFixture(t)
+	r := exec(t, state, "predict", "-app", "lammps", "-grid", "1,2,4,8,16,32")
+	if r.code != 0 {
+		t.Fatalf("predict failed: %s", r.err.String())
+	}
+	out := r.out.String()
+	for _, want := range []string{"Source", "measured", "predicted/", "backtest (leave-one-out", "MAPE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("predict output missing %q:\n%s", want, out)
+		}
+	}
+	// Predicted rows surface untested node counts.
+	if !strings.Contains(out, "32") {
+		t.Errorf("predict output lacks the extrapolated 32-node scenario:\n%s", out)
+	}
+
+	// Bad grid errors cleanly.
+	if r := exec(t, state, "predict", "-grid", "1,zero"); r.code == 0 {
+		t.Error("invalid grid should fail")
+	}
+	// Bad sort errors cleanly.
+	if r := exec(t, state, "predict", "-sort", "vibes"); r.code == 0 {
+		t.Error("invalid sort should fail")
+	}
+}
+
+func TestAdvicePredictFlag(t *testing.T) {
+	state := collectPredictFixture(t)
+	plain := exec(t, state, "advice", "-app", "lammps")
+	if plain.code != 0 {
+		t.Fatalf("advice failed: %s", plain.err.String())
+	}
+	if strings.Contains(plain.out.String(), "predicted/") {
+		t.Error("plain advice must not contain predicted rows")
+	}
+	r := exec(t, state, "advice", "-app", "lammps", "-predict", "-grid", "1,2,4,8,16")
+	if r.code != 0 {
+		t.Fatalf("advice -predict failed: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "predicted/") || !strings.Contains(r.out.String(), "measured") {
+		t.Errorf("advice -predict output unmarked:\n%s", r.out.String())
+	}
+}
+
+func TestPlotPredictFlag(t *testing.T) {
+	state := collectPredictFixture(t)
+	r := exec(t, state, "plot", "-predict", "-grid", "1,2,4,8,16,32", "-ascii")
+	if r.code != 0 {
+		t.Fatalf("plot -predict -ascii failed: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "(predicted)") {
+		t.Errorf("ascii plot lacks predicted series:\n%s", r.out.String())
+	}
+	dir := t.TempDir()
+	r = exec(t, state, "plot", "-predict", "-o", dir)
+	if r.code != 0 {
+		t.Fatalf("plot -predict failed: %s", r.err.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "exectime_vs_nodes.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "stroke-dasharray") {
+		t.Error("predicted SVG lacks dashed overlay")
+	}
+}
+
+func TestAdvicePredictRecipesCoverDisplayedMeasuredRows(t *testing.T) {
+	state := collectPredictFixture(t)
+	r := exec(t, state, "advice", "-app", "lammps", "-predict", "-grid", "1,2,4,8,16,32", "-recipes")
+	if r.code != 0 {
+		t.Fatalf("advice -predict -recipes failed: %s", r.err.String())
+	}
+	out := r.out.String()
+	if !strings.Contains(out, "predicted/") {
+		t.Fatalf("merged table missing predicted rows:\n%s", out)
+	}
+	// Recipes exist for measured rows and never name a predicted node
+	// count: 16 and 32 nodes were never run.
+	if !strings.Contains(out, "#SBATCH") {
+		t.Errorf("no recipes emitted:\n%s", out)
+	}
+	for _, banned := range []string{"--nodes=16", "--nodes=32"} {
+		if strings.Contains(out, banned) {
+			t.Errorf("recipe emitted for predicted scenario (%s):\n%s", banned, out)
+		}
+	}
+	if !strings.Contains(r.err.String(), "measured rows only") {
+		t.Errorf("missing predicted-rows note on stderr: %q", r.err.String())
+	}
+}

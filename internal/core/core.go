@@ -27,6 +27,7 @@ import (
 	"hpcadvisor/internal/deploy"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/predictor"
 	"hpcadvisor/internal/pricing"
 	"hpcadvisor/internal/queryengine"
 	"hpcadvisor/internal/recipes"
@@ -313,6 +314,28 @@ func (a *Advisor) WritePlotsSVG(dir string, f dataset.Filter) ([]string, error) 
 	return paths, nil
 }
 
+// WritePredictedPlotsSVG renders the overlaid plot set into dir and returns
+// the file paths, served from the engine's predicted-SVG cache.
+func (a *Advisor) WritePredictedPlotsSVG(dir string, f dataset.Filter, cfg predictor.Config) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	eng := a.Engine()
+	var paths []string
+	for _, name := range plot.SetNames {
+		data, err := eng.PredictedSVG(name, f, cfg)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, name+".svg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
 // Advice computes the Pareto front over the filtered dataset, ordered by
 // execution time or cost (Table II: "advice"; Section III-E), served and
 // memoized by the query engine.
@@ -323,6 +346,43 @@ func (a *Advisor) Advice(f dataset.Filter, order pareto.SortOrder) []dataset.Poi
 // AdviceTable renders the advice exactly as the paper's Listings 3-4.
 func (a *Advisor) AdviceTable(f dataset.Filter, order pareto.SortOrder) string {
 	return a.Engine().AdviceTable(f, order)
+}
+
+// PredictorConfig builds the predictor configuration for this advisor's
+// price book: region prices the synthesized points, grid sets the node
+// counts predicted at (nil derives the default doubling grid from the
+// measured data).
+func (a *Advisor) PredictorConfig(region string, grid []int) predictor.Config {
+	return predictor.Config{Prices: a.Prices, Region: region, Grid: grid}
+}
+
+// PredictedAdvice returns the merged measured+predicted Pareto front: the
+// paper's Section III-F "minimal or no executions" advice. Predicted rows
+// are marked (Row.Predicted, "pred-" scenario IDs) and synthesized only at
+// (SKU, node count) holes, so no predicted row ever replaces or contradicts
+// a measurement of the same scenario; on the merged front a prediction can
+// still out-compete a measured row of a different scenario — that is the
+// point — and stays visibly marked when it does. Served and memoized by the
+// query engine.
+func (a *Advisor) PredictedAdvice(f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) []predictor.Row {
+	return a.Engine().PredictedAdvice(f, order, cfg)
+}
+
+// PredictedAdviceTable renders the merged advice with Source markings.
+func (a *Advisor) PredictedAdviceTable(f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) string {
+	return a.Engine().PredictedAdviceTable(f, order, cfg)
+}
+
+// PredictedPlots computes the plot set with predicted overlays (fitted
+// curves and interval bands) on the exectime and cost plots.
+func (a *Advisor) PredictedPlots(f dataset.Filter, cfg predictor.Config) PlotSet {
+	return a.Engine().PredictedPlotSet(f, cfg)
+}
+
+// Backtest reports the predictor's leave-one-out accuracy per model family
+// over the filtered dataset.
+func (a *Advisor) Backtest(f dataset.Filter, cfg predictor.Config) predictor.BacktestReport {
+	return a.Engine().Backtest(f, cfg)
 }
 
 // RepriceAdvice recomputes scenario costs under different pricing terms —
@@ -362,7 +422,13 @@ func (a *Advisor) RepriceAdvice(f dataset.Filter, order pareto.SortOrder, region
 // extension (Section I: "recipes to run jobs (e.g., Slurm scripts) or
 // computing environment creation").
 func (a *Advisor) AdviceRecipes(f dataset.Filter, order pareto.SortOrder, region string) (string, error) {
-	rows := a.Advice(f, order)
+	return a.RecipesFor(a.Advice(f, order), region)
+}
+
+// RecipesFor renders the recipe bundle for explicit advice rows, so callers
+// serving a different front (e.g. the merged predicted one) emit recipes
+// for exactly the rows they displayed.
+func (a *Advisor) RecipesFor(rows []dataset.Point, region string) (string, error) {
 	var b strings.Builder
 	for i, row := range rows {
 		sku, err := a.Catalog.Lookup(row.SKU)

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/predictor"
+)
+
+// collectSweep runs a real collection on the simulated cloud and returns
+// the advisor with its dataset populated.
+func collectSweep(t *testing.T, app string, skus []string, nnodes, inputs string) *Advisor {
+	t.Helper()
+	adv := New("mysubscription")
+	cfg := testConfig(t, app, skus, nnodes, inputs)
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := adv.Collect(dep.Name, cfg, CollectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return adv
+}
+
+func TestPredictedAdviceExtendsSweep(t *testing.T) {
+	// Collect to 8 nodes, predict to 32: the merged front must carry marked
+	// predicted rows at node counts never collected.
+	adv := collectSweep(t, "lammps", []string{"Standard_HB120rs_v3", "Standard_HC44rs"},
+		"[1, 2, 4, 8]", "  BOXFACTOR: \"12\"\n")
+	f := dataset.Filter{AppName: "lammps"}
+	cfg := adv.PredictorConfig("southcentralus", []int{1, 2, 4, 8, 16, 32})
+
+	rows := adv.PredictedAdvice(f, pareto.ByTime, cfg)
+	if len(rows) == 0 {
+		t.Fatal("no predicted advice")
+	}
+	var predicted int
+	for _, r := range rows {
+		if r.Predicted {
+			predicted++
+			if r.NNodes != 16 && r.NNodes != 32 {
+				t.Errorf("predicted row at collected node count %d", r.NNodes)
+			}
+			if !strings.HasPrefix(r.ScenarioID, predictor.PredictedIDPrefix) {
+				t.Errorf("predicted row ID %q unmarked", r.ScenarioID)
+			}
+		}
+	}
+	if predicted == 0 {
+		t.Error("no predicted rows reached the merged front")
+	}
+
+	table := adv.PredictedAdviceTable(f, pareto.ByTime, cfg)
+	if !strings.Contains(table, "measured") || !strings.Contains(table, "predicted/") {
+		t.Errorf("table does not mark provenance:\n%s", table)
+	}
+
+	// Consistency: with the grid fully measured, predicted advice is the
+	// measured advice — no phantom rows.
+	full := adv.PredictorConfig("southcentralus", []int{1, 2, 4, 8})
+	measured := adv.Advice(f, pareto.ByTime)
+	merged := adv.PredictedAdvice(f, pareto.ByTime, full)
+	if len(merged) != len(measured) {
+		t.Fatalf("fully measured grid: merged %d rows, measured %d", len(merged), len(measured))
+	}
+	for i := range merged {
+		if merged[i].Predicted || merged[i].ScenarioID != measured[i].ScenarioID {
+			t.Errorf("row %d diverges: %+v vs %s", i, merged[i], measured[i].ScenarioID)
+		}
+	}
+}
+
+func TestBacktestOnBuiltinAppModels(t *testing.T) {
+	// The acceptance bar for trusting predictions at all: on the built-in
+	// synthetic application models, leave-one-out MAPE per model family
+	// stays under 15%.
+	for _, tc := range []struct {
+		app, inputs string
+	}{
+		{"lammps", "  BOXFACTOR: \"12\"\n"},
+		{"openfoam", "  BLOCKMESH_DIMENSIONS: \"40 16 16\"\n"},
+	} {
+		adv := collectSweep(t, tc.app, []string{"Standard_HB120rs_v3", "Standard_HC44rs"},
+			"[1, 2, 4, 8, 16]", tc.inputs)
+		rep := adv.Backtest(dataset.Filter{AppName: tc.app}, adv.PredictorConfig("southcentralus", nil))
+		if rep.Groups == 0 || rep.Held == 0 {
+			t.Fatalf("%s: empty backtest %+v", tc.app, rep)
+		}
+		if rep.AmdahlMAPE >= 15 {
+			t.Errorf("%s: amdahl MAPE = %.1f%%, want < 15%%", tc.app, rep.AmdahlMAPE)
+		}
+		if rep.PowerLawMAPE >= 15 {
+			t.Errorf("%s: powerlaw MAPE = %.1f%%, want < 15%%", tc.app, rep.PowerLawMAPE)
+		}
+		if rep.SelectedMAPE >= 15 {
+			t.Errorf("%s: selected-model MAPE = %.1f%%, want < 15%%", tc.app, rep.SelectedMAPE)
+		}
+		t.Logf("%s: %s", tc.app, rep)
+	}
+}
+
+func TestPredictedPlotsCarryOverlay(t *testing.T) {
+	adv := collectSweep(t, "lammps", []string{"Standard_HB120rs_v3"},
+		"[1, 2, 4, 8]", "  BOXFACTOR: \"12\"\n")
+	f := dataset.Filter{AppName: "lammps"}
+	cfg := adv.PredictorConfig("southcentralus", []int{1, 2, 4, 8, 16, 32})
+	base := adv.Plots(f)
+	over := adv.PredictedPlots(f, cfg)
+	if len(over.ExecTimeVsNodes.Series) <= len(base.ExecTimeVsNodes.Series) {
+		t.Error("exectime plot gained no predicted series")
+	}
+	if len(over.ExecTimeVsCost.Series) <= len(base.ExecTimeVsCost.Series) {
+		t.Error("cost plot gained no predicted series")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 
@@ -16,6 +17,7 @@ import (
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/predictor"
 	"hpcadvisor/internal/scenario"
 )
 
@@ -54,6 +56,7 @@ func (s *Server) Mux() *http.ServeMux {
 	mux.HandleFunc("/plots", s.handlePlots)
 	mux.HandleFunc("/plot.svg", s.handlePlotSVG)
 	mux.HandleFunc("/advice", s.handleAdvice)
+	mux.HandleFunc("/predict", s.handlePredict)
 	return mux
 }
 
@@ -78,6 +81,7 @@ pre { background: #f4f4f4; padding: 12px; }
 <a href="/collect">Data collection</a>
 <a href="/plots">Plots</a>
 <a href="/advice">Advice</a>
+<a href="/predict">Predict</a>
 </nav>
 <main>{{.Body}}</main>
 </body></html>`
@@ -246,19 +250,98 @@ func (s *Server) handlePlots(w http.ResponseWriter, r *http.Request) {
 
 // handlePlotSVG serves rendered plot bytes straight from the query engine's
 // SVG cache; concurrent requests for one (plot, filter) render it once.
+// With pred=1 the exectime/cost plots carry the predictor overlay (fitted
+// curves, interval bands, predicted points), served from the predicted-SVG
+// cache.
 func (s *Server) handlePlotSVG(w http.ResponseWriter, r *http.Request) {
 	f := dataset.Filter{
 		AppName:   r.URL.Query().Get("app"),
 		SKU:       r.URL.Query().Get("sku"),
 		InputDesc: r.URL.Query().Get("input"),
 	}
-	data, err := s.adv.Engine().SVG(r.URL.Query().Get("name"), f)
+	var data []byte
+	var err error
+	if r.URL.Query().Get("pred") == "1" {
+		data, err = s.adv.Engine().PredictedSVG(r.URL.Query().Get("name"), f, s.predictorConfig())
+	} else {
+		data, err = s.adv.Engine().SVG(r.URL.Query().Get("name"), f)
+	}
 	if err != nil {
 		http.Error(w, "unknown plot", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
 	_, _ = w.Write(data)
+}
+
+// predictorConfig builds the predictor configuration from the server's
+// deployment region (the region prices the synthesized points).
+func (s *Server) predictorConfig() predictor.Config {
+	region := s.cfg.Region
+	if region == "" {
+		region = "southcentralus"
+	}
+	return s.adv.PredictorConfig(region, nil)
+}
+
+// handlePredict serves the predicted-advice page: the merged
+// measured+predicted front with its Source markings, the leave-one-out
+// backtest, and the overlaid exectime/cost plots. Lock-free — everything is
+// served from the query engine.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	order := pareto.ByTime
+	if r.URL.Query().Get("sort") == "cost" {
+		order = pareto.ByCost
+	}
+	f := dataset.Filter{
+		AppName:   r.URL.Query().Get("app"),
+		SKU:       r.URL.Query().Get("sku"),
+		InputDesc: r.URL.Query().Get("input"),
+	}
+	cfg := s.predictorConfig()
+	var b strings.Builder
+	b.WriteString("<h2>Predicted advice</h2>")
+	rows := s.adv.PredictedAdvice(f, order, cfg)
+	if len(rows) == 0 {
+		b.WriteString("<p>No data collected yet.</p>")
+		s.render(w, template.HTML(b.String()))
+		return
+	}
+	predicted := 0
+	for _, row := range rows {
+		if row.Predicted {
+			predicted++
+		}
+	}
+	fmt.Fprintf(&b, "<p>Merged Pareto front over measured and model-predicted scenarios "+
+		"(%d of %d rows predicted; predicted rows are marked in the Source column and exist only at node counts never measured for their VM type).</p>",
+		predicted, len(rows))
+	b.WriteString("<pre>" + template.HTMLEscapeString(s.adv.PredictedAdviceTable(f, order, cfg)) + "</pre>")
+	b.WriteString("<p>" + template.HTMLEscapeString(s.adv.Backtest(f, cfg).String()) + "</p>")
+
+	// Carry the active filter through the sort links and plot URLs, and
+	// URL-encode the user-supplied values.
+	filterQuery := func(extra url.Values) string {
+		q := url.Values{}
+		for _, k := range []string{"app", "sku", "input"} {
+			if v := r.URL.Query().Get(k); v != "" {
+				q.Set(k, v)
+			}
+		}
+		for k, vs := range extra {
+			q[k] = vs
+		}
+		return q.Encode()
+	}
+	fmt.Fprintf(&b, `<p><a href="/predict?%s">sort by cost</a> | <a href="/predict?%s">sort by time</a></p>`,
+		template.HTMLEscapeString(filterQuery(url.Values{"sort": {"cost"}})),
+		template.HTMLEscapeString(filterQuery(url.Values{"sort": {"time"}})))
+	for _, name := range []string{"exectime_vs_nodes", "exectime_vs_cost"} {
+		src := "/plot.svg?" + filterQuery(url.Values{"name": {name}, "pred": {"1"}})
+		fmt.Fprintf(&b, `<div><img src="%s" alt="%s (predicted)"/></div>`,
+			template.HTMLEscapeString(src), name)
+	}
+	s.render(w, template.HTML(b.String()))
 }
 
 // handleAdvice serves the advice table from the query engine; lock-free.

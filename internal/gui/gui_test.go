@@ -288,3 +288,73 @@ func TestGUICollectWithBadSampler(t *testing.T) {
 		t.Errorf("bad sampler = %d, want 500", code)
 	}
 }
+
+const predictGUIConfig = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: guitest
+nnodes: [1, 2, 4, 8]
+appname: lammps
+region: southcentralus
+appinputs:
+  BOXFACTOR: "12"
+`
+
+func TestGUIPredictPage(t *testing.T) {
+	cfg, err := config.Parse([]byte(predictGUIConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := core.New(cfg.Subscription)
+	s := NewServer(adv, cfg)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	// Empty state first.
+	code, body := get(t, ts, "/predict")
+	if code != 200 || !strings.Contains(body, "No data collected yet") {
+		t.Fatalf("empty predict page = %d: %s", code, body)
+	}
+
+	if _, err := adv.DeployCreate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(t, ts, "/collect", url.Values{"sampler": {"full"}}); code != 200 {
+		t.Fatalf("collect = %d: %s", code, body)
+	}
+
+	// The predict page shows the merged table with provenance marking, the
+	// backtest line, and the overlaid plots.
+	_, body = get(t, ts, "/predict")
+	for _, want := range []string{"Predicted advice", "Source", "measured", "predicted/", "backtest (leave-one-out", "pred=1"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("predict page missing %q", want)
+		}
+	}
+
+	// Nav carries the link everywhere.
+	_, home := get(t, ts, "/")
+	if !strings.Contains(home, `href="/predict"`) {
+		t.Error("nav lacks predict link")
+	}
+
+	// The overlaid SVG renders and is visually marked; the plain one stays
+	// clean.
+	code, svg := get(t, ts, "/plot.svg?name=exectime_vs_nodes&pred=1")
+	if code != 200 || !strings.Contains(svg, "stroke-dasharray") || !strings.Contains(svg, "(predicted)") {
+		t.Errorf("predicted SVG = %d, marked=%v", code, strings.Contains(svg, "(predicted)"))
+	}
+	_, plain := get(t, ts, "/plot.svg?name=exectime_vs_nodes")
+	if strings.Contains(plain, "(predicted)") {
+		t.Error("plain SVG gained the predicted overlay")
+	}
+	if code, _ := get(t, ts, "/plot.svg?name=nope&pred=1"); code != 404 {
+		t.Errorf("unknown predicted plot = %d, want 404", code)
+	}
+
+	// Sort by cost works.
+	if code, _ := get(t, ts, "/predict?sort=cost"); code != 200 {
+		t.Errorf("predict by cost = %d", code)
+	}
+}

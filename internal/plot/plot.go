@@ -34,6 +34,14 @@ type Series struct {
 	Name    string
 	Points  []XY
 	Scatter bool // draw markers only, no connecting line
+	// Dashed draws the line dashed with open markers — the rendering of
+	// model-predicted overlays, visually distinct from measured series.
+	Dashed bool
+	// Band draws the points as a closed translucent polygon (a prediction
+	// interval band) instead of a line or markers; Points trace the lower
+	// edge left-to-right then the upper edge right-to-left. Band series with
+	// an empty Name are skipped in legends.
+	Band bool
 }
 
 // Plot is a renderable chart.

@@ -68,26 +68,52 @@ func RenderSVG(p Plot) []byte {
 	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" font-family="sans-serif" font-size="13" transform="rotate(-90 16 %d)">%s</text>`+"\n",
 		svgMarginT+int(plotH/2), svgMarginT+int(plotH/2), escape(p.YLabel))
 
+	colors := assignColors(p.Series)
+
 	// Series.
 	for i, s := range p.Series {
-		color := seriesColors[i%len(seriesColors)]
+		color := colors[i]
+		if s.Band {
+			if len(s.Points) > 2 {
+				var pts []string
+				for _, pt := range s.Points {
+					pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(pt.X), ty(pt.Y)))
+				}
+				fmt.Fprintf(&b, `<polygon points="%s" fill="%s" fill-opacity="0.15" stroke="none"/>`+"\n",
+					strings.Join(pts, " "), color)
+			}
+			continue
+		}
 		if !s.Scatter && len(s.Points) > 1 {
+			dash := ""
+			if s.Dashed {
+				dash = ` stroke-dasharray="6 4"`
+			}
 			var pts []string
 			for _, pt := range s.Points {
 				pts = append(pts, fmt.Sprintf("%.1f,%.1f", tx(pt.X), ty(pt.Y)))
 			}
-			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
-				strings.Join(pts, " "), color)
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"%s/>`+"\n",
+				strings.Join(pts, " "), color, dash)
 		}
 		for _, pt := range s.Points {
-			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", tx(pt.X), ty(pt.Y), color)
+			if s.Dashed {
+				// Open markers distinguish predicted points from measured.
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="white" stroke="%s" stroke-width="1.5"/>`+"\n",
+					tx(pt.X), ty(pt.Y), color)
+			} else {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n", tx(pt.X), ty(pt.Y), color)
+			}
 		}
 	}
 
 	// Legend along the bottom, like the paper's figures.
 	lx := float64(svgMarginL)
 	for i, s := range p.Series {
-		color := seriesColors[i%len(seriesColors)]
+		if s.Band && s.Name == "" {
+			continue
+		}
+		color := colors[i]
 		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, svgMarginT-14, color)
 		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
 			lx+14, svgMarginT-5, escape(s.Name))
@@ -96,6 +122,30 @@ func RenderSVG(p Plot) []byte {
 
 	b.WriteString("</svg>\n")
 	return []byte(b.String())
+}
+
+// assignColors walks the palette across the series. Only non-band series
+// advance the palette; an interval band borrows the color of the curve
+// that follows it, so a band is always tinted like the prediction it
+// belongs to.
+func assignColors(series []Series) []string {
+	colors := make([]string, len(series))
+	ci := 0
+	for i, s := range series {
+		if !s.Band {
+			colors[i] = seriesColors[ci%len(seriesColors)]
+			ci++
+		}
+	}
+	next := seriesColors[ci%len(seriesColors)]
+	for i := len(series) - 1; i >= 0; i-- {
+		if series[i].Band {
+			colors[i] = next
+		} else {
+			next = colors[i]
+		}
+	}
+	return colors
 }
 
 // RenderASCII renders the plot as a text chart for terminal use.
@@ -127,7 +177,13 @@ func RenderASCII(p Plot, width, height int) string {
 	}
 	markers := []rune{'o', 'x', '+', '*', '#', '@', '%'}
 	for si, s := range p.Series {
+		if s.Band {
+			continue // interval bands have no ASCII rendering
+		}
 		m := markers[si%len(markers)]
+		if s.Dashed {
+			m = '.'
+		}
 		for _, pt := range s.Points {
 			col := int((pt.X - xmin) / (xmax - xmin) * float64(width-1))
 			row := height - 1 - int((pt.Y-ymin)/(ymax-ymin)*float64(height-1))
@@ -144,7 +200,14 @@ func RenderASCII(p Plot, width, height int) string {
 	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", width-len(formatTick(xmax)), formatTick(xmin), formatTick(xmax))
 	fmt.Fprintf(&b, "x: %s, y: %s\n", p.XLabel, p.YLabel)
 	for si, s := range p.Series {
-		fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Name)
+		if s.Band {
+			continue
+		}
+		m := markers[si%len(markers)]
+		if s.Dashed {
+			m = '.'
+		}
+		fmt.Fprintf(&b, "  %c = %s\n", m, s.Name)
 	}
 	return b.String()
 }

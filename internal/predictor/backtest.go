@@ -1,0 +1,110 @@
+package predictor
+
+import (
+	"fmt"
+	"math"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/regression"
+)
+
+// BacktestReport summarizes a leave-one-out backtest: each measured point is
+// held out in turn, both model families are refit on the rest of its group,
+// and the held-out execution time is predicted. MAPE is reported per model
+// family (regression.MeanAbsPctError) over every refit, plus the
+// selected-model MAPE — the error a user of PredictedAdvice experiences:
+// only folds whose better refit clears the R² quality gate count, exactly
+// the fits the advice path would serve.
+type BacktestReport struct {
+	// Groups is how many (app, input, SKU) groups had enough points to
+	// backtest; Held counts the folds whose selected refit cleared the
+	// quality gate (the denominator of SelectedMAPE).
+	Groups int
+	Held   int
+
+	AmdahlMAPE   float64
+	PowerLawMAPE float64
+	SelectedMAPE float64
+}
+
+// String renders the report as one summary line.
+func (r BacktestReport) String() string {
+	if r.Groups == 0 {
+		return "backtest: insufficient data (no group has enough measured node counts)"
+	}
+	if r.Held == 0 {
+		return fmt.Sprintf(
+			"backtest (leave-one-out, %d groups): no refit cleared the R² quality gate — predictions would not be served; ungated amdahl MAPE %.1f%%, powerlaw MAPE %.1f%%",
+			r.Groups, r.AmdahlMAPE, r.PowerLawMAPE)
+	}
+	return fmt.Sprintf(
+		"backtest (leave-one-out, %d groups, %d held-out points): amdahl MAPE %.1f%%, powerlaw MAPE %.1f%%, selected-model MAPE %.1f%%",
+		r.Groups, r.Held, r.AmdahlMAPE, r.PowerLawMAPE, r.SelectedMAPE)
+}
+
+// Backtest runs the leave-one-out evaluation over every group Fit would
+// serve predictions for (at least MinPoints distinct measured node counts).
+// Each refit has one point fewer than the served fit, so the backtest is
+// the honest approximation of served-fit error rather than a strict mirror
+// of the evidence gate.
+func Backtest(points []dataset.Point, cfg Config) BacktestReport {
+	var rep BacktestReport
+	// Paired (observation, prediction) arrays per family: a family that
+	// cannot refit on one fold simply skips that fold instead of poisoning
+	// its MAPE with a NaN.
+	var amObs, amPred, pwObs, pwPred, selObs, selPred []float64
+	for _, g := range groupPoints(points) {
+		if len(distinctNodes(g)) < cfg.minPoints() {
+			continue
+		}
+		rep.Groups++
+		for hold := range g {
+			nodes := make([]int, 0, len(g)-1)
+			times := make([]float64, 0, len(g)-1)
+			for i, p := range g {
+				if i == hold {
+					continue
+				}
+				nodes = append(nodes, p.NNodes)
+				times = append(times, p.ExecTimeSec)
+			}
+			am, amR2, pw, pwR2 := fitBoth(nodes, times)
+			amOK := !math.IsInf(amR2, -1)
+			pwOK := !math.IsInf(pwR2, -1)
+			if !amOK && !pwOK {
+				continue
+			}
+			held := g[hold]
+			if amOK {
+				amObs = append(amObs, held.ExecTimeSec)
+				amPred = append(amPred, am.Predict(held.NNodes))
+			}
+			if pwOK {
+				pwObs = append(pwObs, held.ExecTimeSec)
+				pwPred = append(pwPred, pw.Predict(float64(held.NNodes)))
+			}
+			// Selected-model error mirrors what PredictedAdvice serves: the
+			// better family per refit, and only when it clears the quality
+			// gate — a fold the gate rejects would never reach a user.
+			selT, selR2 := am.Predict(held.NNodes), amR2
+			if pwOK && (!amOK || pwR2 > amR2) {
+				selT, selR2 = pw.Predict(float64(held.NNodes)), pwR2
+			}
+			if selR2 >= cfg.minR2() {
+				selObs = append(selObs, held.ExecTimeSec)
+				selPred = append(selPred, selT)
+			}
+		}
+	}
+	rep.Held = len(selObs)
+	if len(amObs) > 0 {
+		rep.AmdahlMAPE = regression.MeanAbsPctError(amObs, amPred)
+	}
+	if len(pwObs) > 0 {
+		rep.PowerLawMAPE = regression.MeanAbsPctError(pwObs, pwPred)
+	}
+	if rep.Held > 0 {
+		rep.SelectedMAPE = regression.MeanAbsPctError(selObs, selPred)
+	}
+	return rep
+}

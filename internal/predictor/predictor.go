@@ -1,0 +1,485 @@
+// Package predictor serves advice for scenarios that were never run. It is
+// the paper's Section III-F vision — advice "with minimal or no executions
+// in the cloud" — taken to its conclusion: for every (application, input,
+// SKU) group in the collected dataset it fits both the Amdahl strong-scaling
+// model and the log-log power law from internal/regression, selects the
+// better fit by R² behind a quality gate, and synthesizes predicted
+// datapoints across a configurable node-count grid, including node counts
+// never collected. Each synthesized point carries a prediction interval
+// derived from the fit residuals and a cost computed from the price book.
+//
+// The marking contract: a predicted row is distinguishable from a measured
+// row everywhere it surfaces. Row.Predicted is the flag, Row.Source()
+// renders it for tables, predicted scenario IDs carry the "pred-" prefix,
+// and predictions are synthesized only at (group, node count) holes — on a
+// fully measured grid the merged advice is byte-identical to measured
+// advice, and a predicted row can never displace a measured point at the
+// same scenario.
+package predictor
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/pareto"
+	"hpcadvisor/internal/pricing"
+	"hpcadvisor/internal/regression"
+)
+
+// Model family names reported on rows and in backtests.
+const (
+	ModelAmdahl   = "amdahl"
+	ModelPowerLaw = "powerlaw"
+)
+
+// PredictedIDPrefix starts every synthesized scenario ID, so predicted rows
+// stay distinguishable even as bare dataset.Points.
+const PredictedIDPrefix = "pred-"
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultMinPoints = 3
+	DefaultMinR2     = 0.90
+	DefaultIntervalZ = 1.96
+)
+
+// Config tunes prediction.
+type Config struct {
+	// Grid is the set of node counts to predict at; counts already measured
+	// for a group are never re-synthesized. Empty derives DefaultGrid from
+	// the measured data.
+	Grid []int
+	// MinPoints is the minimum number of distinct measured node counts a
+	// group needs before its fit is trusted (default 3).
+	MinPoints int
+	// MinR2 is the quality gate: groups whose better model explains less
+	// than this fraction of variance yield no predictions (default 0.90).
+	MinR2 float64
+	// Prices and Region cost the synthesized points. Both are required for
+	// prediction — a point without a cost cannot sit on a time/cost front.
+	Prices *pricing.PriceBook
+	Region string
+	// IntervalZ scales the residual-derived prediction interval (default
+	// 1.96, a ~95% normal interval).
+	IntervalZ float64
+}
+
+func (c Config) minPoints() int {
+	if c.MinPoints > 0 {
+		return c.MinPoints
+	}
+	return DefaultMinPoints
+}
+
+func (c Config) minR2() float64 {
+	if c.MinR2 > 0 {
+		return c.MinR2
+	}
+	return DefaultMinR2
+}
+
+func (c Config) intervalZ() float64 {
+	if c.IntervalZ > 0 {
+		return c.IntervalZ
+	}
+	return DefaultIntervalZ
+}
+
+// Key renders the prediction-relevant parameters as a deterministic cache
+// key fragment; the query engine combines it with the canonical filter and
+// the store generation. The price book's identity is not part of the key —
+// engines serve one advisor, which owns one price book.
+func (c Config) Key() string {
+	var b strings.Builder
+	b.WriteString("grid=")
+	for i, n := range c.Grid {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	fmt.Fprintf(&b, "|mp=%d|r2=%g|z=%g|rg=%s",
+		c.minPoints(), c.minR2(), c.intervalZ(), strings.ToLower(c.Region))
+	return b.String()
+}
+
+// Row is one merged-advice row: a measured datapoint, or a model-synthesized
+// one carrying its provenance and prediction interval.
+type Row struct {
+	dataset.Point
+	// Predicted marks synthesized rows; measured rows leave it false and the
+	// remaining fields zero.
+	Predicted bool
+	// Model is the family that produced the prediction (ModelAmdahl or
+	// ModelPowerLaw).
+	Model string
+	// R2 is the selected model's goodness of fit over the group's measured
+	// points.
+	R2 float64
+	// TimeLoSec and TimeHiSec bound the predicted execution time: the point
+	// estimate ± IntervalZ standard deviations of the fit residuals, floored
+	// at zero.
+	TimeLoSec float64
+	TimeHiSec float64
+	// CostLoUSD and CostHiUSD are the interval endpoints priced like the
+	// point estimate (cost is linear in time).
+	CostLoUSD float64
+	CostHiUSD float64
+}
+
+// Source renders the row's provenance for tables: "measured", or the model
+// family with its fit quality, e.g. "predicted/amdahl R2=0.99".
+func (r Row) Source() string {
+	if !r.Predicted {
+		return "measured"
+	}
+	return fmt.Sprintf("predicted/%s R2=%.2f", r.Model, r.R2)
+}
+
+// GroupFit is the selected scaling model for one (application, input, SKU)
+// group of measured points.
+type GroupFit struct {
+	AppName   string
+	SKU       string
+	SKUAlias  string
+	PPN       int
+	InputDesc string
+	AppInput  map[string]string
+	Tags      map[string]string
+
+	// Model is the better-fitting family; Amdahl wins ties.
+	Model  string
+	Amdahl regression.Amdahl
+	Power  regression.PowerLaw
+	// R2 is the selected model's coefficient of determination.
+	R2 float64
+	// ResidSD is the standard deviation of the selected model's residuals
+	// (seconds), the basis of every prediction interval.
+	ResidSD float64
+
+	// MeasuredNodes are the distinct measured node counts, ascending.
+	MeasuredNodes []int
+}
+
+// Predict evaluates the selected model at n nodes.
+func (g GroupFit) Predict(n int) float64 {
+	if g.Model == ModelPowerLaw {
+		return g.Power.Predict(float64(n))
+	}
+	return g.Amdahl.Predict(n)
+}
+
+// groupKey orders and identifies fit groups.
+func groupKey(p *dataset.Point) string {
+	return p.AppName + "\x00" + p.InputDesc + "\x00" + p.SKU
+}
+
+// groupPoints buckets successful points into (app, input, SKU) groups,
+// deterministically ordered by group key.
+func groupPoints(points []dataset.Point) [][]dataset.Point {
+	byKey := make(map[string][]dataset.Point)
+	var keys []string
+	for _, p := range points {
+		if p.Failed || p.ExecTimeSec <= 0 || p.NNodes < 1 {
+			continue
+		}
+		k := groupKey(&p)
+		if _, ok := byKey[k]; !ok {
+			keys = append(keys, k)
+		}
+		byKey[k] = append(byKey[k], p)
+	}
+	sort.Strings(keys)
+	out := make([][]dataset.Point, len(keys))
+	for i, k := range keys {
+		out[i] = byKey[k]
+	}
+	return out
+}
+
+// distinctNodes returns the distinct node counts of a group, ascending.
+func distinctNodes(pts []dataset.Point) []int {
+	seen := make(map[int]bool, len(pts))
+	var out []int
+	for _, p := range pts {
+		if !seen[p.NNodes] {
+			seen[p.NNodes] = true
+			out = append(out, p.NNodes)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fitBoth fits both model families to (nodes, times) and returns each with
+// its R²; a family that cannot fit reports R² of -Inf.
+func fitBoth(nodes []int, times []float64) (am regression.Amdahl, amR2 float64, pw regression.PowerLaw, pwR2 float64) {
+	amR2, pwR2 = math.Inf(-1), math.Inf(-1)
+	if a, err := regression.FitAmdahl(nodes, times); err == nil {
+		pred := make([]float64, len(nodes))
+		for i, n := range nodes {
+			pred[i] = a.Predict(n)
+		}
+		am, amR2 = a, regression.RSquared(times, pred)
+	}
+	xs := make([]float64, len(nodes))
+	for i, n := range nodes {
+		xs[i] = float64(n)
+	}
+	if p, err := regression.FitPowerLaw(xs, times); err == nil {
+		pred := make([]float64, len(nodes))
+		for i, n := range nodes {
+			pred[i] = p.Predict(float64(n))
+		}
+		pw, pwR2 = p, regression.RSquared(times, pred)
+	}
+	return am, amR2, pw, pwR2
+}
+
+// fitGroup fits one group and reports whether it passes the evidence and
+// quality gates.
+func fitGroup(pts []dataset.Point, cfg Config) (GroupFit, bool) {
+	nodesDistinct := distinctNodes(pts)
+	if len(nodesDistinct) < cfg.minPoints() {
+		return GroupFit{}, false
+	}
+	nodes := make([]int, len(pts))
+	times := make([]float64, len(pts))
+	for i, p := range pts {
+		nodes[i] = p.NNodes
+		times[i] = p.ExecTimeSec
+	}
+	am, amR2, pw, pwR2 := fitBoth(nodes, times)
+	g := GroupFit{
+		AppName:       pts[0].AppName,
+		SKU:           pts[0].SKU,
+		SKUAlias:      pts[0].SKUAlias,
+		PPN:           pts[0].PPN,
+		InputDesc:     pts[0].InputDesc,
+		AppInput:      pts[0].AppInput,
+		Tags:          pts[0].Tags,
+		Amdahl:        am,
+		Power:         pw,
+		MeasuredNodes: nodesDistinct,
+	}
+	if pwR2 > amR2 {
+		g.Model, g.R2 = ModelPowerLaw, pwR2
+	} else {
+		g.Model, g.R2 = ModelAmdahl, amR2
+	}
+	if math.IsInf(g.R2, -1) || math.IsNaN(g.R2) || g.R2 < cfg.minR2() {
+		return GroupFit{}, false
+	}
+	// Residual spread with a regression degrees-of-freedom correction (two
+	// fitted parameters in both families).
+	var sse float64
+	for i := range nodes {
+		d := times[i] - g.Predict(nodes[i])
+		sse += d * d
+	}
+	dof := len(nodes) - 2
+	if dof < 1 {
+		dof = 1
+	}
+	g.ResidSD = math.Sqrt(sse / float64(dof))
+	return g, true
+}
+
+// Fit fits every (app, input, SKU) group in points that passes the evidence
+// and quality gates, deterministically ordered. Failed points are never
+// evidence.
+func Fit(points []dataset.Point, cfg Config) []GroupFit {
+	var out []GroupFit
+	for _, g := range groupPoints(points) {
+		if fit, ok := fitGroup(g, cfg); ok {
+			out = append(out, fit)
+		}
+	}
+	return out
+}
+
+// DefaultGrid derives a node grid from the measured data: every measured
+// node count, plus powers of two up to twice the largest measured count —
+// so the default prediction both fills holes and extrapolates one doubling
+// beyond the sweep.
+func DefaultGrid(points []dataset.Point) []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(n int) {
+		if n >= 1 && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	max := 0
+	for _, p := range points {
+		if p.Failed {
+			continue
+		}
+		add(p.NNodes)
+		if p.NNodes > max {
+			max = p.NNodes
+		}
+	}
+	for n := 1; n <= 2*max; n *= 2 {
+		add(n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// predictedID builds the synthesized scenario ID. The "pred-" prefix keeps
+// predicted rows identifiable as bare points and collision-free with
+// measured scenario IDs; the input-description hash keeps groups that
+// differ only in application input collision-free with each other.
+func predictedID(g *GroupFit, n int) string {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%d", g.InputDesc, g.PPN)
+	return fmt.Sprintf("%s%s-%s-n%02d-%s-%08x", PredictedIDPrefix, g.AppName, g.SKUAlias, n, g.Model, h.Sum32())
+}
+
+// synthesize builds the predicted rows of one fitted group across the grid,
+// skipping measured node counts and unpriceable or degenerate predictions.
+func synthesize(g *GroupFit, grid []int, cfg Config) []Row {
+	measured := make(map[int]bool, len(g.MeasuredNodes))
+	for _, n := range g.MeasuredNodes {
+		measured[n] = true
+	}
+	var out []Row
+	done := make(map[int]bool, len(grid))
+	for _, n := range grid {
+		if n < 1 || measured[n] || done[n] {
+			continue
+		}
+		done[n] = true
+		predTime := g.Predict(n)
+		if predTime <= 0 || math.IsNaN(predTime) || math.IsInf(predTime, 0) {
+			continue
+		}
+		cost, err := cfg.Prices.Cost(cfg.Region, g.SKU, n, predTime)
+		if err != nil {
+			continue
+		}
+		// Interval gate: when the residual spread swallows the estimate
+		// itself (the lower bound would be zero or negative), the
+		// extrapolation cannot even rule out instantaneous execution — that
+		// is not advice, so the point is dropped rather than synthesized.
+		lo := predTime - cfg.intervalZ()*g.ResidSD
+		if lo <= 0 && g.ResidSD > 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		hi := predTime + cfg.intervalZ()*g.ResidSD
+		costLo, _ := cfg.Prices.Cost(cfg.Region, g.SKU, n, lo)
+		costHi, _ := cfg.Prices.Cost(cfg.Region, g.SKU, n, hi)
+		out = append(out, Row{
+			Point: dataset.Point{
+				ScenarioID:  predictedID(g, n),
+				AppName:     g.AppName,
+				SKU:         g.SKU,
+				SKUAlias:    g.SKUAlias,
+				NNodes:      n,
+				PPN:         g.PPN,
+				AppInput:    g.AppInput,
+				InputDesc:   g.InputDesc,
+				Tags:        g.Tags,
+				ExecTimeSec: predTime,
+				CostUSD:     cost,
+			},
+			Predicted: true,
+			Model:     g.Model,
+			R2:        g.R2,
+			TimeLoSec: lo,
+			TimeHiSec: hi,
+			CostLoUSD: costLo,
+			CostHiUSD: costHi,
+		})
+	}
+	return out
+}
+
+// Rows merges the measured points with model-synthesized rows at every grid
+// node count a group never measured. Measured rows always win: predictions
+// only fill holes, so on a fully measured grid Rows returns exactly the
+// measured data and no phantom rows.
+func Rows(points []dataset.Point, cfg Config) []Row {
+	var out []Row
+	for _, p := range points {
+		if p.Failed {
+			continue
+		}
+		out = append(out, Row{Point: p})
+	}
+	if cfg.Prices == nil || cfg.Region == "" {
+		return out
+	}
+	grid := cfg.Grid
+	if len(grid) == 0 {
+		grid = DefaultGrid(points)
+	}
+	fits := Fit(points, cfg)
+	for i := range fits {
+		out = append(out, synthesize(&fits[i], grid, cfg)...)
+	}
+	return out
+}
+
+// Advice merges measured and predicted rows and returns their Pareto front
+// in the requested order — the engine behind "advice -predict". Predicted
+// rows on the front keep their marking and intervals.
+func Advice(points []dataset.Point, cfg Config, order pareto.SortOrder) []Row {
+	rows := Rows(points, cfg)
+	// Rows are correlated back to front points by (ID, time, cost), not ID
+	// alone: a dataset can legitimately carry duplicate scenario IDs with
+	// different measurements (re-collections, merged datasets), and the
+	// front row must keep the values the Pareto computation actually kept.
+	byKey := make(map[rowKey]Row, len(rows))
+	pts := make([]dataset.Point, len(rows))
+	for i, r := range rows {
+		pts[i] = r.Point
+		byKey[keyOf(&r.Point)] = r
+	}
+	front := pareto.Advice(pts, order)
+	out := make([]Row, len(front))
+	for i, p := range front {
+		out[i] = byKey[keyOf(&p)]
+	}
+	return out
+}
+
+type rowKey struct {
+	id   string
+	time float64
+	cost float64
+}
+
+func keyOf(p *dataset.Point) rowKey {
+	return rowKey{id: p.ScenarioID, time: p.ExecTimeSec, cost: p.CostUSD}
+}
+
+// FormatAdviceTable renders merged advice like the paper's Listings 3-4 plus
+// a Source column that marks every predicted row with its model family, fit
+// quality, and time interval:
+//
+//	Exectime(s)  Cost($)  Nodes  SKU         Source
+//	34           0.5440   16     hb120rs_v3  measured
+//	28           0.6720   32     hb120rs_v3  predicted/amdahl R2=0.99 [26..30s]
+func FormatAdviceTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %-6s %-12s %s\n", "Exectime(s)", "Cost($)", "Nodes", "SKU", "Source")
+	for _, r := range rows {
+		src := r.Source()
+		if r.Predicted {
+			src += fmt.Sprintf(" [%.0f..%.0fs]", r.TimeLoSec, r.TimeHiSec)
+		}
+		fmt.Fprintf(&b, "%-12.0f %-8.4f %-6d %-12s %s\n", r.ExecTimeSec, r.CostUSD, r.NNodes, r.SKUAlias, src)
+	}
+	return b.String()
+}

@@ -20,6 +20,7 @@ import (
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/predictor"
 )
 
 // Source is anything that can produce read-optimized snapshots: a
@@ -246,6 +247,86 @@ func (e *Engine) SVG(name string, f dataset.Filter) ([]byte, error) {
 	}
 	v := e.get(key("svg", sn.Generation(), &c, name), func() any {
 		p, _ := e.plotSetAt(sn, f).ByName(name)
+		return plot.RenderSVG(p)
+	})
+	return v.([]byte), nil
+}
+
+// predictedAdviceAt memoizes the merged measured+predicted front at one
+// captured snapshot; the shared cached slice must not be modified. The key
+// adds the predictor configuration: distinct grids, gates, or regions cache
+// independently, and any append to the store invalidates by generation like
+// every other kind.
+func (e *Engine) predictedAdviceAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) []predictor.Row {
+	c := f.Canonical()
+	v := e.get(key("predadvice", sn.Generation(), &c, orderKey(order)+"|"+cfg.Key()), func() any {
+		return predictor.Advice(sn.Select(f), cfg, order)
+	})
+	return v.([]predictor.Row)
+}
+
+// PredictedAdvice returns the merged measured+predicted Pareto front over
+// the filtered dataset, memoized per (filter, order, config, generation).
+// The returned slice is a fresh copy; callers may modify it.
+func (e *Engine) PredictedAdvice(f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) []predictor.Row {
+	rows := e.predictedAdviceAt(e.src.Snapshot(), f, order, cfg)
+	out := make([]predictor.Row, len(rows))
+	copy(out, rows)
+	return out
+}
+
+// PredictedAdviceTable renders the merged advice with its Source markings,
+// memoized separately so repeated table requests skip the formatting; its
+// compute layers on the memoized rows.
+func (e *Engine) PredictedAdviceTable(f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) string {
+	sn := e.src.Snapshot()
+	c := f.Canonical()
+	v := e.get(key("predtable", sn.Generation(), &c, orderKey(order)+"|"+cfg.Key()), func() any {
+		return predictor.FormatAdviceTable(e.predictedAdviceAt(sn, f, order, cfg))
+	})
+	return v.(string)
+}
+
+// Backtest runs the predictor's leave-one-out backtest over the filtered
+// dataset, memoized per (filter, config, generation).
+func (e *Engine) Backtest(f dataset.Filter, cfg predictor.Config) predictor.BacktestReport {
+	sn := e.src.Snapshot()
+	c := f.Canonical()
+	v := e.get(key("backtest", sn.Generation(), &c, cfg.Key()), func() any {
+		return predictor.Backtest(sn.Select(f), cfg)
+	})
+	return v.(predictor.BacktestReport)
+}
+
+// predictedPlotSetAt memoizes the overlaid plot set at one captured
+// snapshot: the measured set (shared with the plain PlotSet kind) plus the
+// predictor's fitted-curve, interval-band, and predicted-cost series.
+func (e *Engine) predictedPlotSetAt(sn *dataset.Snapshot, f dataset.Filter, cfg predictor.Config) plot.Set {
+	c := f.Canonical()
+	v := e.get(key("predplots", sn.Generation(), &c, cfg.Key()), func() any {
+		return predictor.Overlay(e.plotSetAt(sn, f), sn.Select(f), cfg)
+	})
+	return v.(plot.Set)
+}
+
+// PredictedPlotSet returns the plot set with predicted overlays on the
+// exectime and cost plots, memoized per (filter, config, generation). The
+// set is returned by value; its series slices are shared and read-only.
+func (e *Engine) PredictedPlotSet(f dataset.Filter, cfg predictor.Config) plot.Set {
+	return e.predictedPlotSetAt(e.src.Snapshot(), f, cfg)
+}
+
+// PredictedSVG returns the named overlaid plot rendered as SVG bytes,
+// memoized per (name, filter, config, generation). The returned bytes are
+// shared with the cache and must not be modified. Unknown names error.
+func (e *Engine) PredictedSVG(name string, f dataset.Filter, cfg predictor.Config) ([]byte, error) {
+	sn := e.src.Snapshot()
+	c := f.Canonical()
+	if _, ok := (plot.Set{}).ByName(name); !ok {
+		return nil, fmt.Errorf("queryengine: unknown plot %q", name)
+	}
+	v := e.get(key("predsvg", sn.Generation(), &c, name+"|"+cfg.Key()), func() any {
+		p, _ := e.predictedPlotSetAt(sn, f, cfg).ByName(name)
 		return plot.RenderSVG(p)
 	})
 	return v.([]byte), nil

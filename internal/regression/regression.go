@@ -91,7 +91,11 @@ func FitAmdahl(nodes []int, times []float64) (Amdahl, error) {
 	}
 	best := Amdahl{}
 	bestErr := math.Inf(1)
-	for s := 0.0; s <= 1.0; s += 0.001 {
+	// Integer-indexed grid: accumulating s += 0.001 drifts (0.001 has no
+	// exact binary representation) and the loop exits before ever evaluating
+	// s = 1.0, so fully serial workloads could not fit exactly.
+	for i := 0; i <= 1000; i++ {
+		s := float64(i) / 1000
 		// T(n) = T1 * f(n) with f(n) = s + (1-s)/n. Least squares:
 		// T1 = sum(y*f) / sum(f^2).
 		var sf2, syf float64

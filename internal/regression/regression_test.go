@@ -194,3 +194,48 @@ func TestPropertyPowerLawRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAmdahlFullySerialExact(t *testing.T) {
+	// A workload that does not scale at all: T(n) is constant. The only
+	// exact fit is Serial = 1.0 — which the pre-fix accumulating grid
+	// (s += 0.001) never evaluated because of float drift.
+	nodes := []int{1, 2, 4, 8}
+	times := []float64{500, 500, 500, 500}
+	fit, err := FitAmdahl(nodes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Serial != 1.0 {
+		t.Errorf("Serial = %v, want exactly 1.0", fit.Serial)
+	}
+	if !approx(fit.T1, 500, 1e-9) {
+		t.Errorf("T1 = %v", fit.T1)
+	}
+	if fit.MaxSpeedup() != 1 {
+		t.Errorf("MaxSpeedup = %v, want 1", fit.MaxSpeedup())
+	}
+	for _, n := range []int{1, 3, 64} {
+		if !approx(fit.Predict(n), 500, 1e-9) {
+			t.Errorf("Predict(%d) = %v, want 500", n, fit.Predict(n))
+		}
+	}
+}
+
+func TestAmdahlGridIsExhaustive(t *testing.T) {
+	// Data generated at every extreme of the serial-fraction grid must be
+	// recovered exactly, including both endpoints.
+	for _, serial := range []float64{0, 0.001, 0.5, 0.999, 1.0} {
+		nodes := []int{1, 2, 4, 8, 16}
+		times := make([]float64, len(nodes))
+		for i, n := range nodes {
+			times[i] = 800 * (serial + (1-serial)/float64(n))
+		}
+		fit, err := FitAmdahl(nodes, times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.Serial != serial {
+			t.Errorf("serial %v: fit.Serial = %v", serial, fit.Serial)
+		}
+	}
+}

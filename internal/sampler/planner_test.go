@@ -104,3 +104,34 @@ func TestPlanNextSkipsUnpricedSKUs(t *testing.T) {
 		t.Errorf("unpriced SKU should be skipped, got %d", len(ranked))
 	}
 }
+
+func TestPlanNextIgnoresFailedPoints(t *testing.T) {
+	// Failed scenarios (ExecTimeSec = 0) must not count as measurements:
+	// neither as fit evidence nor in the hypervolume reference box.
+	clean := dataset.NewStore()
+	dirty := dataset.NewStore()
+	for _, n := range []int{1, 2, 4} {
+		clean.Add(amdahlPoint("Standard_HB120rs_v3", "hb120rs_v3", n, 1000, 0.05))
+		dirty.Add(amdahlPoint("Standard_HB120rs_v3", "hb120rs_v3", n, 1000, 0.05))
+	}
+	dirty.Add(failedPoint("Standard_HB120rs_v3", "hb120rs_v3", 8))
+	dirty.Add(failedPoint("Standard_HC44rs", "hc44rs", 1))
+
+	candidates := func() []*scenario.Task {
+		return []*scenario.Task{
+			pendingTask("Standard_HB120rs_v3", "hb120rs_v3", 8),
+			pendingTask("Standard_HC44rs", "hc44rs", 1),
+		}
+	}
+	want := PlanNext(clean, candidates(), pricing.Default(), "southcentralus", 2)
+	got := PlanNext(dirty, candidates(), pricing.Default(), "southcentralus", 2)
+	if len(want) != len(got) {
+		t.Fatalf("ranked sizes differ: clean %d, dirty %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Task.ID != got[i].Task.ID || want[i].Score != got[i].Score {
+			t.Errorf("rank %d differs with failed points present: clean (%s %.4g) vs dirty (%s %.4g)",
+				i, want[i].Task.SKUAlias, want[i].Score, got[i].Task.SKUAlias, got[i].Score)
+		}
+	}
+}

@@ -39,10 +39,15 @@ type Full struct{}
 func (Full) Decide(t *scenario.Task, store *dataset.Store) (bool, string) { return true, "" }
 
 // relevant selects completed points comparable to the task: same
-// application, same input parameters.
+// application, same input parameters. Failed points are excluded explicitly
+// (not just by the Select default): they carry ExecTimeSec = 0, and a single
+// one would make a VM type look infinitely fast to every planner fit.
 func relevant(t *scenario.Task, store *dataset.Store) []dataset.Point {
 	var out []dataset.Point
 	for _, p := range store.Select(dataset.Filter{AppName: t.AppName}) {
+		if p.Failed {
+			continue
+		}
 		if sameInput(p.AppInput, t.AppInput) {
 			out = append(out, p)
 		}
@@ -188,12 +193,21 @@ func (pf PerfFactor) Decide(t *scenario.Task, store *dataset.Store) (bool, strin
 }
 
 // fitSKU fits the Amdahl model over one SKU's measured points and reports
-// the fit plus its R².
+// the fit plus its R². Failed points are dropped (their zero exec time would
+// poison the fit), and the caller's slice is never reordered — the fit works
+// on its own copy.
 func fitSKU(pts []dataset.Point) (regression.Amdahl, float64, error) {
-	sort.Slice(pts, func(i, j int) bool { return pts[i].NNodes < pts[j].NNodes })
-	nodes := make([]int, len(pts))
-	times := make([]float64, len(pts))
-	for i, p := range pts {
+	ok := make([]dataset.Point, 0, len(pts))
+	for _, p := range pts {
+		if p.Failed {
+			continue
+		}
+		ok = append(ok, p)
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].NNodes < ok[j].NNodes })
+	nodes := make([]int, len(ok))
+	times := make([]float64, len(ok))
+	for i, p := range ok {
 		nodes[i] = p.NNodes
 		times[i] = p.ExecTimeSec
 	}
@@ -201,7 +215,7 @@ func fitSKU(pts []dataset.Point) (regression.Amdahl, float64, error) {
 	if err != nil {
 		return regression.Amdahl{}, 0, err
 	}
-	pred := make([]float64, len(pts))
+	pred := make([]float64, len(ok))
 	for i := range nodes {
 		pred[i] = fit.Predict(nodes[i])
 	}
@@ -209,11 +223,9 @@ func fitSKU(pts []dataset.Point) (regression.Amdahl, float64, error) {
 }
 
 // Predict exposes the perf-factor extrapolation for reporting: the fitted
-// curve for a SKU's points, or an error when data is insufficient.
+// curve for a SKU's points, or an error when data is insufficient. The input
+// slice is not modified; failed points in it are ignored.
 func Predict(pts []dataset.Point, nodes int) (float64, error) {
-	if len(pts) < 2 {
-		return 0, regression.ErrInsufficientData
-	}
 	fit, _, err := fitSKU(pts)
 	if err != nil {
 		return 0, err
@@ -328,6 +340,9 @@ func Evaluate(name string, full, reduced *dataset.Store, fullCost, reducedCost f
 
 func referencePoint(pts []dataset.Point) (refT, refC float64) {
 	for _, p := range pts {
+		if p.Failed {
+			continue
+		}
 		refT = math.Max(refT, p.ExecTimeSec)
 		refC = math.Max(refC, p.CostUSD)
 	}

@@ -288,3 +288,98 @@ func TestEvaluate(t *testing.T) {
 		}
 	}
 }
+
+func failedPoint(sku, alias string, n int) dataset.Point {
+	p := amdahlPoint(sku, alias, n, 0, 0)
+	p.ScenarioID = alias + "-failed-" + string(rune('a'+n))
+	p.ExecTimeSec = 0
+	p.CostUSD = 0
+	p.Failed = true
+	p.Error = "simulated failure"
+	return p
+}
+
+func TestPredictIgnoresFailedPoints(t *testing.T) {
+	// A failed scenario carries ExecTimeSec = 0; fitting on it would drag
+	// the Amdahl curve toward "infinitely fast" and poison every prediction.
+	var pts []dataset.Point
+	for _, n := range []int{1, 2, 4, 8} {
+		pts = append(pts, amdahlPoint("Standard_HB120rs_v3", "hb120rs_v3", n, 1000, 0.05))
+	}
+	pts = append(pts, failedPoint("Standard_HB120rs_v3", "hb120rs_v3", 16))
+	got, err := Predict(pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * (0.05 + 0.95/16.0)
+	if got < want*0.95 || got > want*1.05 {
+		t.Errorf("Predict(16) with failed point = %.1f, want ~%.1f", got, want)
+	}
+	// Failed points alone are not evidence.
+	if _, err := Predict([]dataset.Point{
+		failedPoint("Standard_HB120rs_v3", "hb120rs_v3", 1),
+		failedPoint("Standard_HB120rs_v3", "hb120rs_v3", 2),
+	}, 4); err == nil {
+		t.Error("failed-only input should not extrapolate")
+	}
+}
+
+func TestPredictDoesNotMutateInput(t *testing.T) {
+	// The exported extrapolation must not sort the caller's slice in place.
+	order := []int{8, 1, 4, 2}
+	var pts []dataset.Point
+	for _, n := range order {
+		pts = append(pts, amdahlPoint("Standard_HB120rs_v3", "hb120rs_v3", n, 1000, 0.05))
+	}
+	if _, err := Predict(pts, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range order {
+		if pts[i].NNodes != n {
+			t.Fatalf("input reordered: position %d = %d nodes, want %d (full: %v)",
+				i, pts[i].NNodes, n, nodesOf(pts))
+		}
+	}
+}
+
+func nodesOf(pts []dataset.Point) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		out[i] = p.NNodes
+	}
+	return out
+}
+
+func TestPerfFactorIgnoresFailedEvidence(t *testing.T) {
+	// Same fixture as TestPerfFactorSkipsPredictedOffFront, with failed
+	// scenarios interleaved for both SKUs. The planner decisions must be
+	// identical: failed points are not evidence.
+	store := dataset.NewStore()
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		store.Add(amdahlPoint("Standard_HB120rs_v3", "hb120rs_v3", n, 1000, 0.05))
+	}
+	for _, n := range []int{1, 2, 4} {
+		store.Add(amdahlPoint("Standard_HB120rs_v2", "hb120rs_v2", n, 2400, 0.05))
+	}
+	store.Add(failedPoint("Standard_HB120rs_v2", "hb120rs_v2", 8))
+	store.Add(failedPoint("Standard_HB120rs_v3", "hb120rs_v3", 32))
+	pf := PerfFactor{Prices: pricing.Default(), Region: "southcentralus"}
+	if run, _ := pf.Decide(taskFor("Standard_HB120rs_v2", "hb120rs_v2", 16), store); run {
+		t.Error("failed points must not mask an off-front prediction")
+	}
+	if run, _ := pf.Decide(taskFor("Standard_HB120rs_v3", "hb120rs_v3", 32), store); !run {
+		t.Error("a failed attempt must not make the SKU look infinitely fast")
+	}
+}
+
+func TestReferencePointIgnoresFailedPoints(t *testing.T) {
+	ok := amdahlPoint("Standard_HB120rs_v3", "hb120rs_v3", 1, 1000, 0.05)
+	bad := failedPoint("Standard_HC44rs", "hc44rs", 4)
+	bad.ExecTimeSec = 1e9 // a garbage time on a failed point must not move the reference
+	bad.CostUSD = 1e9
+	refT, refC := referencePoint([]dataset.Point{ok, bad})
+	if refT != ok.ExecTimeSec*1.1 || refC != ok.CostUSD*1.1 {
+		t.Errorf("reference = (%g, %g), want (%g, %g)",
+			refT, refC, ok.ExecTimeSec*1.1, ok.CostUSD*1.1)
+	}
+}

@@ -133,7 +133,7 @@ func Generate(spec Spec, cat *catalog.Catalog) (*List, error) {
 					NNodes:   n,
 					PPN:      ppn,
 					AppInput: input,
-					Tags:     spec.Tags,
+					Tags:     copyTags(spec.Tags),
 				}
 				sc.ID = scenarioID(sc)
 				list.Tasks = append(list.Tasks, &Task{Scenario: sc, Status: StatusPending})
@@ -175,6 +175,20 @@ func ExpandInputs(in map[string][]string) []map[string]string {
 		combos = next
 	}
 	return combos
+}
+
+// copyTags gives each scenario its own tag map: sharing spec.Tags across
+// every generated scenario would let a mutation of one task's tags silently
+// rewrite all of them (and corrupt resumed task lists).
+func copyTags(tags map[string]string) map[string]string {
+	if tags == nil {
+		return nil
+	}
+	out := make(map[string]string, len(tags))
+	for k, v := range tags {
+		out[k] = v
+	}
+	return out
 }
 
 func scenarioID(s Scenario) string {

@@ -273,3 +273,45 @@ func TestLoadFileMissing(t *testing.T) {
 		t.Error("expected error for missing task list")
 	}
 }
+
+func TestGenerateTagsNotAliased(t *testing.T) {
+	// Every generated scenario must own its tag map: before the fix one
+	// spec.Tags map was shared by all tasks, so mutating one task's tags
+	// silently rewrote every other task (and the spec itself) — corrupting
+	// resumed task lists.
+	spec := listing1Spec()
+	list, err := Generate(spec, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Tasks) < 2 {
+		t.Fatal("need at least two tasks")
+	}
+	list.Tasks[0].Tags["version"] = "mutated"
+	list.Tasks[0].Tags["extra"] = "x"
+	for _, task := range list.Tasks[1:] {
+		if task.Tags["version"] != "v1" {
+			t.Fatalf("%s tags aliased: %v", task.ID, task.Tags)
+		}
+		if _, ok := task.Tags["extra"]; ok {
+			t.Fatalf("%s gained a foreign tag: %v", task.ID, task.Tags)
+		}
+	}
+	if spec.Tags["version"] != "v1" || len(spec.Tags) != 1 {
+		t.Fatalf("spec.Tags mutated: %v", spec.Tags)
+	}
+}
+
+func TestGenerateNilTagsStayNil(t *testing.T) {
+	spec := listing1Spec()
+	spec.Tags = nil
+	list, err := Generate(spec, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range list.Tasks {
+		if task.Tags != nil {
+			t.Fatalf("%s tags = %v, want nil", task.ID, task.Tags)
+		}
+	}
+}
