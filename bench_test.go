@@ -30,6 +30,7 @@ import (
 	"hpcadvisor/internal/regression"
 	"hpcadvisor/internal/runner"
 	"hpcadvisor/internal/sampler"
+	"hpcadvisor/internal/storage"
 
 	"bytes"
 	"os"
@@ -1069,4 +1070,131 @@ func BenchmarkPredictedAdviceThroughput(b *testing.B) {
 			b.ReportMetric(float64(b.N)/sec, "qps")
 		}
 	})
+}
+
+//
+// Storage engine benchmarks (segment log vs jsonl)
+//
+
+// storageBenchPoint fabricates one synthetic datapoint for the storage
+// benchmarks, varied enough that frames differ in size and sort key.
+func storageBenchPoint(i int) dataset.Point {
+	skus := []string{"Standard_HB120rs_v3", "Standard_HB120rs_v2", "Standard_HC44rs"}
+	aliases := []string{"hb120rs_v3", "hb120rs_v2", "hc44rs"}
+	return dataset.Point{
+		ScenarioID:  fmt.Sprintf("lammps-%s-n%02d-%08x", aliases[i%3], 1+i%16, i),
+		AppName:     "lammps",
+		SKU:         skus[i%3],
+		SKUAlias:    aliases[i%3],
+		NNodes:      1 + i%16,
+		PPN:         120,
+		InputDesc:   fmt.Sprintf("BOXFACTOR=%d", 10+i%4),
+		ExecTimeSec: 100 / float64(1+i%16),
+		CostUSD:     0.5 + float64(i%7)/10,
+		Metrics:     map[string]string{"APPEXECTIME": strconv.Itoa(i)},
+		CollectedAt: float64(i),
+	}
+}
+
+// BenchmarkStorageAppendThroughput measures the durable append path: how
+// fast collected points land in each backend with batched fsyncs.
+func BenchmarkStorageAppendThroughput(b *testing.B) {
+	open := map[string]func(b *testing.B, dir string) storage.Backend{
+		"segment": func(b *testing.B, dir string) storage.Backend {
+			s, err := storage.OpenSegments(filepath.Join(dir, "data.seg"), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		},
+		"jsonl": func(b *testing.B, dir string) storage.Backend {
+			j, err := storage.OpenJSONL(filepath.Join(dir, "data.jsonl"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return j
+		},
+	}
+	for _, name := range []string{"segment", "jsonl"} {
+		b.Run(name, func(b *testing.B) {
+			be := open[name](b, b.TempDir())
+			defer be.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := be.Append(storageBenchPoint(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := be.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}
+
+// BenchmarkStorageLoad measures opening a persisted dataset: the jsonl
+// reparse, the segment log replay, and the compacted segment snapshot
+// (whose sorted order also seeds the first dataset.Snapshot build).
+func BenchmarkStorageLoad(b *testing.B) {
+	const npoints = 5000
+	dir := b.TempDir()
+
+	jsonlPath := filepath.Join(dir, "data.jsonl")
+	segPath := filepath.Join(dir, "data.seg")
+	segCompacted := filepath.Join(dir, "compacted.seg")
+	seed := dataset.NewStore()
+	for i := 0; i < npoints; i++ {
+		seed.Add(storageBenchPoint(i))
+	}
+	if err := seed.SaveFile(jsonlPath); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := storage.Convert(jsonlPath, segPath); err != nil {
+		b.Fatal(err)
+	}
+	// Convert compacts; re-append half the points so segPath exercises the
+	// mixed snapshot+log replay path while segCompacted stays pure.
+	if _, err := storage.Convert(jsonlPath, segCompacted); err != nil {
+		b.Fatal(err)
+	}
+	sb, err := storage.OpenSegments(segPath, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < npoints/2; i++ {
+		if err := sb.Append(storageBenchPoint(npoints + i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sb.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"jsonl", jsonlPath},
+		{"segment-log", segPath},
+		{"segment-compacted", segCompacted},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			loaded := 0
+			for i := 0; i < b.N; i++ {
+				st, be, err := storage.Open(c.path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loaded = st.Len()
+				// Touch the query path so seeded snapshot reuse counts.
+				if got := len(st.Select(dataset.Filter{AppName: "lammps"})); got == 0 {
+					b.Fatal("empty load")
+				}
+				be.Close()
+			}
+			b.ReportMetric(float64(b.N*loaded)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
 }

@@ -59,6 +59,12 @@
 // visibly marked — the paper's Section III-F advice "with minimal or no
 // executions in the cloud". Backtest reports how far those models can be
 // trusted.
+//
+// Datasets persist through a pluggable storage engine: Advisor.OpenStore
+// attaches a durable backend (a JSON Lines file or a WAL-backed binary
+// segment store with CRC-checksummed frames, compaction, and crash
+// recovery) so every collected point is written through the moment it
+// lands; see the "Storage engine" section of docs/ARCHITECTURE.md.
 package hpcadvisor
 
 import (

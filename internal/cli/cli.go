@@ -17,6 +17,7 @@ package cli
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,11 +31,13 @@ import (
 	"hpcadvisor/internal/core"
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/deploy"
+	"hpcadvisor/internal/fsatomic"
 	"hpcadvisor/internal/gui"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
 	"hpcadvisor/internal/predictor"
 	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/storage"
 )
 
 // Run executes the CLI and returns a process exit code.
@@ -65,7 +68,7 @@ commands (paper Table II):
   deploy list -c config.yaml       list previous and current deployments
   deploy shutdown -n name -c cfg   shut down a deployment, deleting resources
   collect -c config.yaml [-n name] [-sampler S] [-spot] [-budget USD]
-          [-parallel-pools N]
+          [-parallel-pools N] [-store path]
                                    run the scenarios on a deployment; -sampler
                                    prunes (discard/perffactor/bottleneck/
                                    combined), -spot uses preemptible capacity,
@@ -74,11 +77,12 @@ commands (paper Table II):
                                    pools concurrently (for full sweeps: same
                                    dataset, less time; cross-VM-type samplers
                                    prune less across concurrent lanes)
-  plot [-app A] [-sku S] [-o dir] [-ascii] [-predict]
+  plot [-app A] [-sku S] [-o dir] [-ascii] [-predict] [-store path]
                                    generate plots from collected data;
                                    -predict overlays fitted scaling curves
                                    and prediction-interval bands
   advice [-app A] [-sort time|cost] [-recipes] [-predict] [-grid "1,2,4"]
+         [-store path]
                                    generate advice (Pareto front); -recipes
                                    adds a Slurm script + cluster recipe per
                                    row, -predict merges model-predicted
@@ -87,8 +91,22 @@ commands (paper Table II):
                                    predicted advice over untested (SKU, node
                                    count) scenarios plus a leave-one-out
                                    backtest of the scaling models
-  gui [-addr :8199] -c config.yaml start the GUI mode
+  gui [-addr :8199] -c config.yaml [-store path]
+                                   start the GUI mode
+  dataset info [-store path]       describe the dataset store (format, points,
+                                   segments, recovery)
+  dataset compact [-store path]    fold the segment log into a sorted snapshot
+                                   segment for fast loads
+  dataset convert -to dst [-store src]
+                                   copy the dataset into a new store,
+                                   converting between jsonl and segment
+                                   formats (a .jsonl suffix means jsonl,
+                                   anything else a segment directory)
   apps                             list available application models
+
+The dataset lives in a pluggable store (-store): a JSON Lines file or a
+durable binary segment log (WAL + CRC frames + compaction). The default is
+<state>/dataset.seg if it exists, else <state>/dataset.jsonl.
 `
 
 func (c *CLI) run(args []string) error {
@@ -117,6 +135,8 @@ func (c *CLI) run(args []string) error {
 		return c.cmdPredict(rest[1:])
 	case "gui":
 		return c.cmdGUI(rest[1:])
+	case "dataset":
+		return c.cmdDataset(rest[1:])
 	case "apps":
 		return c.cmdApps()
 	case "help", "-h", "--help":
@@ -135,6 +155,20 @@ type state struct {
 }
 
 func (c *CLI) statePath(name string) string { return filepath.Join(c.StateDir, name) }
+
+// resolveStore picks the dataset store path: the -store flag when given,
+// else an existing segment store in the state directory (so a converted
+// dataset stays in use), else the classic JSONL file.
+func (c *CLI) resolveStore(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	seg := c.statePath("dataset.seg")
+	if fi, err := os.Stat(seg); err == nil && fi.IsDir() {
+		return seg
+	}
+	return c.statePath("dataset.jsonl")
+}
 
 func (c *CLI) loadState() (*state, error) {
 	var st state
@@ -159,12 +193,13 @@ func (c *CLI) saveState(st *state) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(c.statePath("deployments.json"), data, 0o644)
+	return fsatomic.WriteFile(c.statePath("deployments.json"), data, 0o644)
 }
 
 // advisorFor rehydrates the simulation: recreates recorded deployments,
-// loads the dataset and task lists.
-func (c *CLI) advisorFor(subscription string, st *state) (*core.Advisor, error) {
+// opens the dataset store at storePath (attaching its storage backend),
+// and loads the task lists. Callers should CloseStore when done.
+func (c *CLI) advisorFor(subscription string, st *state, storePath string) (*core.Advisor, error) {
 	if subscription == "" && len(st.Deployments) > 0 {
 		subscription = st.Deployments[0].SubscriptionID
 	}
@@ -177,19 +212,29 @@ func (c *CLI) advisorFor(subscription string, st *state) (*core.Advisor, error) 
 			return nil, fmt.Errorf("restoring deployment %s: %w", d.Name, err)
 		}
 		listPath := c.statePath("tasks-" + d.Name + ".json")
-		if list, err := scenario.LoadFile(listPath); err == nil {
+		list, err := scenario.LoadFile(listPath)
+		if err != nil {
+			// A missing list just means no collection started yet; anything
+			// else (e.g. a corrupt file) must surface, not be treated as a
+			// fresh start that would silently re-run everything.
+			if !errors.Is(err, os.ErrNotExist) {
+				return nil, fmt.Errorf("loading task list for %s: %w", d.Name, err)
+			}
+		} else {
 			list.ResetRunning()
 			adv.SetTaskList(d.Name, list)
 		}
 	}
-	store, err := dataset.LoadFile(c.statePath("dataset.jsonl"))
-	if err != nil {
+	if err := adv.OpenStore(storePath); err != nil {
 		return nil, err
 	}
-	adv.SetStore(store)
 	return adv, nil
 }
 
+// persistAfterCollect records the task list and settles the dataset: the
+// points themselves already streamed through the attached storage backend
+// during collection, so only the task list needs a save and the backend a
+// final flush-and-close.
 func (c *CLI) persistAfterCollect(adv *core.Advisor, deployment string) error {
 	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
 		return err
@@ -199,7 +244,7 @@ func (c *CLI) persistAfterCollect(adv *core.Advisor, deployment string) error {
 			return err
 		}
 	}
-	return adv.Store.SaveFile(c.statePath("dataset.jsonl"))
+	return adv.CloseStore()
 }
 
 //
@@ -228,10 +273,11 @@ func (c *CLI) cmdDeploy(args []string) error {
 		if err != nil {
 			return err
 		}
-		adv, err := c.advisorFor(cfg.Subscription, st)
+		adv, err := c.advisorFor(cfg.Subscription, st, c.resolveStore(""))
 		if err != nil {
 			return err
 		}
+		defer adv.CloseStore()
 		d, err := adv.DeployCreate(cfg)
 		if err != nil {
 			return err
@@ -260,10 +306,11 @@ func (c *CLI) cmdDeploy(args []string) error {
 		if *name == "" {
 			return fmt.Errorf("deploy shutdown requires -n name")
 		}
-		adv, err := c.advisorFor("", st)
+		adv, err := c.advisorFor("", st, c.resolveStore(""))
 		if err != nil {
 			return err
 		}
+		defer adv.CloseStore()
 		if err := adv.DeployShutdown(subscriptionOf(st, *name), *name); err != nil {
 			return err
 		}
@@ -307,6 +354,7 @@ func (c *CLI) cmdCollect(args []string) error {
 	useSpot := fs.Bool("spot", false, "collect on spot (preemptible) capacity; combine with -attempts > 1")
 	budget := fs.Float64("budget", 0, "adaptive mode: collect best-value scenarios until this USD budget is spent")
 	parallelPools := fs.Int("parallel-pools", 1, "collect up to N VM-type pools concurrently (1 = the paper's sequential walk)")
+	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -318,10 +366,16 @@ func (c *CLI) cmdCollect(args []string) error {
 	if err != nil {
 		return err
 	}
-	adv, err := c.advisorFor(cfg.Subscription, st)
+	// The state directory must exist before the store backend lazily
+	// creates the dataset file inside it on the first streamed point.
+	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
+		return err
+	}
+	adv, err := c.advisorFor(cfg.Subscription, st, c.resolveStore(*storePath))
 	if err != nil {
 		return err
 	}
+	defer adv.CloseStore()
 	target := *name
 	if target == "" {
 		if len(st.Deployments) == 0 {
@@ -356,10 +410,14 @@ func (c *CLI) cmdCollect(args []string) error {
 			cfg.ScenarioCount(), target, *samplerName)
 		report, err = adv.Collect(target, cfg, opts)
 	}
-	if err != nil {
-		return err
+	// Persist even when the run failed: completed points already streamed
+	// durably through the attached backend, so the task list must record
+	// what finished — otherwise a retry would re-run those scenarios and
+	// append duplicates to the dataset.
+	if perr := c.persistAfterCollect(adv, target); perr != nil && err == nil {
+		err = perr
 	}
-	if err := c.persistAfterCollect(adv, target); err != nil {
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(c.Stdout,
@@ -395,6 +453,7 @@ func (c *CLI) cmdPlot(args []string) error {
 	predict := fs.Bool("predict", false, "overlay fitted scaling curves and prediction intervals")
 	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
 	region := fs.String("region", "southcentralus", "pricing region for predicted points")
+	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -402,10 +461,11 @@ func (c *CLI) cmdPlot(args []string) error {
 	if err != nil {
 		return err
 	}
-	adv, err := c.advisorFor("", st)
+	adv, err := c.advisorFor("", st, c.resolveStore(*storePath))
 	if err != nil {
 		return err
 	}
+	defer adv.CloseStore()
 	if !*predict && *gridSpec != "" {
 		return fmt.Errorf("-grid requires -predict")
 	}
@@ -471,6 +531,7 @@ func (c *CLI) cmdAdvice(args []string) error {
 	region := fs.String("region", "southcentralus", "pricing region for recipes and predictions")
 	predict := fs.Bool("predict", false, "merge model-predicted scenarios into the advice (marked in the Source column)")
 	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
+	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -478,10 +539,11 @@ func (c *CLI) cmdAdvice(args []string) error {
 	if err != nil {
 		return err
 	}
-	adv, err := c.advisorFor("", st)
+	adv, err := c.advisorFor("", st, c.resolveStore(*storePath))
 	if err != nil {
 		return err
 	}
+	defer adv.CloseStore()
 	order, err := parseOrder(*sortBy)
 	if err != nil {
 		return err
@@ -553,6 +615,7 @@ func (c *CLI) cmdPredict(args []string) error {
 	sortBy := fs.String("sort", "time", "sort advice by 'time' or 'cost'")
 	region := fs.String("region", "southcentralus", "pricing region for predicted points")
 	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
+	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -560,10 +623,11 @@ func (c *CLI) cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
-	adv, err := c.advisorFor("", st)
+	adv, err := c.advisorFor("", st, c.resolveStore(*storePath))
 	if err != nil {
 		return err
 	}
+	defer adv.CloseStore()
 	order, err := parseOrder(*sortBy)
 	if err != nil {
 		return err
@@ -589,6 +653,7 @@ func (c *CLI) cmdGUI(args []string) error {
 	fs.SetOutput(c.Stderr)
 	addr := fs.String("addr", ":8199", "listen address")
 	cfgPath := fs.String("c", "", "configuration file")
+	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -600,10 +665,14 @@ func (c *CLI) cmdGUI(args []string) error {
 	if err != nil {
 		return err
 	}
-	adv, err := c.advisorFor(cfg.Subscription, st)
+	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
+		return err
+	}
+	adv, err := c.advisorFor(cfg.Subscription, st, c.resolveStore(*storePath))
 	if err != nil {
 		return err
 	}
+	defer adv.CloseStore()
 	serve := c.ServeGUI
 	if serve == nil {
 		serve = func(addr string, adv *core.Advisor, cfg *config.Config) error {
@@ -612,6 +681,67 @@ func (c *CLI) cmdGUI(args []string) error {
 		}
 	}
 	return serve(*addr, adv, cfg)
+}
+
+// cmdDataset manages the dataset store itself: describe it, compact the
+// segment log, or convert between the jsonl and segment formats.
+func (c *CLI) cmdDataset(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("dataset needs a subcommand: info, compact, or convert")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("dataset "+sub, flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
+	to := fs.String("to", "", "convert: destination store path")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	path := c.resolveStore(*storePath)
+	switch sub {
+	case "info":
+		b, err := storage.OpenBackend(path)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		info, err := b.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(c.Stdout, info.String())
+		return nil
+	case "compact":
+		b, err := storage.OpenBackend(path)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		if err := b.Compact(); err != nil {
+			if errors.Is(err, storage.ErrNoCompaction) {
+				return fmt.Errorf("%s is a %s store; compaction applies to segment stores ('dataset convert' first)", path, b.Format())
+			}
+			return err
+		}
+		info, err := b.Info()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Stdout, "compacted %s: %d points in sorted snapshot segment\n", path, info.SnapshotPoints)
+		return nil
+	case "convert":
+		if *to == "" {
+			return fmt.Errorf("dataset convert requires -to destination")
+		}
+		n, err := storage.Convert(path, *to)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(c.Stdout, "converted %d points: %s (%s) -> %s (%s)\n",
+			n, path, storage.DetectFormat(path), *to, storage.DetectFormat(*to))
+		return nil
+	}
+	return fmt.Errorf("unknown dataset subcommand %q (want info, compact, or convert)", sub)
 }
 
 func (c *CLI) cmdApps() error {

@@ -486,3 +486,129 @@ func TestAdvicePredictRecipesCoverDisplayedMeasuredRows(t *testing.T) {
 		t.Errorf("missing predicted-rows note on stderr: %q", r.err.String())
 	}
 }
+
+// TestCorruptTaskListSurfacesError: a corrupt task list must error out
+// instead of being silently treated as missing (which would re-run every
+// scenario and double the dataset).
+func TestCorruptTaskListSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfg)
+	exec(t, state, "collect", "-c", cfg)
+
+	name := deployedName(t, state)
+	taskPath := filepath.Join(state, "tasks-"+name+".json")
+	if err := os.WriteFile(taskPath, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := exec(t, state, "collect", "-c", cfg)
+	if r.code == 0 {
+		t.Fatal("collect with a corrupt task list should fail")
+	}
+	if !strings.Contains(r.err.String(), "task list") {
+		t.Errorf("error should name the task list, got %q", r.err.String())
+	}
+	// A genuinely missing list is still fine (fresh start).
+	if err := os.Remove(taskPath); err != nil {
+		t.Fatal(err)
+	}
+	if r = exec(t, state, "collect", "-c", cfg); r.code != 0 {
+		t.Errorf("collect with a missing task list should regenerate it: %s", r.err.String())
+	}
+}
+
+// TestDatasetSubcommands drives the storage engine end-to-end through the
+// CLI: collect into jsonl, info, convert to a segment store, serve advice
+// from it, compact, and verify the advice is unchanged.
+func TestDatasetSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfg)
+	if r := exec(t, state, "collect", "-c", cfg); r.code != 0 {
+		t.Fatalf("collect: %s", r.err.String())
+	}
+
+	// info on the default jsonl store
+	r := exec(t, state, "dataset", "info")
+	if r.code != 0 {
+		t.Fatalf("dataset info: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "format:          jsonl") ||
+		!strings.Contains(r.out.String(), "points:          2") {
+		t.Errorf("info output = %q", r.out.String())
+	}
+
+	// jsonl has no compaction
+	if r = exec(t, state, "dataset", "compact"); r.code == 0 {
+		t.Error("compact on jsonl should fail with guidance")
+	}
+
+	// convert to the default segment location
+	seg := filepath.Join(state, "dataset.seg")
+	r = exec(t, state, "dataset", "convert", "-to", seg)
+	if r.code != 0 {
+		t.Fatalf("convert: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "converted 2 points") {
+		t.Errorf("convert output = %q", r.out.String())
+	}
+
+	// dataset.seg now exists, so it becomes the default store: advice must
+	// serve identically from it.
+	adviceJSONL := exec(t, state, "advice", "-store", filepath.Join(state, "dataset.jsonl"))
+	adviceSeg := exec(t, state, "advice")
+	if adviceSeg.code != 0 {
+		t.Fatalf("advice from segment store: %s", adviceSeg.err.String())
+	}
+	if adviceJSONL.out.String() != adviceSeg.out.String() {
+		t.Errorf("advice differs between stores:\njsonl: %s\nseg: %s",
+			adviceJSONL.out.String(), adviceSeg.out.String())
+	}
+
+	// info on the segment store
+	r = exec(t, state, "dataset", "info")
+	if r.code != 0 || !strings.Contains(r.out.String(), "format:          segment") {
+		t.Fatalf("segment info = %q (%s)", r.out.String(), r.err.String())
+	}
+
+	// compact, then advice again: unchanged
+	if r = exec(t, state, "dataset", "compact"); r.code != 0 {
+		t.Fatalf("compact: %s", r.err.String())
+	}
+	after := exec(t, state, "advice")
+	if after.code != 0 || after.out.String() != adviceSeg.out.String() {
+		t.Errorf("advice changed across compaction:\nbefore: %s\nafter: %s",
+			adviceSeg.out.String(), after.out.String())
+	}
+
+	// unknown subcommand and missing -to
+	if r = exec(t, state, "dataset", "bogus"); r.code == 0 {
+		t.Error("unknown dataset subcommand should fail")
+	}
+	if r = exec(t, state, "dataset", "convert"); r.code == 0 {
+		t.Error("convert without -to should fail")
+	}
+}
+
+// TestCollectIntoSegmentStore streams a collection straight into a segment
+// store via -store and reads it back across invocations.
+func TestCollectIntoSegmentStore(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeConfig(t, dir)
+	seg := filepath.Join(state, "dataset.seg")
+	exec(t, state, "deploy", "create", "-c", cfg)
+	if r := exec(t, state, "collect", "-c", cfg, "-store", seg); r.code != 0 {
+		t.Fatalf("collect -store: %s", r.err.String())
+	}
+	r := exec(t, state, "dataset", "info", "-store", seg)
+	if r.code != 0 || !strings.Contains(r.out.String(), "points:          2") {
+		t.Fatalf("segment info after collect = %q (%s)", r.out.String(), r.err.String())
+	}
+	r = exec(t, state, "advice", "-store", seg)
+	if r.code != 0 || !strings.Contains(r.out.String(), "hb120rs_v3") {
+		t.Errorf("advice from segment store = %q (%s)", r.out.String(), r.err.String())
+	}
+}

@@ -273,7 +273,10 @@ func (c *Collector) runSequential(list *scenario.List, store *dataset.Store, opt
 	report.CollectionCostUSD = cost
 	report.VirtualSeconds = (c.Service.Clock.Now() - start).Seconds()
 	report.ElapsedVirtualSeconds = report.VirtualSeconds
-	return report, nil
+	// With a storage backend attached, every point streamed through Add is
+	// already on disk; Flush fsyncs the tail batch and surfaces any
+	// write-through failure the run would otherwise swallow.
+	return report, store.Flush()
 }
 
 // runScenario executes one task with retries on svc's pool and records its

@@ -133,6 +133,11 @@ func (c *Collector) runConcurrent(list *scenario.List, store *dataset.Store, opt
 	report.CollectionCostUSD = cost
 	report.VirtualSeconds = cum.Seconds()
 	report.ElapsedVirtualSeconds = makespan(lanes, opts.MaxParallelPools).Seconds()
+	// Lane shards merged into store above went through its attached
+	// backend (if any) in canonical lane order; Flush makes them durable.
+	if err := store.Flush(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return report, firstErr
 }
 

@@ -33,6 +33,7 @@ import (
 	"hpcadvisor/internal/recipes"
 	"hpcadvisor/internal/sampler"
 	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/storage"
 	"hpcadvisor/internal/vclock"
 )
 
@@ -45,6 +46,11 @@ type Advisor struct {
 	Apps     *appmodel.Registry
 	Deployer *deploy.Manager
 	Store    *dataset.Store
+
+	// Backend is the storage engine the Store writes through when the
+	// advisor was opened over a persistent dataset (OpenStore); nil for a
+	// purely in-memory advisor.
+	Backend storage.Backend
 
 	deployments map[string]*deploy.Deployment
 	services    map[string]*batchsim.Service
@@ -99,6 +105,35 @@ func (a *Advisor) SetStore(s *dataset.Store) {
 	a.Store = s
 	a.eng = queryengine.New(s, queryengine.DefaultCacheEntries)
 	a.engStore = s
+}
+
+// OpenStore loads the dataset persisted at path (auto-detecting the JSONL
+// or segment format) and attaches its storage backend, so every point a
+// collection appends is written through durably as it lands. Close with
+// CloseStore when done.
+func (a *Advisor) OpenStore(path string) error {
+	st, b, err := storage.Open(path)
+	if err != nil {
+		return err
+	}
+	a.SetStore(st)
+	a.Backend = b
+	return nil
+}
+
+// CloseStore flushes and releases the attached storage backend. The store
+// itself stays usable in memory (appends just no longer persist).
+func (a *Advisor) CloseStore() error {
+	if a.Backend == nil {
+		return nil
+	}
+	err := a.Store.Flush()
+	a.Store.Attach(nil)
+	if cerr := a.Backend.Close(); err == nil {
+		err = cerr
+	}
+	a.Backend = nil
+	return err
 }
 
 // DeployCreate provisions a new environment from the configuration

@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 
+	"hpcadvisor/internal/fsatomic"
 	"hpcadvisor/internal/monitor"
 )
 
@@ -59,25 +60,110 @@ type Point struct {
 // TotalCores is the scenario's process count (nodes x ppn).
 func (p Point) TotalCores() int { return p.NNodes * p.PPN }
 
+// Sink receives every point appended to an attached Store — the durable
+// write-ahead path of a storage backend. Append is called in append order
+// under the store's lock, so implementations see exactly the store's point
+// sequence; Sync must make every appended point durable before returning.
+type Sink interface {
+	Append(p Point) error
+	Sync() error
+}
+
 // Store is an append-only collection of points, safe for concurrent use.
 // Reads are served from an immutable copy-on-write Snapshot built at most
 // once per generation (see snapshot.go), so queries never hold the lock
 // while filtering and never contend with concurrent appends.
+//
+// A Store may have a Sink attached (Attach): every Add/AddAll then writes
+// through to it, so each collected point lands durably the moment it is
+// appended instead of in one save at the end. Sink errors are sticky and
+// surfaced by Flush, keeping the hot Add path signature-free.
 type Store struct {
-	mu     sync.RWMutex
-	points []Point
-	gen    uint64
-	snap   *Snapshot // cached; valid iff snap.gen == gen, kept stale for merge amortization
+	mu      sync.RWMutex
+	points  []Point
+	gen     uint64
+	snap    *Snapshot // cached; valid iff snap.gen == gen, kept stale for merge amortization
+	sink    Sink
+	sinkErr error // first write-through failure, surfaced by Flush
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
+
+// NewSeededStore builds a store over points whose first len(sortedPrefix)
+// entries already have a known canonical (SKU alias, input, nodes) order —
+// the fast-load path for a compacted storage snapshot segment. The first
+// Snapshot build then merges only the unsorted tail instead of re-sorting
+// everything. A prefix that is not actually in canonical order is ignored
+// (the store falls back to sorting), so a corrupt seed can degrade speed
+// but never query results. Both slices are owned by the store afterwards.
+func NewSeededStore(points, sortedPrefix []Point) *Store {
+	s := &Store{points: points}
+	if len(points) > 0 {
+		s.gen = 1
+	}
+	if len(sortedPrefix) == 0 || len(sortedPrefix) > len(points) {
+		return s
+	}
+	for i := 1; i < len(sortedPrefix); i++ {
+		if pointLess(&sortedPrefix[i], &sortedPrefix[i-1]) {
+			return s // not sorted: discard the seed
+		}
+	}
+	seed := &Snapshot{n: len(sortedPrefix), sorted: sortedPrefix}
+	if seed.n == len(points) {
+		// Full coverage: this is the current snapshot, serve it directly.
+		seed.gen = s.gen
+		seed.buildIndexes()
+	} else {
+		// Partial coverage: a stale merge seed (gen != s.gen), used only as
+		// the sorted prefix of the first real snapshot build.
+		seed.gen = s.gen - 1
+	}
+	s.snap = seed
+	return s
+}
+
+// Attach installs (or, with nil, removes) the write-through sink. Points
+// already in the store are not replayed: an attached backend is expected to
+// already hold them (it just loaded them).
+func (s *Store) Attach(sink Sink) {
+	s.mu.Lock()
+	s.sink = sink
+	s.mu.Unlock()
+}
+
+// Flush syncs the attached sink, making every appended point durable, and
+// returns the first write-through error if any append failed. Without a
+// sink it only reports sticky errors (always nil in practice).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sink != nil {
+		if err := s.sink.Sync(); err != nil && s.sinkErr == nil {
+			s.sinkErr = err
+		}
+	}
+	return s.sinkErr
+}
+
+// appendThrough forwards one point to the sink, recording the first error.
+// Callers hold s.mu.
+func (s *Store) appendThrough(p Point) {
+	if s.sink == nil {
+		return
+	}
+	if err := s.sink.Append(p); err != nil && s.sinkErr == nil {
+		s.sinkErr = err
+	}
+}
 
 // Add appends a point and bumps the store generation.
 func (s *Store) Add(p Point) {
 	s.mu.Lock()
 	s.points = append(s.points, p)
 	s.gen++
+	s.appendThrough(p)
 	s.mu.Unlock()
 }
 
@@ -90,6 +176,9 @@ func (s *Store) AddAll(pts []Point) {
 	s.mu.Lock()
 	s.points = append(s.points, pts...)
 	s.gen++
+	for i := range pts {
+		s.appendThrough(pts[i])
+	}
 	s.mu.Unlock()
 }
 
@@ -225,11 +314,17 @@ func (s *Store) Marshal() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// MaxLineBytes caps one JSON Lines record. Unmarshal's scanner rejects
+// longer lines, so writers (the storage JSONL backend) must refuse to
+// produce them — otherwise an accepted append could create a file that can
+// never be reopened.
+const MaxLineBytes = 16 * 1024 * 1024
+
 // Unmarshal parses a JSON Lines dataset.
 func Unmarshal(data []byte) (*Store, error) {
 	s := NewStore()
 	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1024*1024), 16*1024*1024)
+	sc.Buffer(make([]byte, 0, 1024*1024), MaxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -249,13 +344,15 @@ func Unmarshal(data []byte) (*Store, error) {
 	return s, nil
 }
 
-// SaveFile writes the dataset to path as JSON Lines.
+// SaveFile writes the dataset to path as JSON Lines, atomically: the new
+// contents are staged and renamed into place, so a crash mid-save can never
+// truncate a previously saved dataset.
 func (s *Store) SaveFile(path string) error {
 	data, err := s.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsatomic.WriteFile(path, data, 0o644)
 }
 
 // LoadFile reads a JSON Lines dataset from path. A missing file yields an

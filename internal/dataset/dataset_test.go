@@ -1,7 +1,12 @@
 package dataset
 
 import (
+	"bufio"
+	"errors"
+	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -213,5 +218,248 @@ func TestPropertyFilterSoundness(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+//
+// Unmarshal / LoadFile error paths
+//
+
+func TestUnmarshalTruncatedFinalLine(t *testing.T) {
+	s := populated()
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the last record mid-JSON: a torn tail from a crashed writer.
+	torn := data[:len(data)-20]
+	if _, err := Unmarshal(torn); err == nil {
+		t.Fatal("truncated final line should fail to parse")
+	} else if !strings.Contains(err.Error(), "line 6") {
+		t.Errorf("error should name the offending line, got %v", err)
+	}
+}
+
+func TestUnmarshalOversizedLineVsScannerCap(t *testing.T) {
+	// One line just under the 16MB scanner cap parses; one over it errors
+	// (bufio.ErrTooLong) instead of silently splitting the record.
+	big := samplePoint("Standard_HB120rs_v3", "hb120rs_v3", 2, 10, 0.1)
+	big.Metrics = map[string]string{"BLOB": strings.Repeat("x", 1<<20)}
+	s := NewStore()
+	s.Add(big)
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data); err != nil {
+		t.Fatalf("1MB line should parse: %v", err)
+	}
+
+	over := []byte(`{"scenario_id":"huge","metrics":{"BLOB":"` + strings.Repeat("y", 16*1024*1024) + `"}}` + "\n")
+	if _, err := Unmarshal(over); err == nil {
+		t.Fatal("a line beyond the 16MB cap must error, not truncate")
+	} else if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("want bufio.ErrTooLong, got %v", err)
+	}
+}
+
+func TestLoadFileEmptyAndMissingSemantics(t *testing.T) {
+	dir := t.TempDir()
+
+	// Missing file: a fresh environment starts with an empty store.
+	missing, err := LoadFile(filepath.Join(dir, "nope.jsonl"))
+	if err != nil || missing.Len() != 0 {
+		t.Fatalf("missing file: len=%d err=%v", missing.Len(), err)
+	}
+
+	// Empty file: also an empty store, not an error.
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadFile(empty)
+	if err != nil || st.Len() != 0 {
+		t.Fatalf("empty file: len=%d err=%v", st.Len(), err)
+	}
+
+	// Whitespace-only file: same.
+	blank := filepath.Join(dir, "blank.jsonl")
+	if err := os.WriteFile(blank, []byte("\n\n  \n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err = LoadFile(blank)
+	if err != nil || st.Len() != 0 {
+		t.Fatalf("blank file: len=%d err=%v", st.Len(), err)
+	}
+
+	// A directory at the path is an error, not an empty store.
+	if _, err := LoadFile(dir); err == nil {
+		t.Error("loading a directory should error")
+	}
+}
+
+func TestSaveFileIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dataset.jsonl")
+	s := populated()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveFile(path); err != nil { // overwrite in place
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("save must leave no staging files, dir has %d entries", len(entries))
+	}
+	loaded, err := LoadFile(path)
+	if err != nil || loaded.Len() != s.Len() {
+		t.Fatalf("reload: len=%d err=%v", loaded.Len(), err)
+	}
+}
+
+//
+// Append-through sink
+//
+
+// recordingSink captures appends and syncs; failAfter > 0 makes Append
+// start failing after that many points.
+type recordingSink struct {
+	appended  []Point
+	syncs     int
+	failAfter int
+}
+
+func (r *recordingSink) Append(p Point) error {
+	if r.failAfter > 0 && len(r.appended) >= r.failAfter {
+		return errors.New("sink full")
+	}
+	r.appended = append(r.appended, p)
+	return nil
+}
+
+func (r *recordingSink) Sync() error {
+	r.syncs++
+	return nil
+}
+
+func TestStoreAttachWritesThroughInOrder(t *testing.T) {
+	sink := &recordingSink{}
+	s := NewStore()
+	s.Add(samplePoint("Standard_HC44rs", "hc44rs", 1, 5, 0.1)) // before attach: not replayed
+	s.Attach(sink)
+	s.Add(samplePoint("Standard_HC44rs", "hc44rs", 2, 6, 0.2))
+	s.AddAll([]Point{
+		samplePoint("Standard_HC44rs", "hc44rs", 4, 7, 0.3),
+		samplePoint("Standard_HC44rs", "hc44rs", 8, 8, 0.4),
+	})
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if sink.syncs != 1 {
+		t.Errorf("Flush should sync the sink once, got %d", sink.syncs)
+	}
+	if len(sink.appended) != 3 {
+		t.Fatalf("sink saw %d points, want 3 (pre-attach point not replayed)", len(sink.appended))
+	}
+	for i, want := range []int{2, 4, 8} {
+		if sink.appended[i].NNodes != want {
+			t.Errorf("sink order [%d] = %d nodes, want %d", i, sink.appended[i].NNodes, want)
+		}
+	}
+	// Detach: appends stop flowing through.
+	s.Attach(nil)
+	s.Add(samplePoint("Standard_HC44rs", "hc44rs", 16, 9, 0.5))
+	if len(sink.appended) != 3 {
+		t.Errorf("detached sink still saw appends")
+	}
+}
+
+func TestStoreFlushSurfacesStickySinkError(t *testing.T) {
+	sink := &recordingSink{failAfter: 1}
+	s := NewStore()
+	s.Attach(sink)
+	s.Add(samplePoint("Standard_HC44rs", "hc44rs", 1, 5, 0.1))
+	s.Add(samplePoint("Standard_HC44rs", "hc44rs", 2, 6, 0.2)) // sink rejects
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush must surface the write-through failure")
+	}
+	// The store itself still holds both points (memory is the source of
+	// truth for queries; durability errors are the caller's to handle).
+	if s.Len() != 2 {
+		t.Errorf("store len = %d, want 2", s.Len())
+	}
+}
+
+//
+// Seeded stores (fast snapshot loads)
+//
+
+func TestNewSeededStoreFullCoverageServesSeedDirectly(t *testing.T) {
+	ref := populated()
+	pts := ref.All()
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.SliceStable(sorted, func(i, j int) bool { return PointLess(&sorted[i], &sorted[j]) })
+
+	seeded := NewSeededStore(ref.All(), sorted)
+	for _, f := range []Filter{{}, {AppName: "lammps"}, {SKU: "hc44rs"}, {IncludeFailed: true}} {
+		got, want := seeded.Select(f), ref.Select(f)
+		if len(got) != len(want) {
+			t.Fatalf("Select(%+v): %d vs %d", f, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ScenarioID != want[i].ScenarioID || got[i].NNodes != want[i].NNodes {
+				t.Fatalf("Select(%+v)[%d] diverges", f, i)
+			}
+		}
+	}
+	gotM, _ := seeded.Marshal()
+	wantM, _ := ref.Marshal()
+	if string(gotM) != string(wantM) {
+		t.Fatal("seeded Marshal differs")
+	}
+}
+
+func TestNewSeededStorePartialPrefixMergesTail(t *testing.T) {
+	ref := populated()
+	pts := ref.All()
+	k := 3 // snapshot covers only the first 3 appends; the tail merges
+	prefix := make([]Point, k)
+	copy(prefix, pts[:k])
+	sort.SliceStable(prefix, func(i, j int) bool { return PointLess(&prefix[i], &prefix[j]) })
+
+	seeded := NewSeededStore(ref.All(), prefix)
+	got, want := seeded.Select(Filter{IncludeFailed: true}), ref.Select(Filter{IncludeFailed: true})
+	if len(got) != len(want) {
+		t.Fatalf("partial seed Select: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ScenarioID != want[i].ScenarioID || got[i].NNodes != want[i].NNodes {
+			t.Fatalf("partial seed Select[%d] diverges: %s/%d vs %s/%d",
+				i, got[i].ScenarioID, got[i].NNodes, want[i].ScenarioID, want[i].NNodes)
+		}
+	}
+}
+
+func TestNewSeededStoreRejectsUnsortedSeed(t *testing.T) {
+	ref := populated()
+	pts := ref.All()
+	backwards := make([]Point, len(pts))
+	copy(backwards, pts)
+	sort.SliceStable(backwards, func(i, j int) bool { return PointLess(&backwards[j], &backwards[i]) })
+
+	seeded := NewSeededStore(ref.All(), backwards) // lying seed: must be ignored
+	got, want := seeded.Select(Filter{}), ref.Select(Filter{})
+	if len(got) != len(want) {
+		t.Fatalf("Select: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ScenarioID != want[i].ScenarioID || got[i].NNodes != want[i].NNodes {
+			t.Fatalf("unsorted seed corrupted query order at %d", i)
+		}
 	}
 }

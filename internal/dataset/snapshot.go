@@ -17,6 +17,11 @@ import (
 // (SelectScan) and the indexed path agree exactly; the property test in
 // snapshot_test.go holds them to it.
 
+// PointLess reports the canonical (SKU alias, input, nodes) order. Storage
+// backends sort compacted snapshot segments with it so a seeded store's
+// first Snapshot build reuses the on-disk order verbatim.
+func PointLess(a, b *Point) bool { return pointLess(a, b) }
+
 // pointLess is the canonical (SKU alias, input, nodes) order shared by the
 // sorted snapshot and the scan baseline. Equal keys compare as "not less" so
 // stable sorts and merges preserve append order.

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"hpcadvisor/internal/catalog"
+	"hpcadvisor/internal/fsatomic"
 )
 
 // Status is the lifecycle state of a scenario in the task list. The paper
@@ -266,13 +267,14 @@ func Unmarshal(data []byte) (*List, error) {
 	return &l, nil
 }
 
-// SaveFile writes the task list to path.
+// SaveFile writes the task list to path atomically (staged temp file +
+// rename), so a crash mid-save can never truncate a recorded task list.
 func (l *List) SaveFile(path string) error {
 	data, err := l.Marshal()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return fsatomic.WriteFile(path, data, 0o644)
 }
 
 // LoadFile reads a task list from path.

@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hpcadvisor/internal/dataset"
+)
+
+// JSONL is the compatibility backend: the original single-file JSON Lines
+// dataset. Appends are O(1) line appends with the same batched-fsync
+// acknowledgment contract as the segment store. Its crash frontier is the
+// final line: a torn append leaves an unterminated suffix that is not
+// valid JSON, so recovery truncates the file at the last newline. An
+// unterminated final line that IS complete valid JSON (hand-written or
+// imported files often omit the trailing newline) is kept and only
+// newline-terminated so later appends start on a fresh line. A whole line
+// that fails to parse is real corruption and surfaces as an open error
+// (it cannot be produced by a torn append).
+type JSONL struct {
+	mu   sync.Mutex
+	path string
+
+	f       *os.File // nil until the first append (lazy creation)
+	w       *bufio.Writer
+	pending int
+	// syncEvery batches fsyncs like SegmentOptions.SyncEvery.
+	syncEvery int
+
+	// loaded caches the store parsed at open; the first Load hands it out
+	// instead of reparsing the file.
+	loaded *dataset.Store
+	// needsTerminator records that the file's final record lacks its
+	// newline; the first append writes one first so it cannot concatenate
+	// onto that record. Read-only use never rewrites the file.
+	needsTerminator bool
+
+	count          int
+	recovered      bool
+	recoveredBytes int64
+	closed         bool
+}
+
+// OpenJSONL opens (or lazily creates) the JSON Lines dataset at path,
+// truncating a torn final line if the last writer crashed mid-append.
+func OpenJSONL(path string) (*JSONL, error) {
+	j := &JSONL{path: path, syncEvery: 32}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return j, nil
+		}
+		return nil, err
+	}
+	if tail := unterminatedTail(data); len(tail) > 0 {
+		if json.Valid(tail) {
+			// A complete final record missing only its newline (common in
+			// hand-written or imported files): keep it, and terminate it
+			// before the first append so nothing concatenates onto it.
+			j.needsTerminator = true
+			data = append(data, '\n')
+		} else {
+			// Torn mid-record by a crashed writer: truncate at the last
+			// whole line.
+			if err := os.Truncate(path, int64(len(data)-len(tail))); err != nil {
+				return nil, err
+			}
+			data = data[:len(data)-len(tail)]
+			j.recovered = true
+			j.recoveredBytes = int64(len(tail))
+		}
+	}
+	st, err := dataset.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	j.loaded = st
+	j.count = st.Len()
+	return j, nil
+}
+
+// unterminatedTail returns the non-empty suffix after the last newline (or
+// the whole file when it holds no newline); nil when the file ends on a
+// line boundary.
+func unterminatedTail(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	i := bytes.LastIndexByte(data, '\n')
+	tail := data[i+1:]
+	if len(bytes.TrimSpace(tail)) == 0 {
+		return nil
+	}
+	return tail
+}
+
+// Format names the backend's layout.
+func (j *JSONL) Format() Format { return FormatJSONL }
+
+// Append records one point as a JSON line; fsyncs are batched.
+func (j *JSONL) Append(p dataset.Point) error {
+	enc, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	if len(enc) >= dataset.MaxLineBytes {
+		// dataset.Unmarshal's scanner caps lines at MaxLineBytes; never
+		// acknowledge a record that would make the file unreadable.
+		return fmt.Errorf("storage: point %s encodes to %d bytes, over the %d jsonl line limit",
+			p.ScenarioID, len(enc), dataset.MaxLineBytes)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("storage: jsonl store %s is closed", j.path)
+	}
+	if j.f == nil {
+		if dir := filepath.Dir(j.path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		j.f = f
+		j.w = bufio.NewWriter(f)
+		if j.needsTerminator {
+			if err := j.w.WriteByte('\n'); err != nil {
+				return err
+			}
+			j.needsTerminator = false
+		}
+	}
+	if _, err := j.w.Write(enc); err != nil {
+		return err
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	j.count++
+	j.pending++
+	if j.pending >= j.syncEvery {
+		return j.flushSync()
+	}
+	return nil
+}
+
+// flushSync drains the buffer and fsyncs. Callers hold j.mu.
+func (j *JSONL) flushSync() error {
+	if j.f == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.pending = 0
+	return nil
+}
+
+// Sync makes every appended point durable.
+func (j *JSONL) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.flushSync()
+}
+
+// Close flushes and releases the backend.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.flushSync(); err != nil {
+		return err
+	}
+	if j.f != nil {
+		err := j.f.Close()
+		j.f, j.w = nil, nil
+		return err
+	}
+	return nil
+}
+
+// Load parses the file into a fresh Store (a missing file loads empty).
+// The first Load after open reuses the parse the open already did.
+func (j *JSONL) Load() (*dataset.Store, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if st := j.loaded; st != nil && st.Len() == j.count {
+		j.loaded = nil
+		return st, nil
+	}
+	j.loaded = nil
+	if j.f != nil {
+		if err := j.w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return dataset.NewStore(), nil
+		}
+		return nil, err
+	}
+	st, err := dataset.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", j.path, err)
+	}
+	return st, nil
+}
+
+// Compact is not meaningful for a flat line file.
+func (j *JSONL) Compact() error { return ErrNoCompaction }
+
+// Info describes the on-disk state.
+func (j *JSONL) Info() (Info, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		Format:         FormatJSONL,
+		Path:           j.path,
+		Points:         j.count,
+		Recovered:      j.recovered,
+		RecoveredBytes: j.recoveredBytes,
+	}
+	if j.f != nil {
+		if err := j.w.Flush(); err != nil {
+			return info, err
+		}
+	}
+	if fi, err := os.Stat(j.path); err == nil {
+		info.Bytes = fi.Size()
+	}
+	return info, nil
+}

@@ -1,0 +1,436 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpcadvisor/internal/dataset"
+)
+
+// lastWal returns the path of the highest-seq log segment in dir.
+func lastWal(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, e := range entries {
+		if len(e.Name()) > 4 && e.Name()[:4] == "wal-" && e.Name() > last {
+			last = e.Name()
+		}
+	}
+	if last == "" {
+		t.Fatal("no wal segment found")
+	}
+	return filepath.Join(dir, last)
+}
+
+// assertPrefixRecovery reopens dir after a simulated crash and asserts the
+// WAL contract: every acknowledged (synced) point survives, and whatever
+// survives is an exact prefix of the appended sequence.
+func assertPrefixRecovery(t *testing.T, dir string, appended []dataset.Point, acked int) ([]dataset.Point, Info) {
+	t.Helper()
+	s, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer s.Close()
+	st, err := s.Load()
+	if err != nil {
+		t.Fatalf("recovery load: %v", err)
+	}
+	got := st.All()
+	if len(got) < acked {
+		t.Fatalf("lost acknowledged points: %d survived, %d were synced", len(got), acked)
+	}
+	if len(got) > len(appended) {
+		t.Fatalf("recovered %d points but only %d were appended", len(got), len(appended))
+	}
+	want := marshalOf(t, appended[:len(got)])
+	if !bytes.Equal(marshalOf(t, got), want) {
+		t.Fatal("recovered points are not a prefix of the appended sequence")
+	}
+	info, err := s.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, info
+}
+
+// TestKillAndRecoverTornFrame is the crash test of the acceptance criteria:
+// a SIGKILL-style interruption mid-append (simulated by abandoning the
+// handle and tearing the tail frame on disk) loses at most the
+// unacknowledged tail; every synced point survives.
+func TestKillAndRecoverTornFrame(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	pts := points(40)
+
+	s, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := 25
+	appendAll(t, s, pts[:acked])
+	if err := s.Sync(); err != nil { // acknowledgment point
+		t.Fatal(err)
+	}
+	appendAll(t, s, pts[acked:])
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon s without Close — the process "died". Tear the tail: the
+	// final frame was only partially written to disk.
+	wal := lastWal(t, dir)
+	fi, err := os.Stat(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := assertPrefixRecovery(t, dir, pts, acked)
+	if len(got) != len(pts)-1 {
+		t.Fatalf("tearing one frame should lose exactly one point, survived %d of %d", len(got), len(pts))
+	}
+	if !info.Recovered || info.RecoveredBytes == 0 {
+		t.Fatalf("open should report the truncated tail, info = %+v", info)
+	}
+}
+
+// TestKillWithoutSyncLosesOnlyUnackedTail abandons the store with appends
+// still sitting in the write buffer: the unflushed suffix is genuinely
+// absent from the file, exactly what a kill before the batch fsync does.
+func TestKillWithoutSyncLosesOnlyUnackedTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	pts := points(50)
+
+	// Huge SyncEvery so nothing is batch-synced on its own.
+	s, err := OpenSegments(dir, &SegmentOptions{SyncEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := 20
+	appendAll(t, s, pts[:acked])
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, pts[acked:]) // never synced, never acknowledged
+	// Abandon without Close or Sync: the buffered tail dies with the
+	// process (whatever auto-flushed may survive, possibly with a torn
+	// final frame — both are within the contract).
+	assertPrefixRecovery(t, dir, pts, acked)
+}
+
+// TestRecoverCRCCorruptedTail flips a byte inside the last frame: recovery
+// must drop that frame (CRC mismatch) and keep everything before it.
+func TestRecoverCRCCorruptedTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	pts := points(30)
+
+	s, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, pts)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wal := lastWal(t, dir)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := assertPrefixRecovery(t, dir, pts, len(pts)-1)
+	if len(got) != len(pts)-1 {
+		t.Fatalf("CRC corruption in the tail frame should cost exactly that frame; survived %d of %d", len(got), len(pts))
+	}
+	if !info.Recovered {
+		t.Fatalf("open should report recovery, info = %+v", info)
+	}
+
+	// The recovery is persistent: a second open sees a clean store.
+	s3, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	info2, err := s3.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Recovered {
+		t.Fatal("second open should find nothing left to recover")
+	}
+}
+
+// TestRecoveryAcrossSealedSegments tears the active segment of a store
+// whose earlier segments are sealed: only the active tail is touched.
+func TestRecoveryAcrossSealedSegments(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	pts := points(60)
+
+	s, err := OpenSegments(dir, &SegmentOptions{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, pts)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	wal := lastWal(t, dir)
+	fi, _ := os.Stat(wal)
+	if err := os.Truncate(wal, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got, info := assertPrefixRecovery(t, dir, pts, 0)
+	if len(got) != len(pts)-1 {
+		t.Fatalf("survived %d of %d", len(got), len(pts))
+	}
+	if !info.Recovered {
+		t.Fatalf("open should report recovery, info = %+v", info)
+	}
+}
+
+// TestCorruptSealedSegmentIsAnError: damage outside the crash frontier
+// (a sealed, fsynced segment) must surface loudly, not be silently
+// truncated away.
+func TestCorruptSealedSegmentIsAnError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	s, err := OpenSegments(dir, &SegmentOptions{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, points(60))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the FIRST segment (sealed).
+	entries, _ := os.ReadDir(dir)
+	first := ""
+	for _, e := range entries {
+		if len(e.Name()) > 4 && e.Name()[:4] == "wal-" && (first == "" || e.Name() < first) {
+			first = e.Name()
+		}
+	}
+	path := filepath.Join(dir, first)
+	data, _ := os.ReadFile(path)
+	data[logHeaderSize+10] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenSegments(dir, nil); err == nil {
+		t.Fatal("open should fail on a corrupt sealed segment")
+	}
+}
+
+// TestRecoveryAfterCrashedCompaction: a *.tmp staging file and the
+// superseded inputs left by a crash mid-compaction are cleaned up, with no
+// data loss whichever side of the rename the crash fell on.
+func TestRecoveryAfterCrashedCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	pts := points(30)
+	s, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, pts)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash "before the rename": a stale staging file lies around.
+	if err := os.WriteFile(filepath.Join(dir, "snapshot-00000000000000ff.seg.tmp-123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loadMarshal(t, s2); !bytes.Equal(got, marshalOf(t, pts)) {
+		t.Fatal("data lost around crashed compaction")
+	}
+	if err := s2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "snapshot-0000000000000001.seg" {
+			t.Fatalf("unexpected leftover %s", e.Name())
+		}
+	}
+}
+
+func TestJSONLTornFinalLineRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dataset.jsonl")
+	pts := points(10)
+
+	j, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, pts)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final line mid-record.
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	st, err := j2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != len(pts)-1 {
+		t.Fatalf("recovered %d points, want %d", st.Len(), len(pts)-1)
+	}
+	if !bytes.Equal(marshalOf(t, st.All()), marshalOf(t, pts[:len(pts)-1])) {
+		t.Fatal("recovered points are not the appended prefix")
+	}
+	info, _ := j2.Info()
+	if !info.Recovered || info.RecoveredBytes == 0 {
+		t.Fatalf("info should report recovery, got %+v", info)
+	}
+	j2.Close()
+}
+
+func TestJSONLCorruptWholeLineIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dataset.jsonl")
+	enc, _ := json.Marshal(point(0))
+	content := string(enc) + "\n{not json}\n" + string(enc) + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenJSONL(path); err == nil {
+		t.Fatal("a corrupt whole line is real corruption and must error")
+	}
+}
+
+// TestJSONLUnterminatedValidFinalLineIsKept: hand-written or imported
+// files often omit the trailing newline; a complete, valid final record
+// must be preserved, not truncated as a torn tail — and the file must not
+// be rewritten by read-only use.
+func TestJSONLUnterminatedValidFinalLineIsKept(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dataset.jsonl")
+	pts := points(5)
+	st := dataset.NewStore()
+	st.AddAll(pts)
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the final newline: the last record is complete but unterminated.
+	if err := os.WriteFile(path, bytes.TrimSuffix(data, []byte("\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := j.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != len(pts) {
+		t.Fatalf("kept %d points, want %d (valid final record must survive)", loaded.Len(), len(pts))
+	}
+	info, _ := j.Info()
+	if info.Recovered {
+		t.Fatalf("a valid unterminated record is not a torn tail: %+v", info)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Read-only open left the file byte-identical.
+	raw, _ := os.ReadFile(path)
+	if !bytes.Equal(raw, bytes.TrimSuffix(data, []byte("\n"))) {
+		t.Fatal("read-only open rewrote the file")
+	}
+
+	// Appending after such an open must not concatenate onto the record.
+	j2, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := point(99)
+	if err := j2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([]dataset.Point{}, pts...), extra)
+	j3, err := OpenJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := loadMarshal(t, j3); !bytes.Equal(got, marshalOf(t, all)) {
+		t.Fatal("append after unterminated open corrupted the dataset")
+	}
+}
+
+// TestRecoverGarbageHeaderOnActiveSegment: a crash between creating the
+// next WAL segment and its first fsync can persist the file size with
+// garbage contents. Nothing in that file was acknowledged, so open must
+// recover (dropping the file), not refuse to open the store.
+func TestRecoverGarbageHeaderOnActiveSegment(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	pts := points(60)
+	s, err := OpenSegments(dir, &SegmentOptions{MaxSegmentBytes: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, s, pts)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn creation: overwrite the ACTIVE (last) segment with
+	// header-sized zeros.
+	wal := lastWal(t, dir)
+	data, _ := os.ReadFile(wal)
+	if err := os.WriteFile(wal, make([]byte, len(data)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := assertPrefixRecovery(t, dir, pts, 0)
+	if !info.Recovered {
+		t.Fatalf("open should report recovery, info = %+v", info)
+	}
+	if len(got) == 0 {
+		t.Fatal("sealed segments should survive the torn active segment")
+	}
+	// And the store stays writable: the dropped seq is recreated.
+	s2, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(point(1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
