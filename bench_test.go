@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"hpcadvisor"
+	apipkg "hpcadvisor/internal/api"
 	"hpcadvisor/internal/batchsim"
 	"hpcadvisor/internal/catalog"
 	"hpcadvisor/internal/cli"
@@ -33,11 +34,15 @@ import (
 	"hpcadvisor/internal/storage"
 
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"hpcadvisor/internal/service"
 )
 
 //
@@ -1197,4 +1202,155 @@ func BenchmarkStorageLoad(b *testing.B) {
 			b.ReportMetric(float64(b.N*loaded)/b.Elapsed().Seconds(), "points/s")
 		})
 	}
+}
+
+// BenchmarkAPIServeThroughput measures the JSON serving path of the
+// versioned API over a ~10k-point store with 8 parallel readers: full
+// /api/v1/advice responses against the query engine they wrap (the JSON
+// encode is the only added work, everything else is a cache hit), and ETag
+// revalidation hits, which skip parsing and computation entirely and
+// answer 304 with an empty body at ~zero allocations.
+func BenchmarkAPIServeThroughput(b *testing.B) {
+	const readers = 8
+
+	newAPI := func() (*http.ServeMux, string) {
+		adv := core.New("api-bench")
+		adv.SetStore(queryBenchStore(10000))
+		mux := apipkg.New(service.New(adv)).Mux()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/advice", nil))
+		if rec.Code != http.StatusOK || rec.Header().Get("ETag") == "" {
+			b.Fatalf("priming request = %d", rec.Code)
+		}
+		return mux, rec.Header().Get("ETag")
+	}
+
+	apiPaths := []string{
+		"/api/v1/advice",
+		"/api/v1/advice?app=lammps",
+		"/api/v1/advice?app=openfoam&sku=hb120rs_v3",
+		"/api/v1/advice?sort=cost",
+	}
+
+	// run drives the mux from 8 readers; each reader reuses one request and
+	// one discard writer, so the measurement is the serving path, not test
+	// scaffolding. want is the status every response must carry.
+	run := func(b *testing.B, mux *http.ServeMux, path string, ifNoneMatch string, want int, rotate bool) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		var next int64 = -1
+		var failed int32
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				reqs := make([]*http.Request, len(apiPaths))
+				for i, p := range apiPaths {
+					reqs[i] = httptest.NewRequest(http.MethodGet, p, nil)
+					if ifNoneMatch != "" {
+						reqs[i].Header.Set("If-None-Match", ifNoneMatch)
+					}
+				}
+				var fixed *http.Request
+				if !rotate {
+					fixed = httptest.NewRequest(http.MethodGet, path, nil)
+					if ifNoneMatch != "" {
+						fixed.Header.Set("If-None-Match", ifNoneMatch)
+					}
+				}
+				w := &discardResponseWriter{h: make(http.Header)}
+				for {
+					i := atomic.AddInt64(&next, 1)
+					if i >= int64(b.N) || atomic.LoadInt32(&failed) != 0 {
+						return
+					}
+					req := fixed
+					if rotate {
+						req = reqs[int(i)%len(reqs)]
+					}
+					w.code = 0
+					w.n = 0
+					mux.ServeHTTP(w, req)
+					if w.code != want {
+						atomic.StoreInt32(&failed, 1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if failed != 0 {
+			b.Fatalf("response status != %d", want)
+		}
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "qps")
+		}
+	}
+
+	b.Run("json", func(b *testing.B) {
+		mux, _ := newAPI()
+		run(b, mux, "", "", http.StatusOK, true)
+	})
+	b.Run("revalidate-304", func(b *testing.B) {
+		mux, tag := newAPI()
+		run(b, mux, "/api/v1/advice", tag, http.StatusNotModified, false)
+	})
+	b.Run("engine-direct", func(b *testing.B) {
+		// The reference ceiling: the same queries straight into the engine,
+		// no HTTP or JSON. The json variant should be the same order of
+		// magnitude; revalidate-304 should beat even this.
+		adv := core.New("api-bench")
+		adv.SetStore(queryBenchStore(10000))
+		eng := adv.Engine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := time.Now()
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := atomic.AddInt64(&next, 1)
+					if i >= int64(b.N) {
+						return
+					}
+					f := queryBenchFilters[int(i)%len(queryBenchFilters)]
+					if eng.AdviceTable(f, pareto.ByTime) == "" {
+						panic("empty advice")
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "qps")
+		}
+	})
+}
+
+// discardResponseWriter is a reusable response sink for the API benchmark.
+type discardResponseWriter struct {
+	h    http.Header
+	code int
+	n    int
+}
+
+func (w *discardResponseWriter) Header() http.Header { return w.h }
+func (w *discardResponseWriter) WriteHeader(c int) {
+	if w.code == 0 {
+		w.code = c
+	}
+}
+func (w *discardResponseWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	w.n += len(p)
+	return len(p), nil
 }

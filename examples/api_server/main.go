@@ -1,0 +1,180 @@
+// Advice as a service: the `serve` stack driven end to end in one process.
+//
+// A small sweep is collected, the combined API+GUI mux is served on a
+// loopback listener, and a JSON client then walks the versioned API:
+// /api/v1/advice rows, an ETag revalidation answered 304 from the same
+// generation counter that keys the query engine's caches, a live append
+// rolling the ETag, a rendered plot, and the dataset/scenario metadata.
+//
+// Run with: go run ./examples/api_server
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+
+	"hpcadvisor/internal/api"
+	"hpcadvisor/internal/cli"
+	"hpcadvisor/internal/config"
+	"hpcadvisor/internal/core"
+	"hpcadvisor/internal/dataset"
+)
+
+const sweepYAML = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HC44rs
+rgprefix: apiserver
+nnodes: [1, 2, 4, 8]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "20"
+`
+
+func main() {
+	cfg, err := config.Parse([]byte(sweepYAML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := core.New(cfg.Subscription)
+	dep, err := adv.DeployCreate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := adv.Collect(dep.Name, cfg, core.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d scenarios ($%.2f simulated spend)\n\n",
+		report.Completed, report.CollectionCostUSD)
+
+	// The same mux the `hpcadvisor serve` command binds: GUI at /, JSON
+	// API under /api/v1/, health and metrics beside it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveOn(ctx, ln, adv, cfg) }()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("serving API+GUI on %s\n\n", base)
+
+	// 1. Advice as JSON.
+	var advice struct {
+		Generation uint64 `json:"generation"`
+		Count      int    `json:"count"`
+		Rows       []struct {
+			SKUAlias    string  `json:"sku_alias"`
+			NNodes      int     `json:"nnodes"`
+			ExecTimeSec float64 `json:"exectime_sec"`
+			CostUSD     float64 `json:"cost_usd"`
+		} `json:"rows"`
+	}
+	etag := getJSON(base+"/api/v1/advice?sort=cost", &advice)
+	fmt.Printf("GET /api/v1/advice?sort=cost -> generation %d, %d Pareto rows (ETag %s)\n",
+		advice.Generation, advice.Count, etag)
+	for _, r := range advice.Rows {
+		fmt.Printf("  %-12s %2d nodes  %7.1f s  $%6.2f\n", r.SKUAlias, r.NNodes, r.ExecTimeSec, r.CostUSD)
+	}
+
+	// 2. Revalidation: the generation ETag turns repeat traffic into 304s.
+	status := revalidate(base+"/api/v1/advice?sort=cost", etag)
+	fmt.Printf("\nGET with If-None-Match: %s -> %d (empty body; the advice did not change)\n", etag, status)
+
+	// 3. A live append moves the generation; the stale tag re-serves.
+	adv.Store.Add(dataset.Point{
+		ScenarioID: "live-append", AppName: "lammps",
+		SKU: "Standard_HB120rs_v3", SKUAlias: "hb120rs_v3",
+		NNodes: 16, PPN: 100, InputDesc: "demo",
+		ExecTimeSec: 30, CostUSD: 0.4,
+	})
+	status = revalidate(base+"/api/v1/advice?sort=cost", etag)
+	fmt.Printf("after one live append, the same If-None-Match -> %d (new generation, fresh advice)\n\n", status)
+
+	// 4. The rest of the surface.
+	var ds struct {
+		Points int      `json:"points"`
+		Apps   []string `json:"apps"`
+		SKUs   []string `json:"skus"`
+	}
+	getJSON(base+"/api/v1/dataset", &ds)
+	fmt.Printf("GET /api/v1/dataset -> %d points, apps %v, skus %v\n", ds.Points, ds.Apps, ds.SKUs)
+
+	var sc struct {
+		Deployments []struct {
+			Deployment string     `json:"deployment"`
+			Tasks      []struct{} `json:"tasks"`
+		} `json:"deployments"`
+	}
+	getJSON(base+"/api/v1/scenarios", &sc)
+	for _, d := range sc.Deployments {
+		fmt.Printf("GET /api/v1/scenarios -> %s: %d tasks\n", d.Deployment, len(d.Tasks))
+	}
+
+	svg := getBytes(base + "/api/v1/plots/pareto.svg")
+	fmt.Printf("GET /api/v1/plots/pareto.svg -> %d bytes of SVG\n", len(svg))
+
+	// Graceful drain, exactly what SIGTERM triggers under `serve`.
+	stop()
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver drained cleanly")
+}
+
+// serveOn runs the combined mux on ln until ctx is canceled (the example's
+// stand-in for `hpcadvisor serve` + SIGTERM).
+func serveOn(ctx context.Context, ln net.Listener, adv *core.Advisor, cfg *config.Config) error {
+	return api.Serve(ctx, ln, cli.ServeMux(adv, cfg))
+}
+
+func getJSON(url string, v any) (etag string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.Header.Get("ETag")
+}
+
+func getBytes(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	return data
+}
+
+func revalidate(url, etag string) int {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -1,3 +1,3 @@
 module hpcadvisor
 
-go 1.21
+go 1.22

@@ -1,0 +1,305 @@
+// Package api is the versioned JSON HTTP surface over the service layer —
+// advice-as-a-service. Every response that derives from the dataset carries
+// a generation-based ETag: the query engine invalidates its caches by store
+// generation, and the API folds the same generation into `ETag`, so a fleet
+// of clients revalidating with `If-None-Match` gets `304 Not Modified` for
+// free until the next append — HTTP-level caching that tracks the engine's
+// own invalidation exactly.
+//
+// Endpoints (all GET):
+//
+//	/api/v1/advice             Pareto front as JSON rows (?app ?sku ?input
+//	                           ?minnodes ?maxnodes ?sort)
+//	/api/v1/predicted-advice   merged measured+predicted front plus backtest
+//	                           (?region ?grid and the filter params)
+//	/api/v1/plots/{name}.svg   one rendered plot (?pred=1 for the overlay)
+//	/api/v1/scenarios          per-deployment scenario task lists
+//	/api/v1/dataset            dataset size, dimensions, storage state
+//	/healthz                   liveness (no ETag, never cached)
+//	/metrics                   Prometheus-format counters
+//
+// Errors are JSON bodies {"error":{"status":...,"message":...}} with the
+// status chosen by the service layer's typed error kinds.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"hpcadvisor/internal/service"
+)
+
+// Server serves the versioned JSON API over one service.
+type Server struct {
+	svc *service.Service
+
+	// Request counters for /metrics.
+	requests    atomic.Uint64
+	notModified atomic.Uint64
+
+	// etagCache memoizes the rendered ETag of the current generation, so a
+	// fleet of revalidating clients costs a pointer load per request
+	// instead of an integer format.
+	etagCache atomic.Pointer[etagEntry]
+}
+
+type etagEntry struct {
+	gen uint64
+	tag string
+}
+
+// New builds an API server over a service.
+func New(svc *service.Service) *Server { return &Server{svc: svc} }
+
+// Mux returns the route table. Methods are part of the patterns, so a POST
+// to a read endpoint is 405, not a silent GET.
+func (s *Server) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/advice", s.counted(s.handleAdvice))
+	mux.HandleFunc("GET /api/v1/predicted-advice", s.counted(s.handlePredictedAdvice))
+	mux.HandleFunc("GET /api/v1/plots/{name}", s.counted(s.handlePlot))
+	mux.HandleFunc("GET /api/v1/scenarios", s.counted(s.handleScenarios))
+	mux.HandleFunc("GET /api/v1/dataset", s.counted(s.handleDataset))
+	mux.HandleFunc("GET /healthz", s.counted(s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.counted(s.handleMetrics))
+	return mux
+}
+
+func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// StatusOf maps a service error to its HTTP status. The GUI shares it so
+// both transports agree on what a bad filter (400) versus an unknown plot
+// (404) versus a render failure (500) is.
+func StatusOf(err error) int {
+	switch service.KindOf(err) {
+	case service.KindBadRequest:
+		return http.StatusBadRequest
+	case service.KindNotFound:
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error struct {
+		Status  int    `json:"status"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	var body errorBody
+	body.Error.Status = StatusOf(err)
+	body.Error.Message = err.Error()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(body.Error.Status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are out; nothing to do but drop the connection.
+		return
+	}
+}
+
+// etag renders the generation ETag. It is a strong validator: two responses
+// for one URL at one generation are byte-identical (the engine serves both
+// from the same memoized snapshot results).
+func etag(gen uint64) string {
+	return `"g` + strconv.FormatUint(gen, 10) + `"`
+}
+
+// etagMatch implements If-None-Match for our single-ETag responses: a
+// comma-separated candidate list, `*` matching anything, and weak-validator
+// prefixes compared by opaque value.
+func etagMatch(header, tag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// etagFor returns the (memoized) ETag of gen.
+func (s *Server) etagFor(gen uint64) string {
+	if c := s.etagCache.Load(); c != nil && c.gen == gen {
+		return c.tag
+	}
+	tag := etag(gen)
+	s.etagCache.Store(&etagEntry{gen: gen, tag: tag})
+	return tag
+}
+
+// notModified reports whether the client's If-None-Match already names the
+// current generation — in which case a 304 with an empty body (and the
+// caching headers) has been written and the caller must not render
+// anything. The check runs before any parsing or computation, so a
+// revalidation hit costs a header compare, not a query. On a miss nothing
+// is written: the handler renders its body and stamps the headers with
+// stampCaching using the generation the body actually came from, so the
+// ETag can never disagree with the bytes under it even while a concurrent
+// collection appends between the check and the render.
+func (s *Server) serveNotModified(w http.ResponseWriter, r *http.Request) bool {
+	tag := s.etagFor(s.svc.Generation())
+	if etagMatch(r.Header.Get("If-None-Match"), tag) {
+		h := w.Header()
+		h.Set("ETag", tag)
+		h.Set("Cache-Control", "no-cache")
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// stampCaching sets the caching headers for a body rendered at gen.
+func (s *Server) stampCaching(w http.ResponseWriter, gen uint64) {
+	h := w.Header()
+	h.Set("ETag", s.etagFor(gen))
+	h.Set("Cache-Control", "no-cache")
+}
+
+// handleAdvice serves the service.AdviceResponse envelope: generation,
+// canonical sort name, row count, and the rows. The encoded body is
+// memoized per (filter, order, generation) in the query engine, so under
+// steady traffic this handler is a parse plus a cache probe.
+func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
+	if s.serveNotModified(w, r) {
+		return
+	}
+	req, err := service.ParseAdviceRequest(r.URL.Query())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, gen, err := s.svc.AdviceJSON(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.stampCaching(w, gen)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+// handlePredictedAdvice serves the service.PredictedResponse envelope —
+// merged front plus backtest, both from one snapshot, memoized like the
+// advice body.
+func (s *Server) handlePredictedAdvice(w http.ResponseWriter, r *http.Request) {
+	if s.serveNotModified(w, r) {
+		return
+	}
+	req, err := service.ParsePredictRequest(r.URL.Query())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, gen, err := s.svc.PredictedAdviceJSON(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.stampCaching(w, gen)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
+	if s.serveNotModified(w, r) {
+		return
+	}
+	base, ok := strings.CutSuffix(r.PathValue("name"), ".svg")
+	if !ok {
+		writeError(w, service.NotFoundf("plot artifacts are .svg files (try %s.svg)", r.PathValue("name")))
+		return
+	}
+	req, err := service.ParsePlotRequest(base, r.URL.Query())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data, gen, err := s.svc.PlotSVG(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.stampCaching(w, gen)
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write(data)
+}
+
+type scenariosResponse struct {
+	Deployments []service.DeploymentScenarios `json:"deployments"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	deps, err := s.svc.Scenarios()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if deps == nil {
+		deps = []service.DeploymentScenarios{}
+	}
+	writeJSON(w, scenariosResponse{Deployments: deps})
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	if s.serveNotModified(w, r) {
+		return
+	}
+	info, err := s.svc.Dataset()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.stampCaching(w, info.Generation)
+	writeJSON(w, info)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"points":     s.svc.Advisor().Store.Len(),
+		"generation": s.svc.Generation(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stats := s.svc.EngineStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("hpcadvisor_dataset_points", "Datapoints in the served dataset.", uint64(s.svc.Advisor().Store.Len()))
+	gauge("hpcadvisor_dataset_generation", "Dataset store generation (ETag basis).", s.svc.Generation())
+	counter("hpcadvisor_cache_hits_total", "Query engine cache hits.", stats.Hits)
+	counter("hpcadvisor_cache_misses_total", "Query engine cache misses.", stats.Misses)
+	counter("hpcadvisor_cache_evictions_total", "Query engine cache evictions.", stats.Evictions)
+	counter("hpcadvisor_http_requests_total", "API requests served.", s.requests.Load())
+	counter("hpcadvisor_http_not_modified_total", "Revalidations answered 304.", s.notModified.Load())
+	_, _ = w.Write([]byte(b.String()))
+}

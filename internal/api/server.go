@@ -1,0 +1,81 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Hardened http.Server settings shared by every listener in the tool (the
+// JSON API, the GUI, and the combined `serve` mux). The seed GUI used the
+// bare http.ListenAndServe, which has no timeouts at all: one slow-loris
+// client could pin a connection forever and there was no shutdown path
+// short of killing the process.
+const (
+	// ReadHeaderTimeout bounds how long a client may dribble headers.
+	ReadHeaderTimeout = 5 * time.Second
+	// ReadTimeout bounds reading one full request.
+	ReadTimeout = 30 * time.Second
+	// WriteTimeout bounds writing one full response (SVG renders and large
+	// JSON bodies included).
+	WriteTimeout = 60 * time.Second
+	// IdleTimeout reaps keep-alive connections between requests.
+	IdleTimeout = 120 * time.Second
+	// DrainTimeout is how long graceful shutdown waits for in-flight
+	// requests before closing their connections.
+	DrainTimeout = 10 * time.Second
+)
+
+// NewHTTPServer builds the shared hardened server: every timeout set, and a
+// base context so in-flight handlers observe cancellation.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		WriteTimeout:      WriteTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
+// ListenAndServe runs a hardened server on addr until ctx is canceled, then
+// drains gracefully: the listener closes immediately, in-flight requests get
+// up to DrainTimeout to finish, and nil is returned on a clean drain.
+// Callers wanting SIGTERM-triggered shutdown pass a signal.NotifyContext.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler) error {
+	srv := NewHTTPServer(addr, h)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return serve(ctx, srv, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (tests and the example
+// bind :0 first to learn their port).
+func Serve(ctx context.Context, ln net.Listener, h http.Handler) error {
+	return serve(ctx, NewHTTPServer("", h), ln)
+}
+
+func serve(ctx context.Context, srv *http.Server, ln net.Listener) error {
+	// Handlers see a context that dies with ctx, so a drain cancels work
+	// that would otherwise run past its client.
+	srv.BaseContext = func(net.Listener) context.Context { return ctx }
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(sctx)
+	if serr := <-errc; err == nil && !errors.Is(serr, http.ErrServerClosed) {
+		err = serr
+	}
+	return err
+}

@@ -16,16 +16,21 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"strconv"
 	"strings"
+	"syscall"
 
+	"hpcadvisor/internal/api"
 	"hpcadvisor/internal/collector"
 	"hpcadvisor/internal/config"
 	"hpcadvisor/internal/core"
@@ -33,10 +38,9 @@ import (
 	"hpcadvisor/internal/deploy"
 	"hpcadvisor/internal/fsatomic"
 	"hpcadvisor/internal/gui"
-	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
-	"hpcadvisor/internal/predictor"
 	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/service"
 	"hpcadvisor/internal/storage"
 )
 
@@ -59,6 +63,10 @@ type CLI struct {
 	// ServeGUI is invoked by the gui command; tests replace it to avoid
 	// binding a real listener.
 	ServeGUI func(addr string, adv *core.Advisor, cfg *config.Config) error
+
+	// ServeHTTP is invoked by the serve command with the combined API+GUI
+	// handler; tests replace it to avoid binding a real listener.
+	ServeHTTP func(addr string, h http.Handler) error
 }
 
 const usage = `usage: hpcadvisor [-state dir] <command> [options]
@@ -77,12 +85,13 @@ commands (paper Table II):
                                    pools concurrently (for full sweeps: same
                                    dataset, less time; cross-VM-type samplers
                                    prune less across concurrent lanes)
-  plot [-app A] [-sku S] [-o dir] [-ascii] [-predict] [-store path]
+  plot [-app A] [-sku S] [-input I] [-minnodes N] [-maxnodes N] [-o dir]
+       [-ascii] [-predict] [-store path]
                                    generate plots from collected data;
                                    -predict overlays fitted scaling curves
                                    and prediction-interval bands
-  advice [-app A] [-sort time|cost] [-recipes] [-predict] [-grid "1,2,4"]
-         [-store path]
+  advice [-app A] [-sku S] [-minnodes N] [-maxnodes N] [-sort time|cost]
+         [-recipes] [-predict] [-grid "1,2,4"] [-store path]
                                    generate advice (Pareto front); -recipes
                                    adds a Slurm script + cluster recipe per
                                    row, -predict merges model-predicted
@@ -93,6 +102,16 @@ commands (paper Table II):
                                    backtest of the scaling models
   gui [-addr :8199] -c config.yaml [-store path]
                                    start the GUI mode
+  serve [-addr :8199] -c config.yaml [-store path]
+                                   serve the GUI and the versioned JSON API
+                                   on one address (/api/v1/advice,
+                                   /api/v1/predicted-advice,
+                                   /api/v1/plots/NAME.svg, /api/v1/scenarios,
+                                   /api/v1/dataset, /healthz, /metrics) with
+                                   generation ETags, request timeouts, and
+                                   graceful drain on SIGTERM; advice stays
+                                   live while a collection streams points
+                                   through the attached store
   dataset info [-store path]       describe the dataset store (format, points,
                                    segments, recovery)
   dataset compact [-store path]    fold the segment log into a sorted snapshot
@@ -135,6 +154,8 @@ func (c *CLI) run(args []string) error {
 		return c.cmdPredict(rest[1:])
 	case "gui":
 		return c.cmdGUI(rest[1:])
+	case "serve":
+		return c.cmdServe(rest[1:])
 	case "dataset":
 		return c.cmdDataset(rest[1:])
 	case "apps":
@@ -437,24 +458,58 @@ func (c *CLI) cmdCollect(args []string) error {
 	return nil
 }
 
-func (c *CLI) filterFlags(fs *flag.FlagSet) (app, sku, input *string) {
-	app = fs.String("app", "", "filter: application name")
-	sku = fs.String("sku", "", "filter: SKU name or alias")
-	input = fs.String("input", "", "filter: input description (e.g. atoms=864M)")
-	return
+// filterFlags registers the shared data-filter flags and returns a builder
+// folding them — plus any extra key/value pairs (empty values skipped) —
+// into the url.Values consumed by the service layer's shared parse
+// functions. The CLI deliberately has no filter parsing of its own: a
+// filter means exactly what it means on /advice and /api/v1/advice.
+func (c *CLI) filterFlags(fs *flag.FlagSet) func(extra ...string) url.Values {
+	app := fs.String("app", "", "filter: application name")
+	sku := fs.String("sku", "", "filter: SKU name or alias")
+	input := fs.String("input", "", "filter: input description (e.g. atoms=864M)")
+	minNodes := fs.String("minnodes", "", "filter: minimum node count")
+	maxNodes := fs.String("maxnodes", "", "filter: maximum node count")
+	return func(extra ...string) url.Values {
+		q := url.Values{}
+		set := func(k, v string) {
+			if v != "" {
+				q.Set(k, v)
+			}
+		}
+		set("app", *app)
+		set("sku", *sku)
+		set("input", *input)
+		set("minnodes", *minNodes)
+		set("maxnodes", *maxNodes)
+		for i := 0; i+1 < len(extra); i += 2 {
+			set(extra[i], extra[i+1])
+		}
+		return q
+	}
 }
 
 func (c *CLI) cmdPlot(args []string) error {
 	fs := flag.NewFlagSet("plot", flag.ContinueOnError)
 	fs.SetOutput(c.Stderr)
-	app, sku, input := c.filterFlags(fs)
+	query := c.filterFlags(fs)
 	outDir := fs.String("o", ".", "output directory for SVG files")
 	ascii := fs.Bool("ascii", false, "print ASCII charts instead of writing SVGs")
 	predict := fs.Bool("predict", false, "overlay fitted scaling curves and prediction intervals")
 	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
-	region := fs.String("region", "southcentralus", "pricing region for predicted points")
+	region := fs.String("region", "", "pricing region for predicted points (default "+service.DefaultRegion+")")
 	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*predict && *gridSpec != "" {
+		return fmt.Errorf("-grid requires -predict")
+	}
+	q := query("region", *region, "grid", *gridSpec)
+	if *predict {
+		q.Set("pred", "1")
+	}
+	req, err := service.ParsePlotRequest("", q)
+	if err != nil {
 		return err
 	}
 	st, err := c.loadState()
@@ -466,37 +521,21 @@ func (c *CLI) cmdPlot(args []string) error {
 		return err
 	}
 	defer adv.CloseStore()
-	if !*predict && *gridSpec != "" {
-		return fmt.Errorf("-grid requires -predict")
-	}
-	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
 	if adv.Store.Len() == 0 {
 		return fmt.Errorf("dataset is empty; run 'hpcadvisor collect' first")
 	}
-	var cfg predictor.Config
-	if *predict {
-		grid, err := parseGrid(*gridSpec)
+	svc := service.New(adv)
+	if *ascii {
+		set, err := svc.Plots(req)
 		if err != nil {
 			return err
-		}
-		cfg = adv.PredictorConfig(*region, grid)
-	}
-	if *ascii {
-		set := adv.Plots(f)
-		if *predict {
-			set = adv.PredictedPlots(f, cfg)
 		}
 		for _, p := range set.All() {
 			fmt.Fprintln(c.Stdout, plot.RenderASCII(p, 72, 20))
 		}
 		return nil
 	}
-	var paths []string
-	if *predict {
-		paths, err = adv.WritePredictedPlotsSVG(*outDir, f, cfg)
-	} else {
-		paths, err = adv.WritePlotsSVG(*outDir, f)
-	}
+	paths, err := svc.WritePlotsSVG(req, *outDir)
 	if err != nil {
 		return err
 	}
@@ -506,34 +545,21 @@ func (c *CLI) cmdPlot(args []string) error {
 	return nil
 }
 
-// parseGrid parses the -grid flag: comma-separated positive node counts.
-func parseGrid(spec string) ([]int, error) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, field := range strings.Split(spec, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(field))
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("invalid -grid %q: want comma-separated node counts >= 1", spec)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
 func (c *CLI) cmdAdvice(args []string) error {
 	fs := flag.NewFlagSet("advice", flag.ContinueOnError)
 	fs.SetOutput(c.Stderr)
-	app, sku, input := c.filterFlags(fs)
+	query := c.filterFlags(fs)
 	sortBy := fs.String("sort", "time", "sort advice by 'time' or 'cost'")
 	withRecipes := fs.Bool("recipes", false, "emit a Slurm script and cluster recipe per advice row")
-	region := fs.String("region", "southcentralus", "pricing region for recipes and predictions")
+	region := fs.String("region", "", "pricing region for recipes and predictions (default "+service.DefaultRegion+")")
 	predict := fs.Bool("predict", false, "merge model-predicted scenarios into the advice (marked in the Source column)")
 	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
 	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !*predict && *gridSpec != "" {
+		return fmt.Errorf("-grid requires -predict")
 	}
 	st, err := c.loadState()
 	if err != nil {
@@ -544,48 +570,62 @@ func (c *CLI) cmdAdvice(args []string) error {
 		return err
 	}
 	defer adv.CloseStore()
-	order, err := parseOrder(*sortBy)
-	if err != nil {
-		return err
-	}
-	if !*predict && *gridSpec != "" {
-		return fmt.Errorf("-grid requires -predict")
-	}
-	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
+	svc := service.New(adv)
 	// recipeRows is what -recipes renders: exactly the measured rows of the
 	// front that was just displayed (predicted rows name scenarios that were
 	// never run, so there is nothing to write a recipe for).
 	var recipeRows []dataset.Point
 	if *predict {
-		grid, err := parseGrid(*gridSpec)
+		req, err := service.ParsePredictRequest(query("sort", *sortBy, "region", *region, "grid", *gridSpec))
 		if err != nil {
 			return err
 		}
-		cfg := adv.PredictorConfig(*region, grid)
-		rows := adv.PredictedAdvice(f, order, cfg)
-		if len(rows) == 0 {
+		res, err := svc.PredictedAdvice(req)
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
 			return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
 		}
-		fmt.Fprint(c.Stdout, predictor.FormatAdviceTable(rows))
-		for _, r := range rows {
+		table, err := svc.PredictedAdviceTable(req)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(c.Stdout, table)
+		for _, r := range res.Rows {
 			if !r.Predicted {
 				recipeRows = append(recipeRows, r.Point)
 			}
 		}
-		if *withRecipes && len(recipeRows) < len(rows) {
+		if *withRecipes && len(recipeRows) < len(res.Rows) {
 			fmt.Fprintf(c.Stderr, "note: recipes cover the %d measured rows only; predicted rows have no executed scenario to replay\n",
 				len(recipeRows))
 		}
 	} else {
-		rows := adv.Advice(f, order)
-		if len(rows) == 0 {
+		req, err := service.ParseAdviceRequest(query("sort", *sortBy))
+		if err != nil {
+			return err
+		}
+		res, err := svc.Advice(req)
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) == 0 {
 			return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
 		}
-		fmt.Fprint(c.Stdout, pareto.FormatAdviceTable(rows))
-		recipeRows = rows
+		table, err := svc.AdviceTable(req)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(c.Stdout, table)
+		recipeRows = res.Rows
 	}
 	if *withRecipes {
-		bundle, err := adv.RecipesFor(recipeRows, *region)
+		recipeRegion := *region
+		if recipeRegion == "" {
+			recipeRegion = service.DefaultRegion
+		}
+		bundle, err := adv.RecipesFor(recipeRows, recipeRegion)
 		if err != nil {
 			return err
 		}
@@ -595,28 +635,22 @@ func (c *CLI) cmdAdvice(args []string) error {
 	return nil
 }
 
-func parseOrder(sortBy string) (pareto.SortOrder, error) {
-	switch sortBy {
-	case "time":
-		return pareto.ByTime, nil
-	case "cost":
-		return pareto.ByCost, nil
-	}
-	return pareto.ByTime, fmt.Errorf("unknown sort %q (want time or cost)", sortBy)
-}
-
 // cmdPredict serves advice over untested scenarios: the merged
 // measured+predicted front plus the leave-one-out backtest that says how
 // far the scaling models can be trusted.
 func (c *CLI) cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
 	fs.SetOutput(c.Stderr)
-	app, sku, input := c.filterFlags(fs)
+	query := c.filterFlags(fs)
 	sortBy := fs.String("sort", "time", "sort advice by 'time' or 'cost'")
-	region := fs.String("region", "southcentralus", "pricing region for predicted points")
+	region := fs.String("region", "", "pricing region for predicted points (default "+service.DefaultRegion+")")
 	gridSpec := fs.String("grid", "", "prediction node counts, comma-separated (default: derived)")
 	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	req, err := service.ParsePredictRequest(query("sort", *sortBy, "region", *region, "grid", *gridSpec))
+	if err != nil {
 		return err
 	}
 	st, err := c.loadState()
@@ -628,24 +662,47 @@ func (c *CLI) cmdPredict(args []string) error {
 		return err
 	}
 	defer adv.CloseStore()
-	order, err := parseOrder(*sortBy)
+	svc := service.New(adv)
+	res, err := svc.PredictedAdvice(req)
 	if err != nil {
 		return err
 	}
-	grid, err := parseGrid(*gridSpec)
-	if err != nil {
-		return err
-	}
-	f := dataset.Filter{AppName: *app, SKU: *sku, InputDesc: *input}
-	cfg := adv.PredictorConfig(*region, grid)
-	rows := adv.PredictedAdvice(f, order, cfg)
-	if len(rows) == 0 {
+	if len(res.Rows) == 0 {
 		return fmt.Errorf("no data matches the filter; run 'hpcadvisor collect' first")
 	}
-	fmt.Fprint(c.Stdout, predictor.FormatAdviceTable(rows))
+	table, err := svc.PredictedAdviceTable(req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(c.Stdout, table)
 	fmt.Fprintln(c.Stdout)
-	fmt.Fprintln(c.Stdout, adv.Backtest(f, cfg).String())
+	bt, err := svc.Backtest(req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(c.Stdout, bt.Report.String())
 	return nil
+}
+
+// openServing loads the config and state and rehydrates the advisor for
+// the long-running serving commands (gui, serve). Callers CloseStore.
+func (c *CLI) openServing(cfgPath, storePath string) (*config.Config, *core.Advisor, error) {
+	cfg, err := c.requireConfig(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := c.loadState()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	adv, err := c.advisorFor(cfg.Subscription, st, c.resolveStore(storePath))
+	if err != nil {
+		return nil, nil, err
+	}
+	return cfg, adv, nil
 }
 
 func (c *CLI) cmdGUI(args []string) error {
@@ -657,18 +714,7 @@ func (c *CLI) cmdGUI(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := c.requireConfig(*cfgPath)
-	if err != nil {
-		return err
-	}
-	st, err := c.loadState()
-	if err != nil {
-		return err
-	}
-	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
-		return err
-	}
-	adv, err := c.advisorFor(cfg.Subscription, st, c.resolveStore(*storePath))
+	cfg, adv, err := c.openServing(*cfgPath, *storePath)
 	if err != nil {
 		return err
 	}
@@ -681,6 +727,53 @@ func (c *CLI) cmdGUI(args []string) error {
 		}
 	}
 	return serve(*addr, adv, cfg)
+}
+
+// cmdServe runs the GUI and the versioned JSON API on one address. The
+// dataset store resolved from -store is attached to the advisor, so a
+// collection started from the GUI streams every point durably through the
+// backend while API clients keep reading — each append moves the store
+// generation, which both invalidates the query engine's caches and rolls
+// the ETag every API response carries.
+func (c *CLI) cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(c.Stderr)
+	addr := fs.String("addr", ":8199", "listen address")
+	cfgPath := fs.String("c", "", "configuration file")
+	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, adv, err := c.openServing(*cfgPath, *storePath)
+	if err != nil {
+		return err
+	}
+	defer adv.CloseStore()
+	serve := c.ServeHTTP
+	if serve == nil {
+		serve = func(addr string, h http.Handler) error {
+			fmt.Fprintf(c.Stdout, "hpcadvisor API+GUI listening on %s (JSON under /api/v1/)\n", addr)
+			ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+			defer stop()
+			return api.ListenAndServe(ctx, addr, h)
+		}
+	}
+	return serve(*addr, ServeMux(adv, cfg))
+}
+
+// ServeMux composes the API and GUI route tables on one mux: the JSON API
+// owns /api/v1/, /healthz, and /metrics; the GUI serves everything else.
+// Both read through one advisor and one query engine, and both default
+// predictions to the configured deployment region, so they can never
+// disagree about the dataset or price identical requests differently.
+func ServeMux(adv *core.Advisor, cfg *config.Config) *http.ServeMux {
+	apiMux := api.New(service.NewWithRegion(adv, cfg.Region)).Mux()
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/", apiMux)
+	mux.Handle("/healthz", apiMux)
+	mux.Handle("/metrics", apiMux)
+	mux.Handle("/", gui.NewServer(adv, cfg).Mux())
+	return mux
 }
 
 // cmdDataset manages the dataset store itself: describe it, compact the

@@ -2,6 +2,9 @@ package cli
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -610,5 +613,96 @@ func TestCollectIntoSegmentStore(t *testing.T) {
 	r = exec(t, state, "advice", "-store", seg)
 	if r.code != 0 || !strings.Contains(r.out.String(), "hb120rs_v3") {
 		t.Errorf("advice from segment store = %q (%s)", r.out.String(), r.err.String())
+	}
+}
+
+// TestServeCommandWiring checks the serve command builds the combined
+// API+GUI handler over the persisted state: the JSON API answers with the
+// collected dataset, ETag revalidation works, and the GUI pages are on the
+// same mux.
+func TestServeCommandWiring(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfgPath := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfgPath)
+	if r := exec(t, state, "collect", "-c", cfgPath); r.code != 0 {
+		t.Fatalf("collect: %s", r.err.String())
+	}
+
+	var out, errb bytes.Buffer
+	c := &CLI{Stdout: &out, Stderr: &errb, StateDir: state}
+	served := ""
+	c.ServeHTTP = func(addr string, h http.Handler) error {
+		served = addr
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+
+		resp, err := ts.Client().Get(ts.URL + "/api/v1/advice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(body), "hb120rs_v3") {
+			t.Fatalf("served advice = %d: %s", resp.StatusCode, body)
+		}
+		tag := resp.Header.Get("ETag")
+		if tag == "" {
+			t.Fatal("advice response missing ETag")
+		}
+
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/advice", nil)
+		req.Header.Set("If-None-Match", tag)
+		resp, err = ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		revalidated, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified || len(revalidated) != 0 {
+			t.Fatalf("revalidation = %d (%d bytes), want empty 304", resp.StatusCode, len(revalidated))
+		}
+
+		// GUI rides the same mux.
+		resp, err = ts.Client().Get(ts.URL + "/advice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		page, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.Contains(string(page), "Pareto front") {
+			t.Fatalf("served GUI advice = %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := c.run([]string{"serve", "-addr", ":9998", "-c", cfgPath}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if served != ":9998" {
+		t.Errorf("served addr = %q", served)
+	}
+}
+
+// TestAdviceNodeBoundFlags exercises the shared parse path from the CLI:
+// node-range filters narrow the front, and malformed bounds surface the
+// service layer's bad-request error.
+func TestAdviceNodeBoundFlags(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfgPath := writeConfig(t, dir)
+	exec(t, state, "deploy", "create", "-c", cfgPath)
+	if r := exec(t, state, "collect", "-c", cfgPath); r.code != 0 {
+		t.Fatalf("collect: %s", r.err.String())
+	}
+	if r := exec(t, state, "advice", "-minnodes", "1", "-maxnodes", "2"); r.code != 0 {
+		t.Fatalf("advice with bounds: %s", r.err.String())
+	}
+	r := exec(t, state, "advice", "-minnodes", "banana")
+	if r.code == 0 || !strings.Contains(r.err.String(), "invalid minnodes") {
+		t.Fatalf("bad minnodes accepted: %q", r.err.String())
+	}
+	r = exec(t, state, "advice", "-sort", "sideways")
+	if r.code == 0 || !strings.Contains(r.err.String(), "unknown sort") {
+		t.Fatalf("bad sort accepted: %q", r.err.String())
 	}
 }

@@ -25,12 +25,18 @@ func (a *Advisor) CollectAdaptive(deploymentName string, cfg *config.Config, bud
 	if budgetUSD <= 0 {
 		return nil, fmt.Errorf("core: adaptive collection needs a positive budget, got %.2f", budgetUSD)
 	}
-	d, err := a.Deployment(deploymentName)
-	if err != nil {
-		return nil, err
+	// Held across the run for the same reason as Collect: the planner and
+	// collector mutate task statuses throughout, and registry readers must
+	// never observe a torn middle.
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.deployments[deploymentName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown deployment %q", deploymentName)
 	}
 	svc := a.services[deploymentName]
 
+	var err error
 	list := a.lists[deploymentName]
 	if list == nil {
 		list, err = scenario.Generate(cfg.ScenarioSpec(), a.Catalog)

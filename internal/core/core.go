@@ -52,6 +52,12 @@ type Advisor struct {
 	// purely in-memory advisor.
 	Backend storage.Backend
 
+	// mu guards the registry maps below and — held for the duration of a
+	// collection — the task structs the collector mutates, so concurrent
+	// readers (the API's /scenarios, the GUI's deployment pages) can never
+	// race a live collect. Dataset serving does not touch the registry and
+	// never blocks on it.
+	mu          sync.RWMutex
 	deployments map[string]*deploy.Deployment
 	services    map[string]*batchsim.Service
 	lists       map[string]*scenario.List
@@ -149,6 +155,8 @@ func (a *Advisor) DeployCreate(cfg *config.Config) (*deploy.Deployment, error) {
 
 // adopt registers a deployment and its batch service.
 func (a *Advisor) adopt(d *deploy.Deployment) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.deployments[d.Name] = d
 	a.services[d.Name] = batchsim.New(a.Clock, a.Cloud, d.SubscriptionID, d.Name)
 }
@@ -157,7 +165,10 @@ func (a *Advisor) adopt(d *deploy.Deployment) {
 // recorded in a state file by the CLI) by re-provisioning its resources
 // under the exact recorded names.
 func (a *Advisor) RestoreDeployment(d *deploy.Deployment) error {
-	if _, ok := a.deployments[d.Name]; ok {
+	a.mu.RLock()
+	_, registered := a.deployments[d.Name]
+	a.mu.RUnlock()
+	if registered {
 		return fmt.Errorf("core: deployment %q already registered", d.Name)
 	}
 	if _, err := a.Cloud.CreateResourceGroup(d.SubscriptionID, d.Name, d.Region); err != nil {
@@ -191,6 +202,8 @@ func (a *Advisor) DeployShutdown(subscriptionID, name string) error {
 	if err := a.Deployer.Shutdown(subscriptionID, name); err != nil {
 		return err
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	delete(a.deployments, name)
 	delete(a.services, name)
 	delete(a.lists, name)
@@ -199,6 +212,8 @@ func (a *Advisor) DeployShutdown(subscriptionID, name string) error {
 
 // Deployment returns a registered deployment.
 func (a *Advisor) Deployment(name string) (*deploy.Deployment, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if d, ok := a.deployments[name]; ok {
 		return d, nil
 	}
@@ -207,6 +222,8 @@ func (a *Advisor) Deployment(name string) (*deploy.Deployment, error) {
 
 // Deployments lists registered deployment names, sorted.
 func (a *Advisor) Deployments() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	out := make([]string, 0, len(a.deployments))
 	for n := range a.deployments {
 		out = append(out, n)
@@ -265,12 +282,21 @@ type CollectOptions struct {
 // and runs the data-collection phase on the named deployment (Table II:
 // "collect").
 func (a *Advisor) Collect(deploymentName string, cfg *config.Config, opts CollectOptions) (*collector.Report, error) {
-	d, err := a.Deployment(deploymentName)
-	if err != nil {
-		return nil, err
+	// The write lock is held across the whole run: the collector mutates
+	// the task list's statuses throughout, and concurrent registry readers
+	// (ScenarioTasks, the deployment pages) must observe either the state
+	// before the collection or after it, never a torn middle. Advice and
+	// plot serving reads dataset snapshots, not the registry, so it keeps
+	// flowing during a collect.
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.deployments[deploymentName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown deployment %q", deploymentName)
 	}
 	svc := a.services[deploymentName]
 
+	var err error
 	list := a.lists[deploymentName]
 	if list == nil {
 		list, err = scenario.Generate(cfg.ScenarioSpec(), a.Catalog)
@@ -301,14 +327,38 @@ func (a *Advisor) Collect(deploymentName string, cfg *config.Config, opts Collec
 }
 
 // TaskList returns the scenario list of a deployment (nil if no collection
-// was started).
+// was started). The returned list is the live one the collector mutates;
+// callers reading it concurrently with a possible collection should use
+// ScenarioTasks instead.
 func (a *Advisor) TaskList(deploymentName string) *scenario.List {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return a.lists[deploymentName]
+}
+
+// ScenarioTasks returns a copy of the deployment's task states taken under
+// the registry lock — safe to render or marshal while a concurrent
+// collection mutates the live tasks (the lock serializes against Collect).
+// Nil means no collection was started.
+func (a *Advisor) ScenarioTasks(deploymentName string) []scenario.Task {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	list := a.lists[deploymentName]
+	if list == nil {
+		return nil
+	}
+	out := make([]scenario.Task, len(list.Tasks))
+	for i, t := range list.Tasks {
+		out[i] = *t
+	}
+	return out
 }
 
 // SetTaskList installs a previously saved scenario list (resume). A nil
 // list clears the deployment's list, so the next Collect regenerates it.
 func (a *Advisor) SetTaskList(deploymentName string, list *scenario.List) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if list == nil {
 		delete(a.lists, deploymentName)
 		return
@@ -330,35 +380,26 @@ func (a *Advisor) Plots(f dataset.Filter) PlotSet {
 // When using the CLI, "the plots are generated in the current folder"
 // (paper Section III-D).
 func (a *Advisor) WritePlotsSVG(dir string, f dataset.Filter) ([]string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
 	eng := a.Engine()
-	var paths []string
-	for _, name := range plot.SetNames {
-		data, err := eng.SVG(name, f)
-		if err != nil {
-			return nil, err
-		}
-		path := filepath.Join(dir, name+".svg")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			return nil, err
-		}
-		paths = append(paths, path)
-	}
-	return paths, nil
+	return writeSVGs(dir, func(name string) ([]byte, error) { return eng.SVG(name, f) })
 }
 
 // WritePredictedPlotsSVG renders the overlaid plot set into dir and returns
 // the file paths, served from the engine's predicted-SVG cache.
 func (a *Advisor) WritePredictedPlotsSVG(dir string, f dataset.Filter, cfg predictor.Config) ([]string, error) {
+	eng := a.Engine()
+	return writeSVGs(dir, func(name string) ([]byte, error) { return eng.PredictedSVG(name, f, cfg) })
+}
+
+// writeSVGs renders every plot of the set through render and writes one
+// .svg file per canonical plot name into dir.
+func writeSVGs(dir string, render func(name string) ([]byte, error)) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	eng := a.Engine()
 	var paths []string
 	for _, name := range plot.SetNames {
-		data, err := eng.PredictedSVG(name, f, cfg)
+		data, err := render(name)
 		if err != nil {
 			return nil, err
 		}

@@ -147,7 +147,9 @@ type Snapshot struct {
 	bySKU   map[string][]int32 // both full name and alias key the same list
 	byInput map[string][]int32
 
-	apps []string // distinct AppNames (original case), sorted
+	apps   []string // distinct AppNames (original case), sorted
+	skus   []string // distinct SKUAliases (original case), sorted
+	inputs []string // distinct InputDescs, sorted
 }
 
 // Generation identifies the store state the snapshot was built from.
@@ -160,6 +162,20 @@ func (sn *Snapshot) Len() int { return len(sn.sorted) }
 func (sn *Snapshot) Apps() []string {
 	out := make([]string, len(sn.apps))
 	copy(out, sn.apps)
+	return out
+}
+
+// SKUAliases lists distinct SKU aliases present, sorted.
+func (sn *Snapshot) SKUAliases() []string {
+	out := make([]string, len(sn.skus))
+	copy(out, sn.skus)
+	return out
+}
+
+// Inputs lists distinct input descriptions present, sorted.
+func (sn *Snapshot) Inputs() []string {
+	out := make([]string, len(sn.inputs))
+	copy(out, sn.inputs)
 	return out
 }
 
@@ -314,6 +330,17 @@ func (sn *Snapshot) buildIndexes() {
 			appSeen[p.AppName] = true
 			sn.apps = append(sn.apps, p.AppName)
 		}
+		// The sorted order is (alias, input, nodes), so distinct aliases and
+		// per-alias distinct inputs arrive in runs; inputs still need a
+		// global dedup since one input recurs across aliases.
+		if len(sn.skus) == 0 || sn.skus[len(sn.skus)-1] != p.SKUAlias {
+			sn.skus = append(sn.skus, p.SKUAlias)
+		}
+	}
+	sn.inputs = make([]string, 0, len(sn.byInput))
+	for in := range sn.byInput {
+		sn.inputs = append(sn.inputs, in)
 	}
 	sort.Strings(sn.apps)
+	sort.Strings(sn.inputs)
 }

@@ -5,45 +5,55 @@
 package gui
 
 import (
+	"context"
 	"fmt"
 	"html/template"
 	"net/http"
 	"net/url"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 
+	"hpcadvisor/internal/api"
 	"hpcadvisor/internal/config"
 	"hpcadvisor/internal/core"
-	"hpcadvisor/internal/dataset"
-	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
-	"hpcadvisor/internal/predictor"
 	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/service"
 )
 
 // Server is the GUI over one advisor and configuration.
 //
-// The read-only pages (plots, plot.svg, advice) are served straight from
-// the advisor's query engine, which reads immutable dataset snapshots and
-// memoizes results — those handlers take no server lock and are safe for
-// arbitrarily many concurrent requests, even while a collection appends
-// datapoints. The mutex only guards the mutating operations (deploy,
-// collect) and the activity log.
+// The read-only pages (plots, plot.svg, advice, predict) parse and execute
+// their requests through the shared service layer (internal/service) — the
+// same parse functions and typed errors the JSON API uses — and are served
+// from the query engine's immutable snapshots: those handlers take no
+// server lock and are safe for arbitrarily many concurrent requests, even
+// while a collection appends datapoints. The mutex only guards the
+// mutating operations (deploy, collect) and the activity log.
 type Server struct {
 	mu  sync.Mutex
 	adv *core.Advisor
 	cfg *config.Config
+	svc *service.Service
 	log []string
 }
 
-// NewServer builds a GUI server.
+// NewServer builds a GUI server. Predictions default to the configured
+// deployment region — through the service layer, so the JSON API mounted
+// on the same mux prices identical requests identically.
 func NewServer(adv *core.Advisor, cfg *config.Config) *Server {
-	return &Server{adv: adv, cfg: cfg}
+	return &Server{adv: adv, cfg: cfg, svc: service.NewWithRegion(adv, cfg.Region)}
 }
 
-// ListenAndServe runs the GUI on addr until the listener fails.
+// ListenAndServe runs the GUI on addr through the shared hardened
+// http.Server (timeouts on every phase) until the listener fails or a
+// SIGINT/SIGTERM triggers a graceful drain.
 func ListenAndServe(addr string, adv *core.Advisor, cfg *config.Config) error {
-	return http.ListenAndServe(addr, NewServer(adv, cfg).Mux())
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return api.ListenAndServe(ctx, addr, NewServer(adv, cfg).Mux())
 }
 
 // Mux returns the route table.
@@ -206,15 +216,16 @@ sampler: <select name="sampler">
 </select>
 <button type="submit">Start collection</button></form>`)
 
-	// Task status table, the view in the paper's Figure 7 screenshot.
+	// Task status table, the view in the paper's Figure 7 screenshot; the
+	// task states are copied under the advisor's registry lock.
 	for _, dep := range s.adv.Deployments() {
-		list := s.adv.TaskList(dep)
-		if list == nil {
+		tasks := s.adv.ScenarioTasks(dep)
+		if tasks == nil {
 			continue
 		}
 		fmt.Fprintf(&b, "<h3>%s</h3><table><tr><th>Scenario</th><th>Nodes</th><th>Status</th></tr>",
 			template.HTMLEscapeString(dep))
-		for _, t := range list.Tasks {
+		for _, t := range tasks {
 			cls := "ok"
 			switch t.Status {
 			case scenario.StatusFailed:
@@ -241,8 +252,15 @@ func (s *Server) handlePlots(w http.ResponseWriter, r *http.Request) {
 	} else {
 		app := r.URL.Query().Get("app")
 		for _, name := range plot.SetNames {
-			fmt.Fprintf(&b, `<div><img src="/plot.svg?name=%s&app=%s" alt="%s"/></div>`,
-				name, template.HTMLEscapeString(app), name)
+			// Build the image URL with url.Values so app names containing
+			// query metacharacters (&, +, spaces) survive as one filter
+			// value; HTML-escaping alone does not query-escape them.
+			q := url.Values{"name": {name}}
+			if app != "" {
+				q.Set("app", app)
+			}
+			fmt.Fprintf(&b, `<div><img src="/plot.svg?%s" alt="%s"/></div>`,
+				template.HTMLEscapeString(q.Encode()), name)
 		}
 	}
 	s.render(w, template.HTML(b.String()))
@@ -252,36 +270,27 @@ func (s *Server) handlePlots(w http.ResponseWriter, r *http.Request) {
 // SVG cache; concurrent requests for one (plot, filter) render it once.
 // With pred=1 the exectime/cost plots carry the predictor overlay (fitted
 // curves, interval bands, predicted points), served from the predicted-SVG
-// cache.
+// cache. The service layer's typed errors keep the failure classes apart:
+// a malformed filter is 400, an unknown plot name 404, a render failure on
+// a valid name 500.
 func (s *Server) handlePlotSVG(w http.ResponseWriter, r *http.Request) {
-	f := dataset.Filter{
-		AppName:   r.URL.Query().Get("app"),
-		SKU:       r.URL.Query().Get("sku"),
-		InputDesc: r.URL.Query().Get("input"),
-	}
-	var data []byte
-	var err error
-	if r.URL.Query().Get("pred") == "1" {
-		data, err = s.adv.Engine().PredictedSVG(r.URL.Query().Get("name"), f, s.predictorConfig())
-	} else {
-		data, err = s.adv.Engine().SVG(r.URL.Query().Get("name"), f)
-	}
+	req, err := service.ParsePlotRequest(r.URL.Query().Get("name"), r.URL.Query())
 	if err != nil {
-		http.Error(w, "unknown plot", http.StatusNotFound)
+		http.Error(w, err.Error(), api.StatusOf(err))
+		return
+	}
+	data, _, err := s.svc.PlotSVG(req)
+	if err != nil {
+		switch service.KindOf(err) {
+		case service.KindNotFound:
+			http.Error(w, "unknown plot", http.StatusNotFound)
+		default:
+			http.Error(w, "plot rendering failed", http.StatusInternalServerError)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "image/svg+xml")
 	_, _ = w.Write(data)
-}
-
-// predictorConfig builds the predictor configuration from the server's
-// deployment region (the region prices the synthesized points).
-func (s *Server) predictorConfig() predictor.Config {
-	region := s.cfg.Region
-	if region == "" {
-		region = "southcentralus"
-	}
-	return s.adv.PredictorConfig(region, nil)
 }
 
 // handlePredict serves the predicted-advice page: the merged
@@ -289,19 +298,22 @@ func (s *Server) predictorConfig() predictor.Config {
 // backtest, and the overlaid exectime/cost plots. Lock-free — everything is
 // served from the query engine.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	order := pareto.ByTime
-	if r.URL.Query().Get("sort") == "cost" {
-		order = pareto.ByCost
+	req, err := service.ParsePredictRequest(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), api.StatusOf(err))
+		return
 	}
-	f := dataset.Filter{
-		AppName:   r.URL.Query().Get("app"),
-		SKU:       r.URL.Query().Get("sku"),
-		InputDesc: r.URL.Query().Get("input"),
-	}
-	cfg := s.predictorConfig()
 	var b strings.Builder
 	b.WriteString("<h2>Predicted advice</h2>")
-	rows := s.adv.PredictedAdvice(f, order, cfg)
+	// One pinned snapshot for rows, table, and backtest: the predicted
+	// count, the rendered table, and the backtest line always agree even
+	// while a collection appends.
+	res, table, backtest, err := s.svc.PredictedAdvicePage(req)
+	if err != nil {
+		http.Error(w, err.Error(), api.StatusOf(err))
+		return
+	}
+	rows := res.Rows
 	if len(rows) == 0 {
 		b.WriteString("<p>No data collected yet.</p>")
 		s.render(w, template.HTML(b.String()))
@@ -316,8 +328,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "<p>Merged Pareto front over measured and model-predicted scenarios "+
 		"(%d of %d rows predicted; predicted rows are marked in the Source column and exist only at node counts never measured for their VM type).</p>",
 		predicted, len(rows))
-	b.WriteString("<pre>" + template.HTMLEscapeString(s.adv.PredictedAdviceTable(f, order, cfg)) + "</pre>")
-	b.WriteString("<p>" + template.HTMLEscapeString(s.adv.Backtest(f, cfg).String()) + "</p>")
+	b.WriteString("<pre>" + template.HTMLEscapeString(table) + "</pre>")
+	b.WriteString("<p>" + template.HTMLEscapeString(backtest.String()) + "</p>")
 
 	// Carry the active filter through the sort links and plot URLs, and
 	// URL-encode the user-supplied values.
@@ -344,24 +356,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.render(w, template.HTML(b.String()))
 }
 
-// handleAdvice serves the advice table from the query engine; lock-free.
+// handleAdvice serves the advice table through the service layer;
+// lock-free. A malformed filter (bad sort, bad node bounds) is a 400, the
+// same classification the JSON API gives it.
 func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
-	order := pareto.ByTime
-	if r.URL.Query().Get("sort") == "cost" {
-		order = pareto.ByCost
-	}
-	f := dataset.Filter{
-		AppName:   r.URL.Query().Get("app"),
-		SKU:       r.URL.Query().Get("sku"),
-		InputDesc: r.URL.Query().Get("input"),
+	req, err := service.ParseAdviceRequest(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), api.StatusOf(err))
+		return
 	}
 	var b strings.Builder
 	b.WriteString("<h2>Advice (Pareto front)</h2>")
-	rows := s.adv.Advice(f, order)
-	if len(rows) == 0 {
+	res, table, _ := s.svc.AdvicePage(req)
+	if len(res.Rows) == 0 {
 		b.WriteString("<p>No data collected yet.</p>")
 	} else {
-		b.WriteString("<pre>" + template.HTMLEscapeString(s.adv.AdviceTable(f, order)) + "</pre>")
+		b.WriteString("<pre>" + template.HTMLEscapeString(table) + "</pre>")
 		b.WriteString(`<p><a href="/advice?sort=cost">sort by cost</a> | <a href="/advice?sort=time">sort by time</a></p>`)
 	}
 	s.render(w, template.HTML(b.String()))

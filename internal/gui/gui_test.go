@@ -276,6 +276,65 @@ func TestGUIConcurrentReadsWhileCollecting(t *testing.T) {
 	wg.Wait()
 }
 
+// TestGUIPlotsURLEncodesAppFilter is the regression test for the plots page
+// building image URLs by string interpolation: an app name containing query
+// metacharacters (&, +, space) must be query-escaped into one `app` value,
+// not split into bogus extra parameters.
+func TestGUIPlotsURLEncodesAppFilter(t *testing.T) {
+	s, adv, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	const trickyApp = "my&tricky app+v2"
+	adv.Store.Add(dataset.Point{
+		ScenarioID: "tricky-1", AppName: trickyApp,
+		SKU: "Standard_HB120rs_v3", SKUAlias: "hb120rs_v3",
+		NNodes: 1, ExecTimeSec: 10, CostUSD: 0.5,
+	})
+
+	code, body := get(t, ts, "/plots?app="+url.QueryEscape(trickyApp))
+	if code != 200 {
+		t.Fatalf("plots = %d", code)
+	}
+	wantFragment := "app=" + url.QueryEscape(trickyApp)
+	if !strings.Contains(body, wantFragment) {
+		t.Fatalf("plots page lost the app filter encoding: want %q in %s", wantFragment, body)
+	}
+	if strings.Contains(body, "app=my&tricky") || strings.Contains(body, "app=my&amp;tricky") {
+		t.Fatal("app name leaked unescaped into the query string")
+	}
+
+	// The generated URL actually serves the filtered plot: the tricky app's
+	// series legend is present (the exectime plot labels series by SKU
+	// alias), which a split filter value would have filtered away.
+	code, svg := get(t, ts, "/plot.svg?"+wantFragment+"&name=exectime_vs_nodes")
+	if code != 200 || !strings.HasPrefix(svg, "<svg") {
+		t.Fatalf("tricky-app plot.svg = %d", code)
+	}
+	if !strings.Contains(svg, "hb120rs_v3") {
+		t.Error("filtered plot missing the tricky app's series")
+	}
+}
+
+// TestGUIBadFilterIs400 pins the service-layer classification: malformed
+// filters are client errors on every read page, not silent defaults or 404s.
+func TestGUIBadFilterIs400(t *testing.T) {
+	s, _, _ := newServer(t)
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+	for _, path := range []string{
+		"/advice?minnodes=banana",
+		"/advice?sort=sideways",
+		"/predict?minnodes=8&maxnodes=2",
+		"/plot.svg?name=pareto&minnodes=0",
+		"/plot.svg?name=pareto&pred=maybe",
+	} {
+		if code, _ := get(t, ts, path); code != http.StatusBadRequest {
+			t.Errorf("%s = %d, want 400", path, code)
+		}
+	}
+}
+
 func TestGUICollectWithBadSampler(t *testing.T) {
 	s, _, _ := newServer(t)
 	ts := httptest.NewServer(s.Mux())

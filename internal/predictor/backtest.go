@@ -19,12 +19,12 @@ type BacktestReport struct {
 	// Groups is how many (app, input, SKU) groups had enough points to
 	// backtest; Held counts the folds whose selected refit cleared the
 	// quality gate (the denominator of SelectedMAPE).
-	Groups int
-	Held   int
+	Groups int `json:"groups"`
+	Held   int `json:"held"`
 
-	AmdahlMAPE   float64
-	PowerLawMAPE float64
-	SelectedMAPE float64
+	AmdahlMAPE   float64 `json:"amdahl_mape"`
+	PowerLawMAPE float64 `json:"powerlaw_mape"`
+	SelectedMAPE float64 `json:"selected_mape"`
 }
 
 // String renders the report as one summary line.

@@ -114,22 +114,22 @@ type Row struct {
 	dataset.Point
 	// Predicted marks synthesized rows; measured rows leave it false and the
 	// remaining fields zero.
-	Predicted bool
+	Predicted bool `json:"predicted,omitempty"`
 	// Model is the family that produced the prediction (ModelAmdahl or
 	// ModelPowerLaw).
-	Model string
+	Model string `json:"model,omitempty"`
 	// R2 is the selected model's goodness of fit over the group's measured
 	// points.
-	R2 float64
+	R2 float64 `json:"r2,omitempty"`
 	// TimeLoSec and TimeHiSec bound the predicted execution time: the point
 	// estimate ± IntervalZ standard deviations of the fit residuals, floored
 	// at zero.
-	TimeLoSec float64
-	TimeHiSec float64
+	TimeLoSec float64 `json:"time_lo_sec,omitempty"`
+	TimeHiSec float64 `json:"time_hi_sec,omitempty"`
 	// CostLoUSD and CostHiUSD are the interval endpoints priced like the
 	// point estimate (cost is linear in time).
-	CostLoUSD float64
-	CostHiUSD float64
+	CostLoUSD float64 `json:"cost_lo_usd,omitempty"`
+	CostHiUSD float64 `json:"cost_hi_usd,omitempty"`
 }
 
 // Source renders the row's provenance for tables: "measured", or the model

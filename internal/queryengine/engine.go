@@ -82,6 +82,11 @@ func New(src Source, maxEntries int) *Engine {
 // Snapshot exposes the engine's current read view.
 func (e *Engine) Snapshot() *dataset.Snapshot { return e.src.Snapshot() }
 
+// Generation returns the generation of the current read view — the value
+// every cached result of that view is keyed under, and what the API layer
+// folds into ETags so HTTP revalidation tracks cache invalidation exactly.
+func (e *Engine) Generation() uint64 { return e.src.Snapshot().Generation() }
+
 // Stats returns a copy of the cache counters.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
@@ -158,6 +163,24 @@ func orderKey(order pareto.SortOrder) string {
 	return "time"
 }
 
+// Cached memoizes an arbitrary derivation of one snapshot under the
+// engine's LRU and single-flight, keyed like every built-in kind: (kind,
+// generation, canonical filter, extra). Serving layers use it to cache
+// renderings the engine does not know about — e.g. the API's encoded JSON
+// response bodies — with the same generation-based invalidation as advice
+// and SVG. compute receives the exact snapshot the key's generation names,
+// so a cached value can never mix generations. External kinds are
+// namespaced with "x:" and can never collide with the engine's own.
+func (e *Engine) Cached(kind string, f dataset.Filter, extra string, compute func(sn *dataset.Snapshot) any) any {
+	return e.CachedAt(e.src.Snapshot(), kind, f, extra, compute)
+}
+
+// CachedAt is Cached pinned to one snapshot (see AdviceAt).
+func (e *Engine) CachedAt(sn *dataset.Snapshot, kind string, f dataset.Filter, extra string, compute func(sn *dataset.Snapshot) any) any {
+	c := f.Canonical()
+	return e.get(key("x:"+kind, sn.Generation(), &c, extra), func() any { return compute(sn) })
+}
+
 // Select returns the filtered points from the current snapshot. It is an
 // index probe, not a scan, and is left uncached: the snapshot already makes
 // it cheap, and callers (repricing) may mutate the returned copies.
@@ -179,7 +202,14 @@ func (e *Engine) adviceAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.S
 // order, memoized per (filter, order, generation). The returned slice is a
 // fresh copy; callers may modify it.
 func (e *Engine) Advice(f dataset.Filter, order pareto.SortOrder) []dataset.Point {
-	rows := e.adviceAt(e.src.Snapshot(), f, order)
+	return e.AdviceAt(e.src.Snapshot(), f, order)
+}
+
+// AdviceAt is Advice pinned to one snapshot, for callers that must tie a
+// result to the exact generation they advertise (the API binds response
+// bodies to ETags this way). The returned slice is a fresh copy.
+func (e *Engine) AdviceAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.SortOrder) []dataset.Point {
+	rows := e.adviceAt(sn, f, order)
 	out := make([]dataset.Point, len(rows))
 	copy(out, rows)
 	return out
@@ -191,7 +221,11 @@ func (e *Engine) Advice(f dataset.Filter, order pareto.SortOrder) []dataset.Poin
 // after a cold Advice (the GUI does both per request) formats the cached
 // rows instead of re-running the Pareto computation.
 func (e *Engine) AdviceTable(f dataset.Filter, order pareto.SortOrder) string {
-	sn := e.src.Snapshot()
+	return e.AdviceTableAt(e.src.Snapshot(), f, order)
+}
+
+// AdviceTableAt is AdviceTable pinned to one snapshot (see AdviceAt).
+func (e *Engine) AdviceTableAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.SortOrder) string {
 	c := f.Canonical()
 	v := e.get(key("advicetable", sn.Generation(), &c, orderKey(order)), func() any {
 		return pareto.FormatAdviceTable(e.adviceAt(sn, f, order))
@@ -240,7 +274,11 @@ func (e *Engine) PlotSet(f dataset.Filter) plot.Set {
 // bytes are shared with the cache and must not be modified. Unknown names
 // error.
 func (e *Engine) SVG(name string, f dataset.Filter) ([]byte, error) {
-	sn := e.src.Snapshot()
+	return e.SVGAt(e.src.Snapshot(), name, f)
+}
+
+// SVGAt is SVG pinned to one snapshot (see AdviceAt).
+func (e *Engine) SVGAt(sn *dataset.Snapshot, name string, f dataset.Filter) ([]byte, error) {
 	c := f.Canonical()
 	if _, ok := (plot.Set{}).ByName(name); !ok {
 		return nil, fmt.Errorf("queryengine: unknown plot %q", name)
@@ -269,7 +307,13 @@ func (e *Engine) predictedAdviceAt(sn *dataset.Snapshot, f dataset.Filter, order
 // the filtered dataset, memoized per (filter, order, config, generation).
 // The returned slice is a fresh copy; callers may modify it.
 func (e *Engine) PredictedAdvice(f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) []predictor.Row {
-	rows := e.predictedAdviceAt(e.src.Snapshot(), f, order, cfg)
+	return e.PredictedAdviceAt(e.src.Snapshot(), f, order, cfg)
+}
+
+// PredictedAdviceAt is PredictedAdvice pinned to one snapshot (see
+// AdviceAt). The returned slice is a fresh copy.
+func (e *Engine) PredictedAdviceAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) []predictor.Row {
+	rows := e.predictedAdviceAt(sn, f, order, cfg)
 	out := make([]predictor.Row, len(rows))
 	copy(out, rows)
 	return out
@@ -279,7 +323,12 @@ func (e *Engine) PredictedAdvice(f dataset.Filter, order pareto.SortOrder, cfg p
 // memoized separately so repeated table requests skip the formatting; its
 // compute layers on the memoized rows.
 func (e *Engine) PredictedAdviceTable(f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) string {
-	sn := e.src.Snapshot()
+	return e.PredictedAdviceTableAt(e.src.Snapshot(), f, order, cfg)
+}
+
+// PredictedAdviceTableAt is PredictedAdviceTable pinned to one snapshot
+// (see AdviceAt).
+func (e *Engine) PredictedAdviceTableAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.SortOrder, cfg predictor.Config) string {
 	c := f.Canonical()
 	v := e.get(key("predtable", sn.Generation(), &c, orderKey(order)+"|"+cfg.Key()), func() any {
 		return predictor.FormatAdviceTable(e.predictedAdviceAt(sn, f, order, cfg))
@@ -290,7 +339,11 @@ func (e *Engine) PredictedAdviceTable(f dataset.Filter, order pareto.SortOrder, 
 // Backtest runs the predictor's leave-one-out backtest over the filtered
 // dataset, memoized per (filter, config, generation).
 func (e *Engine) Backtest(f dataset.Filter, cfg predictor.Config) predictor.BacktestReport {
-	sn := e.src.Snapshot()
+	return e.BacktestAt(e.src.Snapshot(), f, cfg)
+}
+
+// BacktestAt is Backtest pinned to one snapshot (see AdviceAt).
+func (e *Engine) BacktestAt(sn *dataset.Snapshot, f dataset.Filter, cfg predictor.Config) predictor.BacktestReport {
 	c := f.Canonical()
 	v := e.get(key("backtest", sn.Generation(), &c, cfg.Key()), func() any {
 		return predictor.Backtest(sn.Select(f), cfg)
@@ -320,7 +373,11 @@ func (e *Engine) PredictedPlotSet(f dataset.Filter, cfg predictor.Config) plot.S
 // memoized per (name, filter, config, generation). The returned bytes are
 // shared with the cache and must not be modified. Unknown names error.
 func (e *Engine) PredictedSVG(name string, f dataset.Filter, cfg predictor.Config) ([]byte, error) {
-	sn := e.src.Snapshot()
+	return e.PredictedSVGAt(e.src.Snapshot(), name, f, cfg)
+}
+
+// PredictedSVGAt is PredictedSVG pinned to one snapshot (see AdviceAt).
+func (e *Engine) PredictedSVGAt(sn *dataset.Snapshot, name string, f dataset.Filter, cfg predictor.Config) ([]byte, error) {
 	c := f.Canonical()
 	if _, ok := (plot.Set{}).ByName(name); !ok {
 		return nil, fmt.Errorf("queryengine: unknown plot %q", name)

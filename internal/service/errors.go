@@ -1,0 +1,85 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies a service error so every transport (JSON API, HTML GUI,
+// CLI exit paths) maps the same failure to the same class of response
+// without string matching.
+type Kind int
+
+const (
+	// KindInternal is the zero value: the request was well-formed and named
+	// an existing resource, but serving it failed.
+	KindInternal Kind = iota
+	// KindBadRequest marks malformed input: an unparseable filter bound, an
+	// unknown sort order, a bad prediction grid.
+	KindBadRequest
+	// KindNotFound marks requests naming a resource that does not exist,
+	// e.g. an unknown plot name.
+	KindNotFound
+)
+
+// String renders the kind for error prefixes and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindBadRequest:
+		return "bad request"
+	case KindNotFound:
+		return "not found"
+	}
+	return "internal"
+}
+
+// Error is a classified service failure.
+type Error struct {
+	kind Kind
+	msg  string
+	err  error // wrapped cause, may be nil
+}
+
+// Error renders the message; the kind is carried separately so transports
+// decide how (and whether) to expose it.
+func (e *Error) Error() string {
+	if e.err != nil && e.msg != "" {
+		return e.msg + ": " + e.err.Error()
+	}
+	if e.err != nil {
+		return e.err.Error()
+	}
+	return e.msg
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.err }
+
+// Kind returns the error's classification.
+func (e *Error) Kind() Kind { return e.kind }
+
+// BadRequestf builds a KindBadRequest error.
+func BadRequestf(format string, args ...any) error {
+	return &Error{kind: KindBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// NotFoundf builds a KindNotFound error.
+func NotFoundf(format string, args ...any) error {
+	return &Error{kind: KindNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// Internalf builds a KindInternal error wrapping a cause.
+func Internalf(err error, format string, args ...any) error {
+	return &Error{kind: KindInternal, msg: fmt.Sprintf(format, args...), err: err}
+}
+
+// KindOf classifies any error: service errors report their kind, everything
+// else (including wrapped service errors) is internal unless a *Error is
+// found in the chain.
+func KindOf(err error) Kind {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Kind()
+	}
+	return KindInternal
+}

@@ -42,21 +42,21 @@ var ErrNoCompaction = errors.New("storage: format does not support compaction")
 
 // Info describes a backend's on-disk state.
 type Info struct {
-	Format Format
-	Path   string
+	Format Format `json:"format"`
+	Path   string `json:"path"`
 	// Points is the number of points currently stored.
-	Points int
+	Points int `json:"points"`
 	// Segments counts live log segment files (always 0 for jsonl).
-	Segments int
+	Segments int `json:"segments"`
 	// SnapshotPoints is how many points the compacted snapshot segment
 	// covers (0 when never compacted, or for jsonl).
-	SnapshotPoints int
+	SnapshotPoints int `json:"snapshot_points"`
 	// Bytes is the total on-disk size.
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 	// Recovered reports that opening found and truncated a torn tail left
 	// by a crash; RecoveredBytes is how much was cut.
-	Recovered      bool
-	RecoveredBytes int64
+	Recovered      bool  `json:"recovered,omitempty"`
+	RecoveredBytes int64 `json:"recovered_bytes,omitempty"`
 }
 
 // String renders the info as the CLI's `dataset info` output.
