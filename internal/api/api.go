@@ -277,11 +277,20 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	body := map[string]any{
 		"status":     "ok",
 		"points":     s.svc.Advisor().Store.Len(),
 		"generation": s.svc.Generation(),
-	})
+	}
+	if rs, ok := s.svc.Replication(); ok {
+		if rs.Fault != "" {
+			// Still serving (last-good data), but a load balancer should
+			// know this replica stopped tracking the leader.
+			body["status"] = "degraded"
+		}
+		body["replication"] = rs
+	}
+	writeJSON(w, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -301,5 +310,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("hpcadvisor_cache_evictions_total", "Query engine cache evictions.", stats.Evictions)
 	counter("hpcadvisor_http_requests_total", "API requests served.", s.requests.Load())
 	counter("hpcadvisor_http_not_modified_total", "Revalidations answered 304.", s.notModified.Load())
+	if rs, ok := s.svc.Replication(); ok && rs.Role == "follower" {
+		gauge("hpcadvisor_replica_lag_points", "Points behind the leader's durable log position.", uint64(rs.Lag))
+		gauge("hpcadvisor_replica_applied_points", "Points applied from the leader's log.", uint64(rs.Applied))
+	}
 	_, _ = w.Write([]byte(b.String()))
 }

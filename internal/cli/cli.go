@@ -39,6 +39,7 @@ import (
 	"hpcadvisor/internal/fsatomic"
 	"hpcadvisor/internal/gui"
 	"hpcadvisor/internal/plot"
+	"hpcadvisor/internal/replica"
 	"hpcadvisor/internal/scenario"
 	"hpcadvisor/internal/service"
 	"hpcadvisor/internal/storage"
@@ -735,20 +736,34 @@ func (c *CLI) cmdGUI(args []string) error {
 // backend while API clients keep reading — each append moves the store
 // generation, which both invalidates the query engine's caches and rolls
 // the ETag every API response carries.
+//
+// With a segment-store backend the process is also a replication leader:
+// /replica/v1/ ships the write-ahead log to followers. With -follow the
+// process is instead a read replica: it mirrors the leader's log into its
+// own directory, serves the identical read surface (same generations, same
+// ETags), and rejects writes.
 func (c *CLI) cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	fs.SetOutput(c.Stderr)
 	addr := fs.String("addr", ":8199", "listen address")
 	cfgPath := fs.String("c", "", "configuration file")
 	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
+	follow := fs.String("follow", "", "run as a read replica of the leader at this base URL")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *follow != "" {
+		return c.serveFollower(*addr, *cfgPath, *storePath, *follow)
 	}
 	cfg, adv, err := c.openServing(*cfgPath, *storePath)
 	if err != nil {
 		return err
 	}
 	defer adv.CloseStore()
+	return c.serveHTTP(*addr, ServeMux(adv, cfg))
+}
+
+func (c *CLI) serveHTTP(addr string, h http.Handler) error {
 	serve := c.ServeHTTP
 	if serve == nil {
 		serve = func(addr string, h http.Handler) error {
@@ -758,7 +773,42 @@ func (c *CLI) cmdServe(args []string) error {
 			return api.ListenAndServe(ctx, addr, h)
 		}
 	}
-	return serve(*addr, ServeMux(adv, cfg))
+	return serve(addr, h)
+}
+
+// serveFollower runs the read-replica variant of serve: a follower mirrors
+// the leader's segment log into the local store directory and the full read
+// surface (API, GUI, healthz, metrics) serves from the replicated dataset.
+// Generations — and therefore ETags — derive from the replicated log
+// position, so responses are interchangeable with the leader's at the same
+// position and a load balancer can spray requests across the fleet.
+func (c *CLI) serveFollower(addr, cfgPath, storePath, leaderURL string) error {
+	cfg, err := c.requireConfig(cfgPath)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(storePath, ".jsonl") {
+		return fmt.Errorf("-follow replicates a segment store; %q is a jsonl path", storePath)
+	}
+	if storePath == "" {
+		// Deliberately not resolveStore's dataset default: a follower's
+		// mirror is leader-owned state and must never collide with a local
+		// writable dataset in the same state directory.
+		storePath = c.statePath("replica.seg")
+	}
+	if err := os.MkdirAll(c.StateDir, 0o755); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	fol, err := replica.StartFollower(ctx, leaderURL, storePath, nil)
+	if err != nil {
+		return err
+	}
+	adv := core.New(cfg.Subscription)
+	adv.SetStore(fol.Store())
+	fmt.Fprintf(c.Stdout, "hpcadvisor replica of %s (mirror at %s)\n", leaderURL, storePath)
+	return c.serveHTTP(addr, FollowerMux(adv, cfg, fol))
 }
 
 // ServeMux composes the API and GUI route tables on one mux: the JSON API
@@ -766,13 +816,50 @@ func (c *CLI) cmdServe(args []string) error {
 // Both read through one advisor and one query engine, and both default
 // predictions to the configured deployment region, so they can never
 // disagree about the dataset or price identical requests differently.
+// An advisor writing through a segment store additionally serves the
+// replication protocol under /replica/v1/.
 func ServeMux(adv *core.Advisor, cfg *config.Config) *http.ServeMux {
-	apiMux := api.New(service.NewWithRegion(adv, cfg.Region)).Mux()
+	svc := service.NewWithRegion(adv, cfg.Region)
 	mux := http.NewServeMux()
+	if seg, ok := adv.Backend.(*storage.SegmentStore); ok {
+		svc.SetReplication(func() service.ReplicationStatus {
+			return service.ReplicationStatus{Role: "leader", Synced: true}
+		})
+		mux.Handle("/replica/v1/", replica.NewLeader(seg).Mux())
+	}
+	apiMux := api.New(svc).Mux()
 	mux.Handle("/api/v1/", apiMux)
 	mux.Handle("/healthz", apiMux)
 	mux.Handle("/metrics", apiMux)
 	mux.Handle("/", gui.NewServer(adv, cfg).Mux())
+	return mux
+}
+
+// FollowerMux composes the read-replica route table: the identical API and
+// GUI read surface over the replicated dataset, the follower's replication
+// status endpoint, and a write guard in front of the GUI's mutating
+// handlers.
+func FollowerMux(adv *core.Advisor, cfg *config.Config, fol *replica.Follower) *http.ServeMux {
+	svc := service.NewWithRegion(adv, cfg.Region)
+	svc.SetReplication(func() service.ReplicationStatus {
+		st := fol.Status()
+		return service.ReplicationStatus{
+			Role:         "follower",
+			LeaderURL:    st.LeaderURL,
+			Applied:      st.Applied,
+			LeaderPoints: st.LeaderPoints,
+			Lag:          st.Lag,
+			Synced:       st.Synced,
+			Fault:        st.Fault,
+		}
+	})
+	apiMux := api.New(svc).Mux()
+	mux := http.NewServeMux()
+	mux.Handle("/api/v1/", apiMux)
+	mux.Handle("/healthz", apiMux)
+	mux.Handle("/metrics", apiMux)
+	mux.Handle("GET /replica/v1/status", fol.StatusHandler())
+	mux.Handle("/", replica.ReadOnly(gui.NewServer(adv, cfg).Mux()))
 	return mux
 }
 

@@ -94,14 +94,15 @@ func NewStore() *Store { return &Store{} }
 // entries already have a known canonical (SKU alias, input, nodes) order —
 // the fast-load path for a compacted storage snapshot segment. The first
 // Snapshot build then merges only the unsorted tail instead of re-sorting
-// everything. A prefix that is not actually in canonical order is ignored
-// (the store falls back to sorting), so a corrupt seed can degrade speed
-// but never query results. Both slices are owned by the store afterwards.
+// everything. A prefix that is not actually in canonical order, or that is
+// not a permutation of the points it claims to cover, is ignored (the store
+// falls back to sorting), so a corrupt seed can degrade speed but never
+// query results. Both slices are owned by the store afterwards.
+//
+// The seeded generation is the log position (see Generation): every replica
+// loading the same persisted log starts at the same generation.
 func NewSeededStore(points, sortedPrefix []Point) *Store {
-	s := &Store{points: points}
-	if len(points) > 0 {
-		s.gen = 1
-	}
+	s := &Store{points: points, gen: uint64(len(points))}
 	if len(sortedPrefix) == 0 || len(sortedPrefix) > len(points) {
 		return s
 	}
@@ -109,6 +110,14 @@ func NewSeededStore(points, sortedPrefix []Point) *Store {
 		if pointLess(&sortedPrefix[i], &sortedPrefix[i-1]) {
 			return s // not sorted: discard the seed
 		}
+	}
+	// The prefix claims to be points[:n] re-sorted. A sorted slice of the
+	// wrong points (a stale or cross-dataset snapshot segment) would pass
+	// the order check above and then silently serve wrong query results, so
+	// verify it is a permutation of what it covers with an order-independent
+	// fingerprint before trusting it.
+	if fingerprintSum(sortedPrefix) != fingerprintSum(points[:len(sortedPrefix)]) {
+		return s // not our points: discard the seed
 	}
 	seed := &Snapshot{n: len(sortedPrefix), sorted: sortedPrefix}
 	if seed.n == len(points) {
@@ -118,10 +127,42 @@ func NewSeededStore(points, sortedPrefix []Point) *Store {
 	} else {
 		// Partial coverage: a stale merge seed (gen != s.gen), used only as
 		// the sorted prefix of the first real snapshot build.
-		seed.gen = s.gen - 1
+		seed.gen = uint64(seed.n)
 	}
 	s.snap = seed
 	return s
+}
+
+// fingerprintSum combines per-point fingerprints order-independently, so two
+// slices holding the same multiset of points sum equal regardless of order.
+func fingerprintSum(pts []Point) uint64 {
+	var sum uint64
+	for i := range pts {
+		sum += pointFingerprint(&pts[i])
+	}
+	return sum
+}
+
+// pointFingerprint hashes the fields that identify a point's position in
+// the canonical order plus its identity — enough to detect a seed covering
+// different points, without hashing every field.
+func pointFingerprint(p *Point) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	mix(p.ScenarioID)
+	mix(p.SKUAlias)
+	mix(p.InputDesc)
+	h ^= uint64(p.NNodes)
+	h *= prime64
+	return h
 }
 
 // Attach installs (or, with nil, removes) the write-through sink. Points
@@ -167,22 +208,28 @@ func (s *Store) Add(p Point) {
 	s.mu.Unlock()
 }
 
-// AddAll appends points in order; a non-empty batch bumps the generation
-// once.
+// AddAll appends points in order; the generation advances by the batch
+// size, keeping it equal to the log position.
 func (s *Store) AddAll(pts []Point) {
 	if len(pts) == 0 {
 		return
 	}
 	s.mu.Lock()
 	s.points = append(s.points, pts...)
-	s.gen++
+	s.gen += uint64(len(pts))
 	for i := range pts {
 		s.appendThrough(pts[i])
 	}
 	s.mu.Unlock()
 }
 
-// Generation counts mutations; it changes whenever query results may.
+// Generation is the store's log position: the number of points ever
+// appended (seeded loads start at their point count). It changes whenever
+// query results may, so caches and ETags keyed by it invalidate exactly —
+// and because it derives from the append log rather than a process-local
+// counter, every replica applying the same log reports the same generation
+// at the same position, which is what lets a load balancer spray requests
+// across a replicated fleet without cache-coherence bugs.
 func (s *Store) Generation() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

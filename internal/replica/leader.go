@@ -1,0 +1,194 @@
+// Package replica ships a segment store from one writing leader to any
+// number of read-only followers over plain HTTP.
+//
+// The protocol has three GET endpoints, all idempotent and cache-free:
+//
+//	/replica/v1/manifest                     current layout + durable position
+//	/replica/v1/snapshot?seq=N               raw compacted snapshot bytes
+//	/replica/v1/segment?seq=N&from=OFF       log segment bytes [OFF, durable)
+//
+// Followers mirror the leader's files byte-for-byte, so a fully caught-up
+// follower's data directory is byte-identical to the leader's — there is no
+// re-encoding step that could diverge. Only bytes below the leader's fsync
+// frontier are ever served, which makes a follower cursor (seq, offset)
+// stable across leader crashes: recovery never discards acknowledged bytes.
+//
+// Manifest and segment reads support long-polling (if_version / wait_ms) so
+// an idle fleet costs one parked request per follower instead of a poll
+// loop.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hpcadvisor/internal/storage"
+)
+
+// maxWait caps long-poll parking so dead followers cannot pin handlers
+// forever; followers simply re-issue the request on timeout.
+const maxWait = 30 * time.Second
+
+// Leader serves a segment store's replication endpoints.
+type Leader struct {
+	store *storage.SegmentStore
+}
+
+// NewLeader wraps store for replication serving. The store must outlive the
+// returned leader's handlers.
+func NewLeader(store *storage.SegmentStore) *Leader {
+	return &Leader{store: store}
+}
+
+// Mux returns the replication handler tree rooted at /replica/v1/.
+func (l *Leader) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /replica/v1/manifest", l.handleManifest)
+	mux.HandleFunc("GET /replica/v1/snapshot", l.handleSnapshot)
+	mux.HandleFunc("GET /replica/v1/segment", l.handleSegment)
+	return mux
+}
+
+// handleManifest serves the current manifest. With if_version=V and
+// wait_ms=N it parks up to N milliseconds for the store version to pass V —
+// the follower's "tell me when anything changes" primitive.
+func (l *Leader) handleManifest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	ifVersion, hasVersion := uint64(0), false
+	if s := q.Get("if_version"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "invalid if_version")
+			return
+		}
+		ifVersion, hasVersion = v, true
+	}
+	deadline := time.Now().Add(waitFor(q.Get("wait_ms")))
+	for {
+		// Grab the watch channel before reading state: a change that lands
+		// between the read and the select still closes this channel, so no
+		// wakeup is lost.
+		changed := l.store.Watch()
+		m, err := l.store.Manifest()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if !hasVersion || m.Version > ifVersion {
+			writeJSON(w, m)
+			return
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeJSON(w, m) // timed out: report unchanged state
+			return
+		}
+		select {
+		case <-changed:
+		case <-time.After(remain):
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid seq")
+		return
+	}
+	data, err := l.store.SnapshotPayload(seq)
+	if errors.Is(err, storage.ErrUnknownSegment) {
+		httpError(w, http.StatusNotFound, "no such snapshot")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Write(data)
+}
+
+// handleSegment serves log segment bytes from a cursor offset up to the
+// durable frontier. With wait_ms it parks until new bytes are durable (or
+// the segment seals, so the follower advances to the next one). Response
+// headers carry the segment's current durable size and sealed flag so the
+// follower can advance its cursor even on an empty body.
+func (l *Leader) handleSegment(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seq, err := strconv.ParseUint(q.Get("seq"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid seq")
+		return
+	}
+	from := int64(0)
+	if s := q.Get("from"); s != "" {
+		if from, err = strconv.ParseInt(s, 10, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "invalid from")
+			return
+		}
+	}
+	deadline := time.Now().Add(waitFor(q.Get("wait_ms")))
+	for {
+		changed := l.store.Watch()
+		data, info, err := l.store.ReadSegmentAt(seq, from)
+		switch {
+		case errors.Is(err, storage.ErrUnknownSegment):
+			httpError(w, http.StatusNotFound, "no such segment")
+			return
+		case errors.Is(err, storage.ErrBadOffset):
+			httpError(w, http.StatusRequestedRangeNotSatisfiable, err.Error())
+			return
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		remain := time.Until(deadline)
+		if len(data) > 0 || info.Sealed || remain <= 0 {
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("X-Replica-Size", strconv.FormatInt(info.Size, 10))
+			w.Header().Set("X-Replica-Sealed", strconv.FormatBool(info.Sealed))
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data)
+			return
+		}
+		select {
+		case <-changed:
+		case <-time.After(remain):
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func waitFor(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	ms, err := strconv.Atoi(s)
+	if err != nil || ms < 0 {
+		return 0
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > maxWait {
+		return maxWait
+	}
+	return d
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,36 @@
+package replica
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// ReadOnly guards a handler tree for follower serving: only GET and HEAD
+// pass through. Replicas hold a read-only copy of the leader's log —
+// accepting a mutation (a collect, a deployment create) would fork the
+// dataset from the log it replays, so writes get a 403 pointing at the
+// leader instead of a silent divergence.
+func ReadOnly(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			h.ServeHTTP(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": map[string]any{
+				"status":  http.StatusForbidden,
+				"message": "read-only replica: send writes to the leader",
+			},
+		})
+	})
+}
+
+// StatusHandler serves the follower's replication position as JSON on
+// GET /replica/v1/status.
+func (f *Follower) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, f.Status())
+	})
+}

@@ -32,6 +32,43 @@ const DefaultRegion = "southcentralus"
 type Service struct {
 	adv           *core.Advisor
 	defaultRegion string
+
+	// replication, when set (at wiring time, before serving starts), reports
+	// the process's role in a replicated fleet for /healthz and /metrics.
+	replication func() ReplicationStatus
+}
+
+// ReplicationStatus is a serving process's position in a replicated fleet,
+// reported by whatever replication machinery the process runs (the service
+// layer stays transport- and protocol-agnostic).
+type ReplicationStatus struct {
+	// Role is "leader" (writable, shipping its log) or "follower"
+	// (read-only, applying a leader's log). Processes without replication
+	// report no status at all.
+	Role      string `json:"role"`
+	LeaderURL string `json:"leader_url,omitempty"`
+	// Applied and LeaderPoints are log positions in points; Lag is their gap
+	// at the last sync. All zero on a leader.
+	Applied      int  `json:"applied_points,omitempty"`
+	LeaderPoints int  `json:"leader_points,omitempty"`
+	Lag          int  `json:"lag_points"`
+	Synced       bool `json:"synced"`
+	// Fault marks a follower that stopped replicating (permanent
+	// divergence); it still serves its last-good dataset.
+	Fault string `json:"fault,omitempty"`
+}
+
+// SetReplication installs the fleet-status provider. Call before the mux
+// starts serving; a nil provider (the default) means standalone.
+func (s *Service) SetReplication(fn func() ReplicationStatus) { s.replication = fn }
+
+// Replication reports the fleet status, or ok=false for a standalone
+// process.
+func (s *Service) Replication() (ReplicationStatus, bool) {
+	if s.replication == nil {
+		return ReplicationStatus{}, false
+	}
+	return s.replication(), true
 }
 
 // New builds a service pricing predictions in DefaultRegion when a request

@@ -95,10 +95,24 @@ type SegmentStore struct {
 	nextSeq     uint64 // seq the next created segment gets
 	pending     int    // appends since the last fsync
 
+	// durableBytes is how much of the active segment is covered by an
+	// fsync — the replication frontier. Only durable bytes are ever shipped
+	// to followers: a follower can then never hold bytes a crashed-and-
+	// restarted leader lost, because recovery keeps at least every fsynced
+	// frame. It is always frame-aligned (appends write whole frames and
+	// fsyncs cover them wholly).
+	durableBytes int64
+
 	walSeqs   []uint64 // live log segments, ascending; last may be active
 	snapSeq   uint64   // snapshot's folded-through seq (0 = none)
 	snapCount int      // points covered by the snapshot
 	count     int      // total points (snapshot + all log segments)
+
+	// changed is closed and replaced whenever replication-visible state
+	// advances (durability, seal, new segment, compaction); version counts
+	// those changes so long-polling followers can detect ones they missed.
+	changed chan struct{}
+	version uint64
 
 	recovered      bool
 	recoveredBytes int64
@@ -122,7 +136,7 @@ func parseSeq(name, prefix string) (uint64, bool) {
 // OpenSegments opens (or lazily creates) the segment store at dir,
 // recovering from a torn tail if the last run crashed mid-append.
 func OpenSegments(dir string, opts *SegmentOptions) (*SegmentStore, error) {
-	s := &SegmentStore{dir: dir, opts: opts.withDefaults(), nextSeq: 1}
+	s := &SegmentStore{dir: dir, opts: opts.withDefaults(), nextSeq: 1, changed: make(chan struct{})}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -227,7 +241,9 @@ func OpenSegments(dir string, opts *SegmentOptions) (*SegmentStore, error) {
 		}
 		if kept < s.opts.MaxSegmentBytes {
 			// Reopen for appending; otherwise leave it sealed and start a
-			// fresh segment on the next append.
+			// fresh segment on the next append. Every surviving frame is
+			// treated as acknowledged (the recovery contract), so the whole
+			// kept prefix is replicable.
 			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, err
@@ -235,6 +251,7 @@ func OpenSegments(dir string, opts *SegmentOptions) (*SegmentStore, error) {
 			s.f = f
 			s.w = bufio.NewWriter(f)
 			s.activeBytes = kept
+			s.durableBytes = kept
 			s.nextSeq = seq + 1
 		}
 	}
@@ -268,9 +285,31 @@ func (s *SegmentStore) ensureActive() error {
 	s.f = f
 	s.w = bufio.NewWriter(f)
 	s.activeBytes = logHeaderSize
+	// Nothing in the new segment (header included) is durable until the
+	// first fsync; replication serves none of it yet.
+	s.durableBytes = 0
 	s.walSeqs = append(s.walSeqs, s.nextSeq)
 	s.nextSeq++
+	s.notifyChange()
 	return nil
+}
+
+// notifyChange wakes replication watchers: the manifest or the durable
+// frontier moved. Callers hold s.mu.
+func (s *SegmentStore) notifyChange() {
+	s.version++
+	close(s.changed)
+	s.changed = make(chan struct{})
+}
+
+// Watch returns a channel closed at the next replication-visible change
+// (durability advance, seal, new segment, compaction). Callers re-check
+// state after the channel closes; a fresh channel must be obtained per
+// wait.
+func (s *SegmentStore) Watch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.changed
 }
 
 // appendFrame writes one frame — the single encoding shared by log and
@@ -341,6 +380,10 @@ func (s *SegmentStore) flushSync() error {
 		return err
 	}
 	s.pending = 0
+	if s.activeBytes > s.durableBytes {
+		s.durableBytes = s.activeBytes
+		s.notifyChange()
+	}
 	return nil
 }
 
@@ -354,7 +397,8 @@ func (s *SegmentStore) seal() error {
 		return err
 	}
 	err := s.f.Close()
-	s.f, s.w, s.activeBytes = nil, nil, 0
+	s.f, s.w, s.activeBytes, s.durableBytes = nil, nil, 0, 0
+	s.notifyChange()
 	return err
 }
 
@@ -450,6 +494,7 @@ func (s *SegmentStore) Compact() error {
 		}
 		s.walSeqs = nil
 		s.nextSeq = foldThrough + 1
+		s.notifyChange()
 		return nil
 	}
 
@@ -478,6 +523,7 @@ func (s *SegmentStore) Compact() error {
 	s.snapCount = len(points)
 	s.walSeqs = nil
 	s.nextSeq = foldThrough + 1
+	s.notifyChange()
 	return nil
 }
 
