@@ -8,6 +8,7 @@
 package hpcadvisor_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -31,6 +32,7 @@ import (
 	"hpcadvisor/internal/regression"
 	"hpcadvisor/internal/runner"
 	"hpcadvisor/internal/sampler"
+	"hpcadvisor/internal/scenario"
 	"hpcadvisor/internal/storage"
 
 	"bytes"
@@ -747,6 +749,80 @@ func BenchmarkConcurrentCollection(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { run(b, 1) })
 	b.Run("parallel-2", func(b *testing.B) { run(b, 2) })
 	b.Run("parallel-3", func(b *testing.B) { run(b, 3) })
+}
+
+// BenchmarkCollectionResume measures finishing a journaled sweep that was
+// interrupted halfway: the timed region is the resume run only — journal
+// replay, ghost-restoring the nine durable scenarios, and executing the
+// nine that never ran. Setup (the interrupted first lifetime) is untimed.
+func BenchmarkCollectionResume(b *testing.B) {
+	dir := b.TempDir()
+	var report *collector.Report
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg, err := config.Parse([]byte(lammpsSweepConfig))
+		if err != nil {
+			b.Fatal(err)
+		}
+		jp := filepath.Join(dir, fmt.Sprintf("sweep-%d.jnl", i))
+		j, _, err := collector.OpenJournal(jp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv := core.New(cfg.Subscription)
+		dep, err := adv.DeployCreate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		interrupt := make(chan struct{})
+		var once sync.Once
+		completed := 0
+		_, err = adv.Collect(dep.Name, cfg, core.CollectOptions{
+			Journal:   j,
+			Interrupt: interrupt,
+			Progress: func(t *scenario.Task) {
+				if t.Status == scenario.StatusCompleted {
+					if completed++; completed >= 9 {
+						once.Do(func() { close(interrupt) })
+					}
+				}
+			},
+		})
+		if !errors.Is(err, collector.ErrInterrupted) {
+			b.Fatalf("setup err = %v, want ErrInterrupted", err)
+		}
+		j.Close()
+
+		// Second lifetime: fresh simulation, the store as the crash left it.
+		j2, replay, err := collector.OpenJournal(jp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv2 := core.New(cfg.Subscription)
+		dep2, err := adv2.DeployCreate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv2.SetStore(adv.Store)
+		b.StartTimer()
+
+		report, err = adv2.Collect(dep2.Name, cfg, core.CollectOptions{
+			Journal: j2,
+			Resume:  replay,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		j2.Close()
+		if report.Completed != 18 || report.Resumed != 9 {
+			b.Fatalf("resume completed = %d resumed = %d", report.Completed, report.Resumed)
+		}
+		os.Remove(jp)
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(report.Resumed), "scenarios_restored")
+	b.ReportMetric(float64(report.Rerun+report.Completed-report.Resumed), "scenarios_executed")
 }
 
 //

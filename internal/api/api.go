@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -314,5 +315,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("hpcadvisor_replica_lag_points", "Points behind the leader's durable log position.", uint64(rs.Lag))
 		gauge("hpcadvisor_replica_applied_points", "Points applied from the leader's log.", uint64(rs.Applied))
 	}
+
+	// Collection-resilience counters: labeled series are emitted in sorted
+	// label order so the exposition is deterministic.
+	col := s.svc.CollectionStats()
+	labeled := func(name, help, kind string, series map[string]uint64, label string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		keys := make([]string, 0, len(series))
+		for k := range series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s{%s=%q} %d\n", name, label, k, series[k])
+		}
+	}
+	labeled("hpcadvisor_collect_attempts_total", "Collection attempts by failure class (class none is success).", "counter", col.AttemptsByClass, "class")
+	labeled("hpcadvisor_collect_retries_total", "Collection retries by the failure class that caused them.", "counter", col.RetriesByClass, "class")
+	breaker := make(map[string]uint64, len(col.BreakerState))
+	for sku, state := range col.BreakerState {
+		// 0 closed, 1 half-open, 2 open.
+		switch state {
+		case "half-open":
+			breaker[sku] = 1
+		case "open":
+			breaker[sku] = 2
+		default:
+			breaker[sku] = 0
+		}
+	}
+	labeled("hpcadvisor_collect_breaker_state", "Circuit breaker state per SKU (0 closed, 1 half-open, 2 open).", "gauge", breaker, "sku")
+	counter("hpcadvisor_collect_breaker_trips_total", "Circuit breaker open transitions.", col.BreakerTrips)
+	counter("hpcadvisor_collect_tasks_resumed_total", "Journaled tasks restored on resume without re-collection.", col.TasksResumed)
+	counter("hpcadvisor_collect_tasks_rerun_total", "Journaled tasks re-collected on resume (datapoint was not durable).", col.TasksRerun)
+	counter("hpcadvisor_collect_journal_records_total", "Records appended to the sweep journal.", col.JournalRecords)
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -81,6 +81,10 @@ type TaskResult struct {
 	DurationSeconds float64
 	Stdout          string
 	ExitCode        int
+	// Preempted marks a spot reclaim: the task died because its node was
+	// taken back, not because the application failed. Retry policy treats
+	// the two very differently.
+	Preempted bool
 }
 
 // TaskFunc computes the outcome of a task. It is called at task start; the
@@ -212,6 +216,9 @@ func (s *Service) createPool(id, skuName string, setupSeconds float64, spot bool
 	if _, ok := s.pools[id]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrPoolExists, id)
 	}
+	if err := s.cloud.TakeFault("CreatePool"); err != nil {
+		return nil, err
+	}
 	sku, err := s.cloud.ValidateSKUForPool(s.subID, s.rgName, skuName, 0)
 	if err != nil {
 		return nil, err
@@ -283,6 +290,11 @@ func (s *Service) Resize(poolID string, target int) error {
 	}
 	switch {
 	case target > len(p.nodes):
+		// Only growth consults the fault plan: shrinking a pool (teardown)
+		// releases resources and never allocates.
+		if err := s.cloud.TakeFault("ResizePool"); err != nil {
+			return err
+		}
 		add := target - len(p.nodes)
 		rg, err := s.cloud.ResourceGroup(s.subID, s.rgName)
 		if err != nil {
@@ -453,6 +465,7 @@ func (s *Service) trySchedule(p *Pool) {
 					DurationSeconds: result.DurationSeconds * frac,
 					Stdout:          "Simulation did not complete successfully.\nnode preempted: spot capacity reclaimed\n",
 					ExitCode:        137,
+					Preempted:       true,
 				}
 			}
 		}

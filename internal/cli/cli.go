@@ -77,7 +77,8 @@ commands (paper Table II):
   deploy list -c config.yaml       list previous and current deployments
   deploy shutdown -n name -c cfg   shut down a deployment, deleting resources
   collect -c config.yaml [-n name] [-sampler S] [-spot] [-budget USD]
-          [-parallel-pools N] [-store path]
+          [-parallel-pools N] [-resume] [-breaker-threshold N]
+          [-breaker-cooldown SEC] [-store path]
                                    run the scenarios on a deployment; -sampler
                                    prunes (discard/perffactor/bottleneck/
                                    combined), -spot uses preemptible capacity,
@@ -85,7 +86,17 @@ commands (paper Table II):
                                    -parallel-pools collects up to N VM-type
                                    pools concurrently (for full sweeps: same
                                    dataset, less time; cross-VM-type samplers
-                                   prune less across concurrent lanes)
+                                   prune less across concurrent lanes).
+                                   Every sweep writes a durable journal; after
+                                   a crash or Ctrl-C, -resume continues it and
+                                   re-executes only work that never became
+                                   durable (the final dataset is identical to
+                                   an uninterrupted run). -breaker-threshold
+                                   consecutive capacity failures open a SKU's
+                                   circuit breaker (-1 disables) and its
+                                   remaining scenarios are skipped until a
+                                   -breaker-cooldown (virtual seconds) probe
+                                   re-admits it
   plot [-app A] [-sku S] [-input I] [-minnodes N] [-maxnodes N] [-o dir]
        [-ascii] [-predict] [-store path]
                                    generate plots from collected data;
@@ -344,6 +355,7 @@ func (c *CLI) cmdDeploy(args []string) error {
 		}
 		st.Deployments = kept
 		_ = os.Remove(c.statePath("tasks-" + *name + ".json"))
+		_ = os.Remove(c.statePath("journal-" + *name + ".jnl"))
 		if err := c.saveState(st); err != nil {
 			return err
 		}
@@ -376,9 +388,15 @@ func (c *CLI) cmdCollect(args []string) error {
 	useSpot := fs.Bool("spot", false, "collect on spot (preemptible) capacity; combine with -attempts > 1")
 	budget := fs.Float64("budget", 0, "adaptive mode: collect best-value scenarios until this USD budget is spent")
 	parallelPools := fs.Int("parallel-pools", 1, "collect up to N VM-type pools concurrently (1 = the paper's sequential walk)")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep from its journal")
+	brkThreshold := fs.Int("breaker-threshold", 0, "consecutive capacity failures that open a SKU's circuit breaker (0 = default 3, -1 disables)")
+	brkCooldown := fs.Float64("breaker-cooldown", 0, "virtual seconds an open breaker waits before a half-open probe (0 = default 600)")
 	storePath := fs.String("store", "", "dataset store path (.jsonl file or segment directory)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *budget > 0 {
+		return fmt.Errorf("-resume applies to journaled sweeps; adaptive -budget collection is not journaled")
 	}
 	cfg, err := c.requireConfig(*cfgPath)
 	if err != nil {
@@ -411,6 +429,7 @@ func (c *CLI) cmdCollect(args []string) error {
 		MaxAttempts:      *attempts,
 		UseSpot:          *useSpot,
 		MaxParallelPools: *parallelPools,
+		Breaker:          collector.BreakerPolicy{Threshold: *brkThreshold, CooldownSeconds: *brkCooldown},
 		Progress: func(t *scenario.Task) {
 			if t.Status == scenario.StatusRunning {
 				return
@@ -422,11 +441,54 @@ func (c *CLI) cmdCollect(args []string) error {
 		fmt.Fprintf(c.Stderr, "warning: sampler %q only sees its own VM type's results under -parallel-pools; "+
 			"cross-VM-type pruning needs sequential collection\n", *samplerName)
 	}
+
+	// Every non-adaptive sweep is journaled, so any crash or interrupt is
+	// resumable; adaptive -budget mode re-plans after every scenario and is
+	// not (its value-ordering depends on the live dataset, not a fixed
+	// task list).
+	journalPath := c.statePath("journal-" + target + ".jnl")
+	if *budget == 0 {
+		j, replay, jerr := collector.OpenJournal(journalPath)
+		if jerr != nil {
+			return fmt.Errorf("opening sweep journal: %w", jerr)
+		}
+		defer j.Close()
+		if *resume {
+			if !replay.Resumable() {
+				return fmt.Errorf("nothing to resume: %s has no unfinished sweep", journalPath)
+			}
+			opts.Resume = replay
+		} else {
+			if replay.Resumable() {
+				return fmt.Errorf("an unfinished sweep is journaled at %s; continue it with 'collect -resume' or delete the journal to start over", journalPath)
+			}
+			// A sealed (completed) journal from the previous sweep is
+			// superseded by this fresh one.
+			if err := j.Reset(); err != nil {
+				return err
+			}
+		}
+		opts.Journal = j
+	} else if *resume {
+		return fmt.Errorf("-resume applies to journaled sweeps; adaptive -budget collection is not journaled")
+	}
+
+	// SIGINT/SIGTERM wind the collection down at the next task boundary:
+	// pools released, journal sealed, task list persisted — then the
+	// process exits cleanly with a resume hint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	opts.Interrupt = ctx.Done()
+
 	var report *collector.Report
 	if *budget > 0 {
 		fmt.Fprintf(c.Stdout, "adaptive collection on %s (budget $%.2f, %d candidate scenarios)\n",
 			target, *budget, cfg.ScenarioCount())
 		report, err = adv.CollectAdaptive(target, cfg, *budget, opts)
+	} else if *resume {
+		fmt.Fprintf(c.Stdout, "resuming sweep on %s (%d journaled outcomes)\n",
+			target, len(opts.Resume.Outcomes))
+		report, err = adv.Collect(target, cfg, opts)
 	} else {
 		fmt.Fprintf(c.Stdout, "collecting %d scenarios on %s (sampler: %s)\n",
 			cfg.ScenarioCount(), target, *samplerName)
@@ -439,6 +501,16 @@ func (c *CLI) cmdCollect(args []string) error {
 	if perr := c.persistAfterCollect(adv, target); perr != nil && err == nil {
 		err = perr
 	}
+	if errors.Is(err, collector.ErrInterrupted) {
+		fmt.Fprintf(c.Stdout, "collection interrupted: %d completed, %d failed, %d skipped so far\n",
+			report.Completed, report.Failed, report.Skipped)
+		if *budget > 0 {
+			fmt.Fprintln(c.Stdout, "remaining scenarios stay pending; re-run with -budget to continue")
+		} else {
+			fmt.Fprintf(c.Stdout, "journal sealed at %s; continue with 'hpcadvisor collect -resume -c <config>'\n", journalPath)
+		}
+		return nil
+	}
 	if err != nil {
 		return err
 	}
@@ -447,6 +519,14 @@ func (c *CLI) cmdCollect(args []string) error {
 			"cloud time: %.0f s, collection cost: $%.2f\n",
 		report.Completed, report.Failed, report.Skipped,
 		report.VirtualSeconds, report.CollectionCostUSD)
+	if report.Retries > 0 || report.BreakerSkipped > 0 {
+		fmt.Fprintf(c.Stdout, "resilience: %d retries, %d scenarios breaker-skipped\n",
+			report.Retries, report.BreakerSkipped)
+	}
+	if report.Resumed > 0 || report.Rerun > 0 {
+		fmt.Fprintf(c.Stdout, "resume: %d scenarios restored from the journal, %d re-run\n",
+			report.Resumed, report.Rerun)
+	}
 	if *parallelPools > 1 && len(report.Lanes) > 0 && report.ElapsedVirtualSeconds < report.VirtualSeconds {
 		workers := *parallelPools
 		if workers > len(report.Lanes) {

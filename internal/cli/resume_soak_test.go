@@ -1,0 +1,224 @@
+package cli
+
+import (
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hpcadvisor/internal/collector"
+)
+
+// The kill-and-resume soak: a real child process runs `collect`, the parent
+// kills it mid-sweep, and `collect -resume` in a fresh process must
+// converge on a dataset and task list byte-identical to an uninterrupted
+// run. A larger sweep than the smoke config keeps the kill window wide
+// (every journal record is fsynced).
+const soakConfig = `subscription: mysubscription
+skus:
+  - Standard_HB120rs_v3
+  - Standard_HB120rs_v2
+  - Standard_HC44rs
+rgprefix: clitest
+nnodes: [1, 2, 3, 4, 6, 8]
+appname: lammps
+region: southcentralus
+ppr: 100
+appinputs:
+  BOXFACTOR: "10"
+`
+
+// TestHelperCollectProcess is not a test: it is the child process body for
+// the soak tests, re-exec'ed from the test binary with the state dir and
+// config passed through the environment.
+func TestHelperCollectProcess(t *testing.T) {
+	if os.Getenv("HPCADVISOR_SOAK_HELPER") != "1" {
+		t.Skip("helper process for the kill-and-resume soak")
+	}
+	code := Run([]string{
+		"-state", os.Getenv("HPCADVISOR_SOAK_STATE"),
+		"collect", "-c", os.Getenv("HPCADVISOR_SOAK_CONFIG"),
+	}, os.Stdout, os.Stderr)
+	os.Exit(code)
+}
+
+func writeSoakConfig(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "config.yaml")
+	if err := os.WriteFile(path, []byte(soakConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// soakReference runs deploy create + collect in-process and returns the
+// bytes of every artifact the resumed run must reproduce exactly.
+func soakReference(t *testing.T) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeSoakConfig(t, dir)
+	if r := exec(t, state, "deploy", "create", "-c", cfg); r.code != 0 {
+		t.Fatalf("reference deploy create: %s", r.err.String())
+	}
+	if r := exec(t, state, "collect", "-c", cfg); r.code != 0 {
+		t.Fatalf("reference collect: %s", r.err.String())
+	}
+	return soakArtifacts(t, state)
+}
+
+// soakArtifacts reads the dataset and task-list files for byte comparison.
+func soakArtifacts(t *testing.T, state string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, name := range []string{"dataset.jsonl", "tasks-clitest-0001.json"} {
+		data, err := os.ReadFile(filepath.Join(state, name))
+		if err != nil {
+			t.Fatalf("artifact %s: %v", name, err)
+		}
+		out[name] = data
+	}
+	return out
+}
+
+// interruptChildSweep starts the helper child on a fresh state dir, waits
+// for the journal to accumulate a few durable outcomes, and delivers sig.
+// It reports the state dir, the config path, and whether the child was
+// caught mid-sweep (false: the child finished first — caller retries).
+func interruptChildSweep(t *testing.T, sig syscall.Signal) (string, string, bool) {
+	t.Helper()
+	dir := t.TempDir()
+	state := filepath.Join(dir, ".hpcadvisor")
+	cfg := writeSoakConfig(t, dir)
+	if r := exec(t, state, "deploy", "create", "-c", cfg); r.code != 0 {
+		t.Fatalf("deploy create: %s", r.err.String())
+	}
+
+	cmd := osexec.Command(os.Args[0], "-test.run=^TestHelperCollectProcess$")
+	cmd.Env = append(os.Environ(),
+		"HPCADVISOR_SOAK_HELPER=1",
+		"HPCADVISOR_SOAK_STATE="+state,
+		"HPCADVISOR_SOAK_CONFIG="+cfg,
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+
+	// Poll the journal (safe concurrently with the writer: the frame
+	// reader stops at the in-flight tail) until a mid-sweep state shows.
+	jp := filepath.Join(state, "journal-clitest-0001.jnl")
+	deadline := time.After(20 * time.Second)
+	caught := false
+	for !caught {
+		select {
+		case <-done:
+			// Finished before we fired: no mid-sweep window this round.
+			return state, cfg, false
+		case <-deadline:
+			_ = cmd.Process.Kill()
+			<-done
+			t.Fatal("child never journaled an outcome within 20s")
+		case <-time.After(500 * time.Microsecond):
+			replay, _, err := collector.ReadJournal(jp)
+			if err == nil && !replay.Sealed && len(replay.Outcomes) >= 2 {
+				caught = true
+			}
+		}
+	}
+	_ = cmd.Process.Signal(sig)
+	<-done
+
+	// The signal may still have raced a photo-finish completion.
+	replay, _, err := collector.ReadJournal(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Sealed && replay.SealReason == collector.SealComplete {
+		return state, cfg, false
+	}
+	return state, cfg, true
+}
+
+// resumeAndCompare finishes the interrupted sweep with `collect -resume`
+// in-process and asserts the artifacts equal the uninterrupted reference.
+func resumeAndCompare(t *testing.T, state, cfg string, ref map[string][]byte) {
+	t.Helper()
+	r := exec(t, state, "collect", "-resume", "-c", cfg)
+	if r.code != 0 {
+		t.Fatalf("collect -resume: %s", r.err.String())
+	}
+	if !strings.Contains(r.out.String(), "resuming sweep") {
+		t.Errorf("resume output = %q, want a resuming banner", r.out.String())
+	}
+	got := soakArtifacts(t, state)
+	for name, want := range ref {
+		if string(got[name]) != string(want) {
+			t.Errorf("resumed %s differs from uninterrupted run:\ngot:\n%s\nwant:\n%s",
+				name, got[name], want)
+		}
+	}
+	replay, _, err := collector.ReadJournal(filepath.Join(state, "journal-clitest-0001.jnl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replay.Sealed || replay.SealReason != collector.SealComplete {
+		t.Errorf("journal after resume: sealed=%v reason=%q, want sealed complete",
+			replay.Sealed, replay.SealReason)
+	}
+}
+
+// TestKillAndResumeSoak: SIGKILL mid-sweep — no teardown, no seal, a
+// possibly torn journal tail — then resume to the byte-identical dataset.
+func TestKillAndResumeSoak(t *testing.T) {
+	ref := soakReference(t)
+	for attempt := 1; ; attempt++ {
+		state, cfg, caught := interruptChildSweep(t, syscall.SIGKILL)
+		if caught {
+			replay, _, err := collector.ReadJournal(filepath.Join(state, "journal-clitest-0001.jnl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replay.Sealed {
+				t.Error("SIGKILL left a sealed journal; kill was not abrupt")
+			}
+			if !replay.Resumable() {
+				t.Fatal("killed sweep's journal is not resumable")
+			}
+			resumeAndCompare(t, state, cfg, ref)
+			return
+		}
+		if attempt >= 5 {
+			t.Fatalf("child finished before the kill in %d attempts; enlarge the soak sweep", attempt)
+		}
+	}
+}
+
+// TestSigtermSealsAndResumes: graceful interruption — the CLI's signal
+// handler stops at the task boundary, seals the journal as interrupted,
+// and exits zero; the resume converges identically.
+func TestSigtermSealsAndResumes(t *testing.T) {
+	ref := soakReference(t)
+	for attempt := 1; ; attempt++ {
+		state, cfg, caught := interruptChildSweep(t, syscall.SIGTERM)
+		if caught {
+			replay, _, err := collector.ReadJournal(filepath.Join(state, "journal-clitest-0001.jnl"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !replay.Sealed || replay.SealReason != collector.SealInterrupted {
+				t.Fatalf("SIGTERM journal: sealed=%v reason=%q, want sealed interrupted",
+					replay.Sealed, replay.SealReason)
+			}
+			resumeAndCompare(t, state, cfg, ref)
+			return
+		}
+		if attempt >= 5 {
+			t.Fatalf("child finished before SIGTERM in %d attempts; enlarge the soak sweep", attempt)
+		}
+	}
+}

@@ -46,6 +46,14 @@ var (
 	ErrRegion        = fmt.Errorf("cloudsim: not available in region")
 	ErrInvalidName   = fmt.Errorf("cloudsim: invalid name")
 	ErrDependency    = fmt.Errorf("cloudsim: missing dependency")
+	// Transient control-plane failures: the operation may succeed if
+	// simply retried after a delay.
+	ErrThrottled   = fmt.Errorf("cloudsim: request throttled")
+	ErrUnavailable = fmt.Errorf("cloudsim: service temporarily unavailable")
+	// ErrCapacity is an allocation failure: the region/family has no
+	// machines to give right now, regardless of quota. Distinct from
+	// ErrQuotaExceeded — capacity can come back, quota will not.
+	ErrCapacity = fmt.Errorf("cloudsim: insufficient capacity")
 )
 
 // Cloud is the simulated control plane. Create one per simulation; all
@@ -55,7 +63,7 @@ type Cloud struct {
 	Catalog *catalog.Catalog
 
 	subs   map[string]*Subscription
-	faults map[string]error // operation name -> error to inject once
+	faults map[string][]error // operation name -> queue of errors to inject
 	// storage account names are globally unique across subscriptions
 	storageNames map[string]bool
 }
@@ -66,7 +74,7 @@ func New(clock *vclock.Clock, cat *catalog.Catalog, subscriptionID string) *Clou
 		Clock:        clock,
 		Catalog:      cat,
 		subs:         make(map[string]*Subscription),
-		faults:       make(map[string]error),
+		faults:       make(map[string][]error),
 		storageNames: make(map[string]bool),
 	}
 	c.AddSubscription(subscriptionID)
@@ -76,10 +84,11 @@ func New(clock *vclock.Clock, cat *catalog.Catalog, subscriptionID string) *Clou
 // AddSubscription registers another subscription.
 func (c *Cloud) AddSubscription(id string) *Subscription {
 	s := &Subscription{
-		ID:     id,
-		groups: make(map[string]*ResourceGroup),
-		quota:  make(map[string]int),
-		usage:  make(map[string]int),
+		ID:       id,
+		groups:   make(map[string]*ResourceGroup),
+		quota:    make(map[string]int),
+		usage:    make(map[string]int),
+		capacity: make(map[string]int),
 	}
 	c.subs[id] = s
 	return s
@@ -111,7 +120,7 @@ func (c *Cloud) Replica(clock *vclock.Clock, subID, rgName string) (*Cloud, erro
 		Clock:        clock,
 		Catalog:      c.Catalog,
 		subs:         make(map[string]*Subscription),
-		faults:       make(map[string]error),
+		faults:       make(map[string][]error),
 		storageNames: make(map[string]bool),
 	}
 	rsub := r.AddSubscription(subID)
@@ -120,6 +129,12 @@ func (c *Cloud) Replica(clock *vclock.Clock, subID, rgName string) (*Cloud, erro
 	}
 	for k, v := range sub.usage {
 		rsub.usage[k] = v
+	}
+	// Capacity faults are keyed per region/family, so copying them keeps a
+	// capacity-dead SKU dead in every lane — concurrent collection sees
+	// the same allocation failures the sequential walk would.
+	for k, v := range sub.capacity {
+		rsub.capacity[k] = v
 	}
 	rsub.groups[rgName] = &ResourceGroup{
 		Name: rgName, Region: rg.Region, CreatedAt: clock.Now(),
@@ -141,15 +156,33 @@ func (c *Cloud) Subscription(id string) (*Subscription, error) {
 }
 
 // InjectFault arranges for the next call of the named operation
-// ("CreateResourceGroup", "CreateStorageAccount", ...) to fail with err.
-func (c *Cloud) InjectFault(op string, err error) { c.faults[op] = err }
+// ("CreateResourceGroup", "CreatePool", "ResizePool", ...) to fail with
+// err. Repeated calls queue: each injected error fails exactly one call,
+// in injection order. Fault queues live on this Cloud only — Replica does
+// not copy them, so a storm injected on the parent never leaks into
+// concurrent collection lanes.
+func (c *Cloud) InjectFault(op string, err error) { c.faults[op] = append(c.faults[op], err) }
 
-func (c *Cloud) takeFault(op string) error {
-	if err, ok := c.faults[op]; ok {
-		delete(c.faults, op)
-		return err
+// InjectFaults queues several errors for op in one call — a fault storm.
+func (c *Cloud) InjectFaults(op string, errs ...error) {
+	c.faults[op] = append(c.faults[op], errs...)
+}
+
+// TakeFault pops the next injected error for op, or nil. Exported so
+// higher simulation layers (batchsim's pool operations) can consult the
+// same fault plan as the control plane's own operations.
+func (c *Cloud) TakeFault(op string) error {
+	q := c.faults[op]
+	if len(q) == 0 {
+		return nil
 	}
-	return nil
+	err := q[0]
+	if len(q) == 1 {
+		delete(c.faults, op)
+	} else {
+		c.faults[op] = q[1:]
+	}
+	return err
 }
 
 // Subscription owns resource groups and quota.
@@ -158,6 +191,10 @@ type Subscription struct {
 	groups map[string]*ResourceGroup
 	quota  map[string]int // "region/family" -> cores
 	usage  map[string]int
+	// capacity holds injected allocation-failure plans per
+	// "region/family": n > 0 fails the next n reservations, n < 0 fails
+	// every reservation (a capacity-dead SKU family).
+	capacity map[string]int
 }
 
 func quotaKey(region, family string) string { return region + "/" + family }
@@ -177,10 +214,26 @@ func (s *Subscription) QuotaRemaining(region, family string) int {
 	return q - s.usage[k]
 }
 
+// FailCapacity injects allocation failures for a family in a region: the
+// next n ReserveCores calls fail with ErrCapacity (n < 0 means every call
+// fails — the family is capacity-dead). Capacity is checked before quota,
+// mirroring real allocators where a region can be out of machines with
+// quota to spare.
+func (s *Subscription) FailCapacity(region, family string, n int) {
+	s.capacity[quotaKey(region, family)] = n
+}
+
 // ReserveCores claims quota; callers must release it when nodes are freed.
 func (s *Subscription) ReserveCores(region, family string, cores int) error {
 	if cores <= 0 {
 		return nil
+	}
+	if n := s.capacity[quotaKey(region, family)]; n != 0 {
+		if n > 0 {
+			s.capacity[quotaKey(region, family)] = n - 1
+		}
+		return fmt.Errorf("%w: allocation of %d cores failed for %s in %s",
+			ErrCapacity, cores, family, region)
 	}
 	if s.QuotaRemaining(region, family) < cores {
 		return fmt.Errorf("%w: %d cores requested, %d remaining for %s in %s",
@@ -259,7 +312,7 @@ var storageNameRE = regexp.MustCompile(`^[a-z0-9]{3,24}$`)
 
 // CreateResourceGroup provisions a resource group in region.
 func (c *Cloud) CreateResourceGroup(subID, name, region string) (*ResourceGroup, error) {
-	if err := c.takeFault("CreateResourceGroup"); err != nil {
+	if err := c.TakeFault("CreateResourceGroup"); err != nil {
 		return nil, err
 	}
 	sub, err := c.Subscription(subID)
@@ -316,7 +369,7 @@ func (c *Cloud) ListResourceGroups(subID, prefix string) ([]string, error) {
 // DeleteResourceGroup removes the group and everything in it (cascade), the
 // operation behind the paper's "shutdown" command.
 func (c *Cloud) DeleteResourceGroup(subID, name string) error {
-	if err := c.takeFault("DeleteResourceGroup"); err != nil {
+	if err := c.TakeFault("DeleteResourceGroup"); err != nil {
 		return err
 	}
 	sub, err := c.Subscription(subID)
@@ -339,7 +392,7 @@ func (c *Cloud) DeleteResourceGroup(subID, name string) error {
 
 // CreateVNet provisions a virtual network in the group.
 func (c *Cloud) CreateVNet(subID, rgName, name, cidr string) (*VNet, error) {
-	if err := c.takeFault("CreateVNet"); err != nil {
+	if err := c.TakeFault("CreateVNet"); err != nil {
 		return nil, err
 	}
 	rg, err := c.ResourceGroup(subID, rgName)
@@ -357,7 +410,7 @@ func (c *Cloud) CreateVNet(subID, rgName, name, cidr string) (*VNet, error) {
 
 // CreateSubnet provisions a subnet inside an existing vnet.
 func (c *Cloud) CreateSubnet(subID, rgName, vnetName, name, cidr string) (*Subnet, error) {
-	if err := c.takeFault("CreateSubnet"); err != nil {
+	if err := c.TakeFault("CreateSubnet"); err != nil {
 		return nil, err
 	}
 	rg, err := c.ResourceGroup(subID, rgName)
@@ -380,7 +433,7 @@ func (c *Cloud) CreateSubnet(subID, rgName, vnetName, name, cidr string) (*Subne
 // CreateStorageAccount provisions a storage account. Names are globally
 // unique, 3-24 lowercase alphanumerics, as in the real control plane.
 func (c *Cloud) CreateStorageAccount(subID, rgName, name string) (*StorageAccount, error) {
-	if err := c.takeFault("CreateStorageAccount"); err != nil {
+	if err := c.TakeFault("CreateStorageAccount"); err != nil {
 		return nil, err
 	}
 	rg, err := c.ResourceGroup(subID, rgName)
@@ -403,7 +456,7 @@ func (c *Cloud) CreateStorageAccount(subID, rgName, name string) (*StorageAccoun
 // CreateBatchAccount provisions the batch service anchor; it requires an
 // existing storage account in the same group.
 func (c *Cloud) CreateBatchAccount(subID, rgName, name, storageName string) (*BatchAccount, error) {
-	if err := c.takeFault("CreateBatchAccount"); err != nil {
+	if err := c.TakeFault("CreateBatchAccount"); err != nil {
 		return nil, err
 	}
 	rg, err := c.ResourceGroup(subID, rgName)
@@ -424,7 +477,7 @@ func (c *Cloud) CreateBatchAccount(subID, rgName, name, storageName string) (*Ba
 
 // CreateJumpbox provisions the optional jumpbox VM on a subnet.
 func (c *Cloud) CreateJumpbox(subID, rgName, name, vnetName, subnetName, sku string) (*VM, error) {
-	if err := c.takeFault("CreateJumpbox"); err != nil {
+	if err := c.TakeFault("CreateJumpbox"); err != nil {
 		return nil, err
 	}
 	rg, err := c.ResourceGroup(subID, rgName)
@@ -458,7 +511,7 @@ func (c *Cloud) CreateJumpbox(subID, rgName, name, vnetName, subnetName, sku str
 // PeerVNets links a local vnet to a remote one (the paper's optional VPN
 // peering).
 func (c *Cloud) PeerVNets(subID, rgName, localVNet, remoteRG, remoteVNet string) (*Peering, error) {
-	if err := c.takeFault("PeerVNets"); err != nil {
+	if err := c.TakeFault("PeerVNets"); err != nil {
 		return nil, err
 	}
 	rg, err := c.ResourceGroup(subID, rgName)

@@ -14,6 +14,16 @@
 // each on a private simulation substrate (see engine.go). Both modes
 // produce byte-identical datasets and identical accounting for the same
 // scenario list — parallelism reorders execution, not outcomes.
+//
+// The walk is also a durable, failure-aware state machine. Every error is
+// classified by the failure taxonomy (taxonomy.go) with a per-class retry
+// decision; capacity failures feed a per-SKU circuit breaker; with a
+// Journal attached (journal.go) every attempt and outcome is recorded
+// durably, Options.Interrupt winds the run down cleanly, and a later run
+// with Options.Resume ghost-replays the journaled prefix through the
+// simulation — recomputing clocks, attempts, and IDs identically without
+// re-collecting durable datapoints — so the resumed dataset is
+// byte-identical to an uninterrupted run.
 package collector
 
 import (
@@ -30,6 +40,12 @@ import (
 	"hpcadvisor/internal/runner"
 	"hpcadvisor/internal/scenario"
 )
+
+// ErrInterrupted reports that Options.Interrupt fired: the run wound down
+// at a task boundary, released its pools, and sealed the journal. The
+// report describes what happened before the stop; `collect -resume`
+// continues the sweep.
+var ErrInterrupted = errors.New("collector: interrupted")
 
 // Planner decides whether each pending scenario should execute; the smart
 // sampler (Section III-F) plugs in here. A nil Planner runs everything.
@@ -49,6 +65,8 @@ type Options struct {
 	// pools are resized to zero (the paper offers both).
 	DeletePoolAfter bool
 	// MaxAttempts is how many times a failing scenario is tried (>= 1).
+	// Only retryable failure classes (transient, capacity, preemption)
+	// consume the extra attempts; application failures never retry.
 	MaxAttempts int
 	// Planner optionally prunes scenarios (smart sampling).
 	Planner Planner
@@ -69,6 +87,30 @@ type Options struct {
 	// report totals are equal; only real wall-clock time and the modeled
 	// concurrent makespan (Report.ElapsedVirtualSeconds) shrink.
 	MaxParallelPools int
+	// Journal, when set, records every attempt and terminal outcome
+	// durably as the run progresses, making the sweep crash-resumable.
+	Journal *Journal
+	// Resume replays a prior journal: journaled terminal tasks are
+	// ghost-replayed (re-executed through the simulation for identical
+	// clocks and IDs, without re-adding datapoints that are already
+	// durable) and only the rest collect for real.
+	Resume *Replay
+	// Interrupt, when it becomes readable (typically a closed channel or a
+	// canceled context's Done), stops the run at the next task boundary:
+	// pools are released, the journal is sealed, and Run returns
+	// ErrInterrupted.
+	Interrupt <-chan struct{}
+	// Backoff shapes retry delays for transient and capacity failures.
+	Backoff BackoffPolicy
+	// Breaker tunes the per-SKU circuit breaker on capacity failures.
+	Breaker BreakerPolicy
+	// Stats, when set, receives resilience counters (attempts by class,
+	// retries, breaker transitions, resume accounting).
+	Stats *monitor.CollectionStats
+
+	// have marks scenario IDs whose datapoints are already durable in the
+	// target store; computed by Run when resuming.
+	have map[string]bool
 }
 
 // LaneReport is one VM type's share of a collection run. In concurrent mode
@@ -84,7 +126,25 @@ type LaneReport struct {
 	Completed int
 	Failed    int
 	Skipped   int
-	Attempts  int
+	// Attempts counts task executions performed by this run's own process.
+	// Attempts ghost-replayed from a resumed journal are counted in
+	// ResumedAttempts instead, so the two never double-count across
+	// process lifetimes: sum(task.Attempts) == Attempts + ResumedAttempts.
+	Attempts int
+	// Retries counts retry decisions taken by the failure taxonomy
+	// (transient/capacity backoffs and spot preemption re-runs).
+	Retries int
+	// BreakerSkipped counts tasks skipped because the SKU's circuit
+	// breaker was open (a subset of Skipped).
+	BreakerSkipped int
+	// Resumed counts journaled tasks restored on resume without
+	// re-collecting their datapoint; Rerun counts journaled tasks that had
+	// to re-collect because their datapoint never became durable.
+	Resumed int
+	Rerun   int
+	// ResumedAttempts counts attempts recomputed during ghost replay —
+	// work a previous process lifetime already performed.
+	ResumedAttempts int
 	// NodeSeconds is the billed node time this lane accrued, including
 	// boot, setup, and idle time.
 	NodeSeconds float64
@@ -104,10 +164,19 @@ type Report struct {
 	Completed int
 	Failed    int
 	Skipped   int
-	// Attempts counts task executions including retries (preemptions on
-	// spot capacity, transient failures); Attempts - Completed - Failed is
-	// the wasted-run count.
+	// Attempts counts task executions by this process, including retries
+	// (preemptions on spot capacity, transient failures). Attempts
+	// replayed from a resumed journal are in ResumedAttempts.
 	Attempts int
+	// Retries, BreakerSkipped, Resumed, Rerun, and ResumedAttempts sum the
+	// corresponding lane counters (see LaneReport).
+	Retries         int
+	BreakerSkipped  int
+	Resumed         int
+	Rerun           int
+	ResumedAttempts int
+	// Interrupted reports that the run stopped early on Options.Interrupt.
+	Interrupted bool
 	// NodeSecondsBySKU is billed node time including boot and idle.
 	NodeSecondsBySKU map[string]float64
 	// CollectionCostUSD prices the billed node-seconds: the total cost of
@@ -153,22 +222,308 @@ func (c *Collector) Run(list *scenario.List, store *dataset.Store, opts Options)
 	if opts.MaxAttempts < 1 {
 		opts.MaxAttempts = 1
 	}
-	if opts.MaxParallelPools > 1 && countPendingSKUs(list) > 1 {
-		return c.runConcurrent(list, store, opts)
+	opts.Journal.SetStats(opts.Stats)
+	if opts.Journal != nil {
+		opts.Journal.append(Record{
+			Kind: recBegin, Deployment: c.Deployment, Spot: opts.UseSpot,
+			MaxAttempts: opts.MaxAttempts, Parallel: opts.MaxParallelPools,
+		})
 	}
-	return c.runSequential(list, store, opts)
+	opts.have = resumeHave(opts.Resume, store)
+
+	var rep *Report
+	var err error
+	if opts.MaxParallelPools > 1 && countActiveSKUs(list, opts.Resume) > 1 {
+		rep, err = c.runConcurrent(list, store, opts)
+	} else {
+		rep, err = c.runSequential(list, store, opts)
+	}
+
+	if opts.Journal != nil {
+		switch {
+		case errors.Is(err, ErrInterrupted):
+			opts.Journal.append(Record{Kind: recSeal, Reason: SealInterrupted})
+		case err == nil:
+			// Everything merged and flushed: upgrade every outcome to
+			// durable, then seal. A crash from here on resumes for free.
+			opts.Journal.append(Record{Kind: recFlushed})
+			opts.Journal.append(Record{Kind: recSeal, Reason: SealComplete})
+		}
+		// A hard error leaves the journal unsealed on purpose: the sweep
+		// is interrupted in fact, and -resume picks it up.
+		if jerr := opts.Journal.Err(); jerr != nil && err == nil {
+			err = fmt.Errorf("collector: journal: %w", jerr)
+		}
+	}
+	return rep, err
 }
 
-// countPendingSKUs reports how many distinct VM types still have pending
-// tasks — the number of lanes a concurrent run would create.
-func countPendingSKUs(list *scenario.List) int {
+// countActiveSKUs reports how many distinct VM types the walk will touch:
+// pending tasks plus (under resume) journaled tasks to ghost-replay — the
+// number of lanes a concurrent run would create.
+func countActiveSKUs(list *scenario.List, resume *Replay) int {
 	seen := map[string]bool{}
 	for _, t := range list.Tasks {
-		if t.Status == scenario.StatusPending {
+		if t.Status == scenario.StatusPending || isGhost(resume, t) {
 			seen[t.SKU] = true
 		}
 	}
 	return len(seen)
+}
+
+// isGhost reports whether a task has a journaled outcome to replay.
+func isGhost(resume *Replay, t *scenario.Task) bool {
+	if resume == nil {
+		return false
+	}
+	_, ok := resume.Outcomes[t.ID]
+	return ok
+}
+
+// resumeHave marks the scenario IDs whose datapoints are already durable in
+// store and must not be appended again on resume: journaled outcomes whose
+// point is present, plus dangling attempts (the process died between the
+// point flush and the outcome record).
+func resumeHave(resume *Replay, store *dataset.Store) map[string]bool {
+	if resume == nil {
+		return nil
+	}
+	present := make(map[string]bool)
+	for _, p := range store.All() {
+		present[p.ScenarioID] = true
+	}
+	have := make(map[string]bool)
+	for id := range resume.Outcomes {
+		if present[id] {
+			have[id] = true
+		}
+	}
+	for id := range resume.Dangling {
+		if present[id] {
+			have[id] = true
+		}
+	}
+	return have
+}
+
+// interrupted polls Options.Interrupt without blocking.
+func interrupted(opts Options) bool {
+	if opts.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-opts.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+// taskRun is the per-task execution context shared by the sequential walk
+// and the concurrent lanes: the service to run on, the lane being
+// accounted, the SKU's breaker, and whether this is a ghost replay of a
+// journaled outcome.
+type taskRun struct {
+	svc      *batchsim.Service
+	opts     Options
+	lane     *LaneReport
+	agg      *monitor.Aggregator
+	addPoint func(dataset.Point)
+	// flush, when set, is called before journaling an outcome so the
+	// outcome can be marked durable; nil (concurrent lanes) journals
+	// outcomes as non-durable until the merge's flushed marker.
+	flush func() error
+	brk   *breakerState
+	ghost bool
+}
+
+func (r *taskRun) countAttempt() {
+	if r.ghost {
+		r.lane.ResumedAttempts++
+	} else {
+		r.lane.Attempts++
+	}
+}
+
+func (r *taskRun) countRetry(class FailureClass) {
+	if r.ghost {
+		return
+	}
+	r.lane.Retries++
+	r.opts.Stats.Retry(string(class))
+}
+
+// journalStart marks an attempt as in flight before execution, so a crash
+// mid-attempt leaves a dangling marker and resume knows a datapoint may
+// exist without a covering outcome.
+func (r *taskRun) journalStart(task *scenario.Task) {
+	if r.opts.Journal == nil || r.ghost {
+		return
+	}
+	r.opts.Journal.append(Record{
+		Kind: recAttempt, Task: task.ID, SKU: task.SKU,
+		Attempt: task.Attempts, VSec: r.svc.Clock.NowSeconds(),
+	})
+}
+
+// journalFailedAttempt records a classified attempt failure.
+func (r *taskRun) journalFailedAttempt(task *scenario.Task, attempt int, class FailureClass, msg string) {
+	if r.opts.Journal == nil || r.ghost {
+		return
+	}
+	r.opts.Journal.append(Record{
+		Kind: recAttempt, Task: task.ID, SKU: task.SKU, Attempt: attempt,
+		Class: string(class), Error: msg, VSec: r.svc.Clock.NowSeconds(),
+	})
+}
+
+// journalOutcome records a terminal task state. With a flush hook the
+// datapoint (if any) is made durable first and the outcome marked so;
+// ghost replays re-journal their outcomes with Resumed set, upgrading
+// durability for a possible second crash.
+func (r *taskRun) journalOutcome(task *scenario.Task, class FailureClass, reason string) {
+	j := r.opts.Journal
+	if j == nil {
+		return
+	}
+	durable := false
+	if r.flush != nil && r.flush() == nil {
+		durable = true
+	}
+	j.append(Record{
+		Kind: recOutcome, Task: task.ID, SKU: task.SKU,
+		Status: string(task.Status), Class: string(class), Error: task.Error,
+		Tried: task.Attempts, Durable: durable, Resumed: r.ghost,
+		Reason: reason, VSec: r.svc.Clock.NowSeconds(),
+	})
+}
+
+func (r *taskRun) breakerTransition(sku, state string) {
+	r.opts.Stats.Breaker(sku, state)
+	if r.opts.Journal != nil && !r.ghost {
+		r.opts.Journal.append(Record{
+			Kind: recBreaker, SKU: sku, Status: state,
+			VSec: r.svc.Clock.NowSeconds(),
+		})
+	}
+}
+
+// finishGhost books a completed ghost replay as resumed (its datapoint was
+// already durable — nothing re-collected) or rerun (it had to re-collect).
+func (r *taskRun) finishGhost(task *scenario.Task, out TaskOutcome) {
+	if r.opts.have[task.ID] || out.Durable {
+		r.lane.Resumed++
+		r.opts.Stats.TaskResumed()
+	} else {
+		r.lane.Rerun++
+		r.opts.Stats.TaskRerun()
+	}
+}
+
+// restoreSkip restores a journaled skip outcome directly: the original
+// skip consumed no simulation time, so the replay must not either.
+func restoreSkip(opts Options, task *scenario.Task, lane *LaneReport, out TaskOutcome) {
+	task.Status = out.Status
+	task.Attempts = out.Attempts
+	task.Error = out.Error
+	lane.Skipped++
+	if out.Class == ClassCapacity {
+		lane.BreakerSkipped++
+	}
+	lane.Resumed++
+	opts.Stats.TaskResumed()
+	notify(opts, task)
+}
+
+// createPool creates (or adopts) the lane pool, retrying transient and
+// capacity control-plane failures with backoff. A non-retryable failure is
+// a hard error: without a pool the lane cannot proceed at all.
+func (c *Collector) createPool(r *taskRun, task *scenario.Task, poolID string) error {
+	create := r.svc.CreatePool
+	if r.opts.UseSpot {
+		create = r.svc.CreateSpotPool
+	}
+	for attempt := 1; ; attempt++ {
+		_, err := create(poolID, task.SKU, runner.SetupSeconds)
+		if err == nil || errors.Is(err, batchsim.ErrPoolExists) {
+			// A zero-sized pool left by a previous collection on the same
+			// deployment is adopted.
+			return nil
+		}
+		class := Classify(err)
+		if !r.ghost {
+			r.opts.Stats.Attempt(string(class))
+		}
+		r.journalFailedAttempt(task, attempt, class, err.Error())
+		if class.Retryable() && attempt < r.opts.MaxAttempts {
+			r.countRetry(class)
+			r.svc.Clock.Advance(r.opts.Backoff.delay(task.ID, attempt))
+			continue
+		}
+		return fmt.Errorf("collector: creating pool for %s: %w", task.SKU, err)
+	}
+}
+
+// resizePool grows the pool to the task's node count, applying the
+// taxonomy: transient and capacity failures retry with exponential backoff
+// on the lane clock; capacity failures feed the SKU's breaker; quota and
+// fatal failures fail the task immediately. Returns ok=false with the task
+// marked failed when the size was never reached.
+func (c *Collector) resizePool(r *taskRun, task *scenario.Task, poolID string) (bool, error) {
+	for attempt := 1; ; attempt++ {
+		err := r.svc.Resize(poolID, task.NNodes)
+		if err == nil {
+			if r.brk.success() {
+				// A half-open probe succeeded: the SKU is re-admitted.
+				r.breakerTransition(task.SKU, brkClosed)
+			}
+			return true, nil
+		}
+		class := Classify(err)
+		if !r.ghost {
+			r.opts.Stats.Attempt(string(class))
+		}
+		r.journalFailedAttempt(task, attempt, class, err.Error())
+		if class == ClassCapacity {
+			if r.brk.failure(r.svc.Clock.Now()) {
+				r.breakerTransition(task.SKU, brkOpen)
+			}
+		}
+		retry := class.Retryable() && attempt < r.opts.MaxAttempts &&
+			!(class == ClassCapacity && r.brk.state == brkOpen)
+		if retry {
+			r.countRetry(class)
+			r.svc.Clock.Advance(r.opts.Backoff.delay(task.ID, attempt))
+			continue
+		}
+		task.Status = scenario.StatusFailed
+		task.Error = err.Error()
+		r.lane.Failed++
+		r.journalOutcome(task, class, "")
+		notify(r.opts, task)
+		return false, nil
+	}
+}
+
+// admitTask consults the SKU's breaker. A closed (or cooled-down, now
+// half-open) breaker admits; an open one skips the task with the reason
+// journaled, so resume restores the skip instead of re-deciding it.
+func (c *Collector) admitTask(r *taskRun, task *scenario.Task) bool {
+	if r.brk.admit(r.svc.Clock.Now()) {
+		if r.brk.state == brkHalfOpen {
+			r.breakerTransition(task.SKU, brkHalfOpen)
+		}
+		return true
+	}
+	reason := fmt.Sprintf("circuit breaker open for %s: %d consecutive capacity failures",
+		task.SKU, r.brk.consecutive)
+	task.Status = scenario.StatusSkipped
+	task.Error = reason
+	r.lane.Skipped++
+	r.lane.BreakerSkipped++
+	r.journalOutcome(task, ClassCapacity, reason)
+	notify(r.opts, task)
+	return false
 }
 
 // runSequential is the paper's Algorithm 1: one pool at a time on the
@@ -183,6 +538,21 @@ func (c *Collector) runSequential(list *scenario.List, store *dataset.Store, opt
 		c.priceLanes(lanes.all, opts.UseSpot)
 		foldLanes(report, lanes.all, agg)
 	}()
+
+	addPoint := store.Add
+	if len(opts.have) > 0 {
+		addPoint = func(p dataset.Point) {
+			if !opts.have[p.ScenarioID] {
+				store.Add(p)
+			}
+		}
+	}
+	var flush func() error
+	if opts.Journal != nil {
+		flush = store.Flush
+	}
+	run := &taskRun{svc: c.Service, opts: opts, agg: agg, addPoint: addPoint, flush: flush}
+	breakers := map[string]*breakerState{}
 
 	previousVMType := ""
 	poolID := ""
@@ -215,50 +585,78 @@ func (c *Collector) runSequential(list *scenario.List, store *dataset.Store, opt
 	}
 
 	for _, task := range list.Tasks {
-		if task.Status != scenario.StatusPending {
+		if interrupted(opts) {
+			if err := teardown(); err != nil {
+				return report, err
+			}
+			report.Interrupted = true
+			return report, ErrInterrupted
+		}
+		gout, ghost := TaskOutcome{}, false
+		if opts.Resume != nil {
+			gout, ghost = opts.Resume.Outcomes[task.ID]
+		}
+		if task.Status != scenario.StatusPending && !ghost {
 			continue
 		}
 		lane := lanes.get(task.SKU, task.SKUAlias)
-		if opts.Planner != nil {
-			if run, reason := opts.Planner.Decide(task, store); !run {
+		run.lane = lane
+		run.ghost = ghost
+		run.brk = breakerFor(breakers, task.SKU, opts.Breaker)
+		if ghost && gout.Status == scenario.StatusSkipped {
+			restoreSkip(opts, task, lane, gout)
+			continue
+		}
+		if !ghost && opts.Planner != nil {
+			if ok, reason := opts.Planner.Decide(task, store); !ok {
 				task.Status = scenario.StatusSkipped
 				task.Error = reason
 				lane.Skipped++
+				// Journaled so resume restores the decision instead of
+				// re-deciding against a different store state.
+				run.journalOutcome(task, ClassNone, reason)
 				notify(opts, task)
 				continue
 			}
 		}
 
-		// Pool-per-VM-type reuse (Algorithm 1 lines 3-7). A zero-sized pool
-		// left by a previous collection on the same deployment is adopted.
+		// Pool-per-VM-type reuse (Algorithm 1 lines 3-7).
+		if ghost {
+			// Ghost replay recomputes the attempt history from scratch so
+			// it matches an uninterrupted run exactly.
+			task.Attempts = 0
+			task.Status = scenario.StatusPending
+			task.Error = ""
+		}
 		if task.SKU != previousVMType {
 			if err := teardown(); err != nil {
 				return report, err
 			}
 			poolID = "pool-" + task.SKUAlias
-			create := c.Service.CreatePool
-			if opts.UseSpot {
-				create = c.Service.CreateSpotPool
-			}
-			if _, err := create(poolID, task.SKU, runner.SetupSeconds); err != nil {
-				if !errors.Is(err, batchsim.ErrPoolExists) {
-					return report, fmt.Errorf("collector: creating pool for %s: %w", task.SKU, err)
-				}
+			if err := c.createPool(run, task, poolID); err != nil {
+				return report, err
 			}
 			previousVMType = task.SKU
 			segStart = c.Service.Clock.Now()
 			segNS = c.Service.NodeSecondsBySKU()[task.SKU]
 		}
-		if err := c.Service.Resize(poolID, task.NNodes); err != nil {
-			task.Status = scenario.StatusFailed
-			task.Error = err.Error()
-			lane.Failed++
-			notify(opts, task)
+		if !c.admitTask(run, task) {
+			continue
+		}
+		if ok, err := c.resizePool(run, task, poolID); err != nil {
+			return report, err
+		} else if !ok {
+			if ghost {
+				run.finishGhost(task, gout)
+			}
 			continue
 		}
 
-		if err := c.runScenario(c.Service, task, opts, poolID, lane, agg, store.Add); err != nil {
+		if err := c.runScenario(run, task, poolID); err != nil {
 			return report, err
+		}
+		if ghost {
+			run.finishGhost(task, gout)
 		}
 	}
 	if err := teardown(); err != nil {
@@ -279,15 +677,28 @@ func (c *Collector) runSequential(list *scenario.List, store *dataset.Store, opt
 	return report, store.Flush()
 }
 
-// runScenario executes one task with retries on svc's pool and records its
-// datapoint through addPoint, updating the lane's counters. It is the
+// breakerFor returns (creating if needed) the breaker of a SKU.
+func breakerFor(m map[string]*breakerState, sku string, policy BreakerPolicy) *breakerState {
+	if b, ok := m[sku]; ok {
+		return b
+	}
+	b := newBreaker(policy)
+	m[sku] = b
+	return b
+}
+
+// runScenario executes one task with class-driven retries on the lane's
+// pool and records its datapoint, updating the lane's counters. It is the
 // per-scenario core shared by the sequential walk and the concurrent lanes.
-func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts Options, poolID string, lane *LaneReport, agg *monitor.Aggregator, addPoint func(dataset.Point)) error {
+func (c *Collector) runScenario(r *taskRun, task *scenario.Task, poolID string) error {
+	opts := r.opts
+	svc := r.svc
 	app, err := c.Apps.Get(task.AppName)
 	if err != nil {
 		task.Status = scenario.StatusFailed
 		task.Error = err.Error()
-		lane.Failed++
+		r.lane.Failed++
+		r.journalOutcome(task, ClassApplication, "")
 		notify(opts, task)
 		return nil
 	}
@@ -295,7 +706,8 @@ func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts
 	if err != nil {
 		task.Status = scenario.StatusFailed
 		task.Error = err.Error()
-		lane.Failed++
+		r.lane.Failed++
+		r.journalOutcome(task, ClassApplication, "")
 		notify(opts, task)
 		return nil
 	}
@@ -304,11 +716,11 @@ func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts
 	notify(opts, task)
 
 	var bt *batchsim.Task
-	// Attempts accumulate across resumed collections; each Run grants the
-	// task a fresh attempt budget.
+	var class FailureClass
 	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
 		task.Attempts++
-		lane.Attempts++
+		r.countAttempt()
+		r.journalStart(task)
 		spec := batchsim.TaskSpec{
 			Name:          task.ID,
 			NodesRequired: task.NNodes,
@@ -329,17 +741,31 @@ func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts
 		if err != nil {
 			return fmt.Errorf("collector: scenario %s: %w", task.ID, err)
 		}
-		if bt.Status == batchsim.TaskCompleted {
+		class = ClassifyResult(bt.Result)
+		if !r.ghost {
+			r.opts.Stats.Attempt(string(class))
+		}
+		if class == ClassNone {
 			break
 		}
+		r.journalFailedAttempt(task, task.Attempts, class, firstLine(bt.Result.Stdout))
+		// Only a retryable class consumes another attempt: a preempted
+		// spot task re-runs immediately (its replacement node is already
+		// booting on this same clock); an application failure would fail
+		// identically every time, so it stops here whatever the budget.
+		if class.Retryable() && attempt+1 < opts.MaxAttempts {
+			r.countRetry(class)
+			continue
+		}
+		break
 	}
 	task.TaskID = bt.ID
 
-	if bt.Status != batchsim.TaskCompleted {
+	if class != ClassNone {
 		task.Status = scenario.StatusFailed
 		task.Error = firstLine(bt.Result.Stdout)
-		lane.Failed++
-		addPoint(dataset.Point{
+		r.lane.Failed++
+		r.addPoint(dataset.Point{
 			ScenarioID: task.ID,
 			Deployment: c.Deployment,
 			AppName:    task.AppName,
@@ -355,6 +781,7 @@ func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts
 
 			CollectedAt: svc.Clock.NowSeconds(),
 		})
+		r.journalOutcome(task, class, "")
 		notify(opts, task)
 		return nil
 	}
@@ -377,9 +804,9 @@ func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts
 		return fmt.Errorf("collector: profiling scenario %s: %w", task.ID, err)
 	}
 	sample := monitor.FromProfile(prof)
-	agg.Observe(task.SKU, sample)
+	r.agg.Observe(task.SKU, sample)
 
-	addPoint(dataset.Point{
+	r.addPoint(dataset.Point{
 		ScenarioID:  task.ID,
 		Deployment:  c.Deployment,
 		AppName:     task.AppName,
@@ -399,7 +826,8 @@ func (c *Collector) runScenario(svc *batchsim.Service, task *scenario.Task, opts
 	})
 	task.Status = scenario.StatusCompleted
 	task.Error = ""
-	lane.Completed++
+	r.lane.Completed++
+	r.journalOutcome(task, ClassNone, "")
 	notify(opts, task)
 	return nil
 }
@@ -473,6 +901,11 @@ func foldLanes(report *Report, lanes []*LaneReport, agg *monitor.Aggregator) {
 		report.Failed += ln.Failed
 		report.Skipped += ln.Skipped
 		report.Attempts += ln.Attempts
+		report.Retries += ln.Retries
+		report.BreakerSkipped += ln.BreakerSkipped
+		report.Resumed += ln.Resumed
+		report.Rerun += ln.Rerun
+		report.ResumedAttempts += ln.ResumedAttempts
 		report.Lanes = append(report.Lanes, *ln)
 	}
 }

@@ -154,7 +154,9 @@ func TestFailedScenarioRecorded(t *testing.T) {
 	}
 }
 
-func TestRetriesCountAttempts(t *testing.T) {
+func TestApplicationFailureNotRetried(t *testing.T) {
+	// An application failure (deterministic OOM) fails the same way every
+	// time, so the taxonomy stops after one attempt even with budget left.
 	f := newFixture(t)
 	list, err := scenario.Generate(scenario.Spec{
 		AppName:   "lammps",
@@ -165,11 +167,15 @@ func TestRetriesCountAttempts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.col.Run(list, f.store, Options{MaxAttempts: 3}); err != nil {
+	rep, err := f.col.Run(list, f.store, Options{MaxAttempts: 3})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if list.Tasks[0].Attempts != 3 {
-		t.Errorf("attempts = %d, want 3", list.Tasks[0].Attempts)
+	if list.Tasks[0].Attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (application failures never retry)", list.Tasks[0].Attempts)
+	}
+	if rep.Attempts != 1 || rep.Retries != 0 {
+		t.Errorf("report attempts = %d retries = %d, want 1 and 0", rep.Attempts, rep.Retries)
 	}
 }
 

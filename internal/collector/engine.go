@@ -18,9 +18,20 @@
 // sequential-equivalent timeline: lane k's local time t becomes
 // start + sum(duration of lanes < k) + t. The result is byte-identical to
 // the dataset the sequential walk writes for the same list.
+//
+// Resume and interruption keep that guarantee. Under Options.Resume each
+// lane ghost-replays its journaled prefix so lane clocks and durations
+// match the uninterrupted run, and the merge drops points whose scenario is
+// already durable in the target store. On Options.Interrupt the engine
+// discards the lane shards entirely instead of merging partial lanes:
+// merging a half-finished lane would append its remainder after the other
+// lanes on resume and diverge from the canonical order, whereas discarding
+// leaves every journaled outcome non-durable so the resumed run re-executes
+// the whole list identically.
 package collector
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -28,7 +39,6 @@ import (
 	"hpcadvisor/internal/batchsim"
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/monitor"
-	"hpcadvisor/internal/runner"
 	"hpcadvisor/internal/scenario"
 )
 
@@ -54,7 +64,7 @@ type lane struct {
 // concurrency and merges the lane results into store deterministically.
 func (c *Collector) runConcurrent(list *scenario.List, store *dataset.Store, opts Options) (*Report, error) {
 	report := &Report{NodeSecondsBySKU: make(map[string]float64)}
-	lanes := partitionLanes(list)
+	lanes := partitionLanes(list, opts.Resume)
 	agg := monitor.NewAggregator()
 
 	// Shards are created up front, in canonical lane order, so the merged
@@ -94,6 +104,22 @@ func (c *Collector) runConcurrent(list *scenario.List, store *dataset.Store, opt
 	}
 	wg.Wait()
 
+	for _, ln := range lanes {
+		if errors.Is(ln.err, ErrInterrupted) {
+			// Discard the shards (see the package comment): nothing is
+			// merged, journaled lane outcomes stay non-durable, and the
+			// resumed run re-executes the whole list in canonical order.
+			laneReports := make([]*LaneReport, 0, len(lanes))
+			for _, l := range lanes {
+				l.rep.VirtualSeconds = l.duration.Seconds()
+				laneReports = append(laneReports, &l.rep)
+			}
+			foldLanes(report, laneReports, agg)
+			report.Interrupted = true
+			return report, ErrInterrupted
+		}
+	}
+
 	// Merge in canonical lane order: rebase timestamps onto the
 	// sequential-equivalent timeline, renumber batch task IDs into one
 	// global sequence, and fold meters and counters.
@@ -104,8 +130,23 @@ func (c *Collector) runConcurrent(list *scenario.List, store *dataset.Store, opt
 	laneReports := make([]*LaneReport, 0, len(lanes))
 	for _, ln := range lanes {
 		pts := ln.shard.All()
+		stamps := ln.stamps
+		if len(opts.have) > 0 {
+			// Resume: ghost replays re-added their points to the shard so
+			// the lane's planner view and stamps matched the original run;
+			// drop the ones whose datapoint is already durable in store.
+			fp, fs := pts[:0], stamps[:0]
+			for i := range pts {
+				if opts.have[pts[i].ScenarioID] {
+					continue
+				}
+				fp = append(fp, pts[i])
+				fs = append(fs, stamps[i])
+			}
+			pts, stamps = fp, fs
+		}
 		for i := range pts {
-			pts[i].CollectedAt = (start + cum + ln.stamps[i]).Seconds()
+			pts[i].CollectedAt = (start + cum + stamps[i]).Seconds()
 		}
 		store.AddAll(pts)
 		renumberTasks(ln.tasks, taskOffset)
@@ -118,7 +159,7 @@ func (c *Collector) runConcurrent(list *scenario.List, store *dataset.Store, opt
 			c.Service.Meter.AddTotals(ln.svc.UsageSnapshot())
 		}
 		cum += ln.duration
-		taskOffset += ln.rep.Attempts
+		taskOffset += ln.rep.Attempts + ln.rep.ResumedAttempts
 		laneReports = append(laneReports, &ln.rep)
 	}
 	c.Service.Clock.Advance(cum)
@@ -141,14 +182,16 @@ func (c *Collector) runConcurrent(list *scenario.List, store *dataset.Store, opt
 	return report, firstErr
 }
 
-// partitionLanes groups the pending tasks per VM type, preserving task
+// partitionLanes groups the walkable tasks per VM type, preserving task
 // order within each lane and ordering lanes by first appearance — the order
-// the sequential walk would open their pools.
-func partitionLanes(list *scenario.List) []*lane {
+// the sequential walk would open their pools. Under resume, journaled
+// terminal tasks are included so each lane ghost-replays its prefix and the
+// lane clock (and therefore the merge rebase) matches the original run.
+func partitionLanes(list *scenario.List, resume *Replay) []*lane {
 	index := map[string]int{}
 	var lanes []*lane
 	for _, t := range list.Tasks {
-		if t.Status != scenario.StatusPending {
+		if t.Status != scenario.StatusPending && !isGhost(resume, t) {
 			continue
 		}
 		i, ok := index[t.SKU]
@@ -165,8 +208,9 @@ func partitionLanes(list *scenario.List) []*lane {
 
 // runLane executes one VM type's scenarios on a private service. The
 // per-task sequence mirrors runSequential exactly: planner decision first,
-// pool created lazily on the first non-skipped task, resize per scenario,
-// teardown at the end.
+// pool created lazily on the first non-skipped task, resize per scenario
+// under the lane's breaker, teardown at the end. Journaled outcomes from a
+// lane are non-durable until the merge commits (taskRun.flush stays nil).
 func (c *Collector) runLane(ln *lane, opts Options, agg *monitor.Aggregator) error {
 	svc, err := c.Service.Lane()
 	if err != nil {
@@ -177,51 +221,84 @@ func (c *Collector) runLane(ln *lane, opts Options, agg *monitor.Aggregator) err
 		ln.shard.Add(p)
 		ln.stamps = append(ln.stamps, svc.Clock.Now())
 	}
+	run := &taskRun{svc: svc, opts: opts, lane: &ln.rep, agg: agg,
+		addPoint: addPoint, brk: newBreaker(opts.Breaker)}
 
 	poolID := ""
-	for _, task := range ln.tasks {
-		if task.Status != scenario.StatusPending {
-			continue
-		}
-		if opts.Planner != nil {
-			if run, reason := opts.Planner.Decide(task, ln.shard); !run {
-				task.Status = scenario.StatusSkipped
-				task.Error = reason
-				ln.rep.Skipped++
-				notify(opts, task)
-				continue
-			}
-		}
+	teardown := func() error {
 		if poolID == "" {
-			poolID = "pool-" + task.SKUAlias
-			create := svc.CreatePool
-			if opts.UseSpot {
-				create = svc.CreateSpotPool
-			}
-			if _, err := create(poolID, task.SKU, runner.SetupSeconds); err != nil {
-				return err
-			}
+			return nil
 		}
-		if err := svc.Resize(poolID, task.NNodes); err != nil {
-			task.Status = scenario.StatusFailed
-			task.Error = err.Error()
-			ln.rep.Failed++
-			notify(opts, task)
-			continue
-		}
-		if err := c.runScenario(svc, task, opts, poolID, &ln.rep, agg, addPoint); err != nil {
-			ln.duration = svc.Clock.Now()
-			return err
-		}
-	}
-	if poolID != "" {
 		ln.duration = svc.Clock.Now()
 		if opts.DeletePoolAfter {
 			return svc.DeletePool(poolID)
 		}
 		return svc.Resize(poolID, 0)
 	}
-	return nil
+	for _, task := range ln.tasks {
+		if interrupted(opts) {
+			if err := teardown(); err != nil {
+				return err
+			}
+			return ErrInterrupted
+		}
+		gout, ghost := TaskOutcome{}, false
+		if opts.Resume != nil {
+			gout, ghost = opts.Resume.Outcomes[task.ID]
+		}
+		if task.Status != scenario.StatusPending && !ghost {
+			continue
+		}
+		run.ghost = ghost
+		if ghost && gout.Status == scenario.StatusSkipped {
+			restoreSkip(opts, task, &ln.rep, gout)
+			continue
+		}
+		if !ghost && opts.Planner != nil {
+			if ok, reason := opts.Planner.Decide(task, ln.shard); !ok {
+				task.Status = scenario.StatusSkipped
+				task.Error = reason
+				ln.rep.Skipped++
+				// Journaled so resume restores the decision instead of
+				// re-deciding against a different shard state.
+				run.journalOutcome(task, ClassNone, reason)
+				notify(opts, task)
+				continue
+			}
+		}
+		if ghost {
+			// Ghost replay recomputes the attempt history from scratch so
+			// it matches an uninterrupted run exactly.
+			task.Attempts = 0
+			task.Status = scenario.StatusPending
+			task.Error = ""
+		}
+		if poolID == "" {
+			poolID = "pool-" + task.SKUAlias
+			if err := c.createPool(run, task, poolID); err != nil {
+				return err
+			}
+		}
+		if !c.admitTask(run, task) {
+			continue
+		}
+		if ok, err := c.resizePool(run, task, poolID); err != nil {
+			return err
+		} else if !ok {
+			if ghost {
+				run.finishGhost(task, gout)
+			}
+			continue
+		}
+		if err := c.runScenario(run, task, poolID); err != nil {
+			ln.duration = svc.Clock.Now()
+			return err
+		}
+		if ghost {
+			run.finishGhost(task, gout)
+		}
+	}
+	return teardown()
 }
 
 // renumberTasks rewrites the lane-local batch task IDs recorded on the

@@ -1,0 +1,282 @@
+// journal.go is the durable sweep journal: one JSON record per event,
+// framed and fsynced by storage.FrameLog (the WAL's CRC framing), living
+// in the state dir next to the dataset. The journal is the collection
+// write path's crash story:
+//
+//   - every attempt and every terminal outcome is appended as it happens;
+//   - an outcome is marked durable only once the datapoint it produced is
+//     known to be on disk (sequential mode flushes the store first;
+//     concurrent mode upgrades all outcomes with one "flushed" marker
+//     after the merge commits);
+//   - `collect -resume` replays the journal into a Replay, restores the
+//     terminal task set, and re-executes only what never became durable —
+//     with the resumed dataset byte-identical to an uninterrupted run.
+//
+// Records are opaque to the framing; a torn tail loses at most the one
+// record being written at the kill, and a record that fails to decode is
+// skipped and counted, never fatal.
+package collector
+
+import (
+	"encoding/json"
+	"sync"
+
+	"hpcadvisor/internal/monitor"
+	"hpcadvisor/internal/scenario"
+	"hpcadvisor/internal/storage"
+)
+
+// Journal record kinds.
+const (
+	recBegin   = "begin"   // sweep parameters, written once per process
+	recAttempt = "attempt" // one execution or allocation attempt
+	recOutcome = "outcome" // a task reached a terminal status
+	recBreaker = "breaker" // a SKU breaker changed state
+	recFlushed = "flushed" // every outcome so far is durable in the store
+	recSeal    = "seal"    // the run ended (complete or interrupted)
+)
+
+// Record is one journal entry. Fields are a union over the kinds; JSON
+// omits what a kind does not use.
+type Record struct {
+	Kind    string  `json:"kind"`
+	Task    string  `json:"task,omitempty"`    // scenario ID
+	SKU     string  `json:"sku,omitempty"`     // breaker + outcome records
+	Attempt int     `json:"attempt,omitempty"` // attempt number within the task
+	Class   string  `json:"class,omitempty"`   // failure class of an attempt/outcome
+	Status  string  `json:"status,omitempty"`  // outcome: task status; breaker: state
+	Error   string  `json:"error,omitempty"`
+	Tried   int     `json:"tried,omitempty"`   // outcome: attempts the task consumed
+	Durable bool    `json:"durable,omitempty"` // outcome: its datapoint is on disk
+	Resumed bool    `json:"resumed,omitempty"` // outcome: re-journaled by a resume replay
+	VSec    float64 `json:"vsec,omitempty"`    // lane virtual-clock seconds
+	Reason  string  `json:"reason,omitempty"`  // seal reason / skip reason
+
+	// begin-record sweep parameters, validated on resume.
+	Deployment  string `json:"deployment,omitempty"`
+	Spot        bool   `json:"spot,omitempty"`
+	MaxAttempts int    `json:"max_attempts,omitempty"`
+	Parallel    int    `json:"parallel,omitempty"`
+}
+
+// Seal reasons.
+const (
+	SealComplete    = "complete"
+	SealInterrupted = "interrupted"
+)
+
+// Journal appends records to a frame log. Methods are safe for concurrent
+// lanes. Append failures are sticky and surface from Err — the collector
+// keeps working (the sweep is still valid, just not resumable past the
+// failure point).
+type Journal struct {
+	mu    sync.Mutex
+	log   *storage.FrameLog
+	stats *monitor.CollectionStats
+	err   error
+}
+
+// SetStats routes per-record counters to stats (may be nil).
+func (j *Journal) SetStats(stats *monitor.CollectionStats) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.stats = stats
+	j.mu.Unlock()
+}
+
+func (j *Journal) append(rec Record) {
+	if j == nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if err := j.log.Append(payload); err != nil {
+		j.err = err
+		return
+	}
+	j.stats.JournalRecord()
+}
+
+// Err reports the first append failure, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Reset discards every record (used when starting a fresh sweep over a
+// sealed journal).
+func (j *Journal) Reset() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.err = nil
+	return j.log.Reset()
+}
+
+// Close releases the underlying log.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Close()
+}
+
+// TaskOutcome is a replayed terminal state of one task.
+type TaskOutcome struct {
+	Status   scenario.Status
+	Attempts int
+	Error    string
+	Class    FailureClass
+	SKU      string
+	// Durable: the datapoint this outcome produced (if any) was on disk
+	// when journaled — resume restores it instead of re-collecting.
+	Durable bool
+}
+
+// Replay is a folded journal: the terminal task set and the sweep
+// parameters, ready to drive a resume.
+type Replay struct {
+	// Outcomes maps scenario ID to its last journaled terminal state.
+	Outcomes map[string]TaskOutcome
+	// Dangling marks tasks with an attempt after their last outcome: the
+	// process died mid-execution, so a datapoint may exist in the store
+	// without a covering outcome record.
+	Dangling map[string]bool
+	// Sealed: the run ended deliberately (SealReason says how).
+	Sealed     bool
+	SealReason string
+	// Begun and the fields after it echo the begin record.
+	Begun       bool
+	Deployment  string
+	Spot        bool
+	MaxAttempts int
+	// Records counts well-formed records; Corrupt counts frames that did
+	// not decode as records (skipped, never fatal).
+	Records int
+	Corrupt int
+}
+
+func foldReplay(payloads [][]byte) *Replay {
+	rep := &Replay{
+		Outcomes: make(map[string]TaskOutcome),
+		Dangling: make(map[string]bool),
+	}
+	for _, payload := range payloads {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil || rec.Kind == "" {
+			rep.Corrupt++
+			continue
+		}
+		rep.Records++
+		switch rec.Kind {
+		case recBegin:
+			rep.Begun = true
+			rep.Deployment = rec.Deployment
+			rep.Spot = rec.Spot
+			rep.MaxAttempts = rec.MaxAttempts
+			// A new begin means a new process lifetime over the same
+			// sweep; it does not clear prior outcomes.
+		case recAttempt:
+			if rec.Task != "" {
+				rep.Dangling[rec.Task] = true
+			}
+		case recOutcome:
+			if rec.Task == "" {
+				continue
+			}
+			delete(rep.Dangling, rec.Task)
+			rep.Outcomes[rec.Task] = TaskOutcome{
+				Status:   scenario.Status(rec.Status),
+				Attempts: rec.Tried,
+				Error:    rec.Error,
+				Class:    FailureClass(rec.Class),
+				SKU:      rec.SKU,
+				Durable:  rec.Durable,
+			}
+		case recFlushed:
+			for id, out := range rep.Outcomes {
+				out.Durable = true
+				rep.Outcomes[id] = out
+			}
+		case recSeal:
+			rep.Sealed = true
+			rep.SealReason = rec.Reason
+			if rec.Reason == SealComplete {
+				// A completed run flushed everything on the way out.
+				for id, out := range rep.Outcomes {
+					out.Durable = true
+					rep.Outcomes[id] = out
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// Apply restores the journaled terminal states onto a task list, so the
+// resumed process starts from where the crashed one stopped. Tasks the
+// journal never saw stay as they are.
+func (r *Replay) Apply(list *scenario.List) {
+	if r == nil || list == nil {
+		return
+	}
+	for id, out := range r.Outcomes {
+		if t, ok := list.Find(id); ok {
+			t.Status = out.Status
+			t.Attempts = out.Attempts
+			t.Error = out.Error
+		}
+	}
+}
+
+// Resumable reports whether the journal describes an interrupted sweep
+// worth resuming.
+func (r *Replay) Resumable() bool {
+	return r != nil && r.Records > 0 && !(r.Sealed && r.SealReason == SealComplete)
+}
+
+// OpenJournal opens (creating if absent) the sweep journal at path,
+// recovering any torn tail, and returns it with the folded replay of
+// whatever it already held.
+func OpenJournal(path string) (*Journal, *Replay, error) {
+	log, payloads, err := storage.OpenFrameLog(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Journal{log: log}, foldReplay(payloads), nil
+}
+
+// ReadJournal reads and folds the journal at path without opening it for
+// writes — safe while another process appends. It also returns the raw
+// records for tests and tooling that assert on the exact sequence.
+func ReadJournal(path string) (*Replay, []Record, error) {
+	payloads, err := storage.ReadFrameLog(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []Record
+	for _, payload := range payloads {
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err == nil && rec.Kind != "" {
+			recs = append(recs, rec)
+		}
+	}
+	return foldReplay(payloads), recs, nil
+}

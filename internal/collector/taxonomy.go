@@ -1,0 +1,232 @@
+// taxonomy.go classifies collection failures and decides what to do about
+// them. The HPC-cloud literature the paper builds on treats allocation
+// failures and capacity variability as first-class realities, not edge
+// cases — so the collector sorts every error it sees into a class with an
+// explicit retry decision, instead of retrying everything blindly:
+//
+//	transient    control-plane throttle/outage   retry, exponential backoff
+//	capacity     allocation failure (no machines) retry w/ backoff, feeds breaker
+//	preemption   spot node reclaimed mid-run      retry immediately
+//	quota        per-family core quota exhausted  never retried
+//	application  the app itself failed            never retried
+//	fatal        misconfiguration / unknown       never retried
+//
+// Backoff delays are computed from (task id, attempt) with deterministic
+// jitter and advanced on the lane's virtual clock, so retry schedules are
+// reproducible — in tests, across sequential/concurrent modes, and across
+// a crash-resume replay.
+package collector
+
+import (
+	"errors"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"time"
+
+	"hpcadvisor/internal/batchsim"
+	"hpcadvisor/internal/cloudsim"
+	"hpcadvisor/internal/vclock"
+)
+
+// FailureClass names one failure category of the taxonomy.
+type FailureClass string
+
+const (
+	// ClassNone is a success, not a failure.
+	ClassNone FailureClass = "none"
+	// ClassTransient covers throttles and temporary control-plane
+	// outages: retried with exponential backoff and jitter.
+	ClassTransient FailureClass = "transient"
+	// ClassCapacity covers allocation failures — the region/family has no
+	// machines. Retried with backoff, and it is the only class that feeds
+	// the per-SKU circuit breaker.
+	ClassCapacity FailureClass = "capacity"
+	// ClassPreemption covers spot reclaims. Retried immediately: the
+	// replacement node is already booting and the draw is time-dependent.
+	ClassPreemption FailureClass = "preemption"
+	// ClassQuota covers exhausted core quota. Never retried — quota does
+	// not come back by waiting — and never trips the breaker, because it
+	// is the subscription's limit, not the provider's.
+	ClassQuota FailureClass = "quota"
+	// ClassApplication covers failures of the application itself (bad
+	// input, OOM, non-zero exit). Never retried: the same input fails the
+	// same way.
+	ClassApplication FailureClass = "application"
+	// ClassFatal covers misconfiguration and unknown control-plane
+	// errors. Never retried.
+	ClassFatal FailureClass = "fatal"
+)
+
+// Retryable reports whether the class allows another attempt at all.
+func (c FailureClass) Retryable() bool {
+	return c == ClassTransient || c == ClassCapacity || c == ClassPreemption
+}
+
+// Classify maps a control-plane or batch-service error to its class.
+func Classify(err error) FailureClass {
+	switch {
+	case err == nil:
+		return ClassNone
+	case errors.Is(err, cloudsim.ErrCapacity):
+		return ClassCapacity
+	case errors.Is(err, cloudsim.ErrThrottled), errors.Is(err, cloudsim.ErrUnavailable):
+		return ClassTransient
+	case errors.Is(err, cloudsim.ErrQuotaExceeded):
+		return ClassQuota
+	}
+	// Everything else — bad names, missing dependencies, unknown pools,
+	// over-wide tasks, errors we have never seen — is fatal: retrying a
+	// misconfiguration burns budget without changing the answer.
+	return ClassFatal
+}
+
+// ClassifyResult maps a terminal task result to its class.
+func ClassifyResult(r batchsim.TaskResult) FailureClass {
+	switch {
+	case r.ExitCode == 0:
+		return ClassNone
+	case r.Preempted:
+		return ClassPreemption
+	}
+	return ClassApplication
+}
+
+// BackoffPolicy shapes the retry delay for transient and capacity
+// failures. Zero values take the defaults.
+type BackoffPolicy struct {
+	// BaseSeconds is the first retry's delay (default 5s); each further
+	// retry doubles it.
+	BaseSeconds float64
+	// MaxSeconds caps the exponential part (default 120s). Jitter rides
+	// on top.
+	MaxSeconds float64
+}
+
+const (
+	defaultBackoffBase = 5
+	defaultBackoffMax  = 120
+)
+
+func (p BackoffPolicy) withDefaults() BackoffPolicy {
+	if p.BaseSeconds <= 0 {
+		p.BaseSeconds = defaultBackoffBase
+	}
+	if p.MaxSeconds <= 0 {
+		p.MaxSeconds = defaultBackoffMax
+	}
+	return p
+}
+
+// delay returns the virtual-clock delay before retry number n (1-based)
+// of the given task: capped exponential plus deterministic jitter drawn
+// from (task, n), so two runs of the same sweep back off identically.
+func (p BackoffPolicy) delay(taskID string, n int) time.Duration {
+	p = p.withDefaults()
+	if n < 1 {
+		n = 1
+	}
+	d := p.BaseSeconds * math.Pow(2, float64(n-1))
+	if d > p.MaxSeconds {
+		d = p.MaxSeconds
+	}
+	h := fnv.New64a()
+	h.Write([]byte(taskID))
+	h.Write([]byte{'|'})
+	h.Write([]byte(strconv.Itoa(n)))
+	frac := float64(h.Sum64()%1000) / 1000.0
+	return vclock.Seconds(d + frac*p.BaseSeconds)
+}
+
+// BreakerPolicy tunes the per-SKU circuit breaker. Zero values take the
+// defaults; a negative Threshold disables the breaker.
+type BreakerPolicy struct {
+	// Threshold is the count of consecutive capacity failures that opens
+	// the breaker (default 3; < 0 disables).
+	Threshold int
+	// CooldownSeconds is how long (virtual) the breaker stays open before
+	// a half-open probe may re-admit the SKU (default 600s).
+	CooldownSeconds float64
+}
+
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerCooldown  = 600
+)
+
+func (p BreakerPolicy) withDefaults() BreakerPolicy {
+	if p.Threshold == 0 {
+		p.Threshold = defaultBreakerThreshold
+	}
+	if p.CooldownSeconds <= 0 {
+		p.CooldownSeconds = defaultBreakerCooldown
+	}
+	return p
+}
+
+// Breaker states.
+const (
+	brkClosed   = "closed"
+	brkOpen     = "open"
+	brkHalfOpen = "half-open"
+)
+
+// breakerState is one SKU's circuit breaker. Collection lanes are
+// single-goroutine, so no locking: sequential mode keeps one per SKU,
+// concurrent mode one per lane.
+type breakerState struct {
+	policy      BreakerPolicy
+	state       string
+	consecutive int           // consecutive capacity failures
+	openedAt    time.Duration // lane-clock time the breaker last opened
+}
+
+func newBreaker(p BreakerPolicy) *breakerState {
+	return &breakerState{policy: p.withDefaults(), state: brkClosed}
+}
+
+func (b *breakerState) disabled() bool { return b.policy.Threshold < 0 }
+
+// admit decides whether a task may use the SKU at lane time now. An open
+// breaker past its cooldown transitions to half-open and admits one probe.
+func (b *breakerState) admit(now time.Duration) bool {
+	if b.disabled() || b.state != brkOpen {
+		return true
+	}
+	if now >= b.openedAt+vclock.Seconds(b.policy.CooldownSeconds) {
+		b.state = brkHalfOpen
+		return true
+	}
+	return false
+}
+
+// success records a successful allocation; any state closes.
+func (b *breakerState) success() (closed bool) {
+	closed = b.state != brkClosed
+	b.state = brkClosed
+	b.consecutive = 0
+	return closed
+}
+
+// failure records a capacity failure at lane time now and reports whether
+// it opened (or re-opened) the breaker.
+func (b *breakerState) failure(now time.Duration) (opened bool) {
+	if b.disabled() {
+		return false
+	}
+	b.consecutive++
+	switch b.state {
+	case brkHalfOpen:
+		// The probe failed: straight back to open, cooldown restarts.
+		b.state = brkOpen
+		b.openedAt = now
+		return true
+	case brkClosed:
+		if b.consecutive >= b.policy.Threshold {
+			b.state = brkOpen
+			b.openedAt = now
+			return true
+		}
+	}
+	return false
+}

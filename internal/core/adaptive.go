@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"hpcadvisor/internal/collector"
@@ -88,13 +89,31 @@ func (a *Advisor) CollectAdaptive(deploymentName string, cfg *config.Config, bud
 			MaxAttempts:     opts.MaxAttempts,
 			UseSpot:         opts.UseSpot,
 			Progress:        opts.Progress,
+			Interrupt:       opts.Interrupt,
+			Backoff:         opts.Backoff,
+			Breaker:         opts.Breaker,
+			Stats:           a.Collection,
 		})
-		if err != nil {
-			return agg, err
-		}
 		agg.Completed += r.Completed
 		agg.Failed += r.Failed
 		agg.Attempts += r.Attempts
+		agg.Retries += r.Retries
+		if errors.Is(err, collector.ErrInterrupted) {
+			// Stop planning; remaining scenarios stay pending so a later
+			// adaptive run (adaptive mode is not journaled) can pick the
+			// sweep back up under the same budget logic.
+			agg.Interrupted = true
+			agg.NodeSecondsBySKU = svc.NodeSecondsBySKU()
+			if cost, cerr := spent(); cerr == nil {
+				agg.CollectionCostUSD = cost
+			}
+			agg.VirtualSeconds = (svc.Clock.Now() - start).Seconds()
+			agg.ElapsedVirtualSeconds = agg.VirtualSeconds
+			return agg, collector.ErrInterrupted
+		}
+		if err != nil {
+			return agg, err
+		}
 	}
 
 	// Remaining pending scenarios were priced out by the budget.

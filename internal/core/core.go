@@ -25,6 +25,7 @@ import (
 	"hpcadvisor/internal/config"
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/deploy"
+	"hpcadvisor/internal/monitor"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
 	"hpcadvisor/internal/predictor"
@@ -46,6 +47,11 @@ type Advisor struct {
 	Apps     *appmodel.Registry
 	Deployer *deploy.Manager
 	Store    *dataset.Store
+
+	// Collection accumulates resilience counters (attempts by failure
+	// class, retries, breaker state, resume accounting) across every
+	// collection run on this advisor; the API exposes them on /metrics.
+	Collection *monitor.CollectionStats
 
 	// Backend is the storage engine the Store writes through when the
 	// advisor was opened over a persistent dataset (OpenStore); nil for a
@@ -82,6 +88,7 @@ func New(subscriptionID string) *Advisor {
 		Apps:        appmodel.NewRegistry(),
 		Deployer:    deploy.NewManager(cloud),
 		Store:       dataset.NewStore(),
+		Collection:  monitor.NewCollectionStats(),
 		deployments: make(map[string]*deploy.Deployment),
 		services:    make(map[string]*batchsim.Service),
 		lists:       make(map[string]*scenario.List),
@@ -276,6 +283,20 @@ type CollectOptions struct {
 	// paper's sequential walk; higher values cut time-to-advice on
 	// multi-SKU sweeps while producing an identical dataset and report.
 	MaxParallelPools int
+	// Journal, when set, makes the sweep crash-resumable: every attempt and
+	// outcome is recorded durably as the run progresses.
+	Journal *collector.Journal
+	// Resume replays a previously journaled sweep, re-executing only the
+	// work that never became durable. The journal's sweep parameters must
+	// match this run's (spot, attempts).
+	Resume *collector.Replay
+	// Interrupt stops the run cleanly at the next task boundary when it
+	// becomes readable (e.g. a canceled context's Done channel).
+	Interrupt <-chan struct{}
+	// Backoff and Breaker tune the failure taxonomy's retry delays and the
+	// per-SKU circuit breaker; zero values take the defaults.
+	Backoff collector.BackoffPolicy
+	Breaker collector.BreakerPolicy
 }
 
 // Collect generates (or resumes) the scenario list for the configuration
@@ -315,6 +336,22 @@ func (a *Advisor) Collect(deploymentName string, cfg *config.Config, opts Collec
 			return nil, err
 		}
 	}
+	if opts.Resume != nil && opts.Resume.Begun {
+		// Sweep parameters shape the replay (retry budgets, spot draws):
+		// resuming under different ones would not reconverge on the
+		// uninterrupted run's dataset.
+		if opts.Resume.Spot != opts.UseSpot {
+			return nil, fmt.Errorf("core: resume: journal was collected with spot=%v, this run has spot=%v", opts.Resume.Spot, opts.UseSpot)
+		}
+		attempts := opts.MaxAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		if opts.Resume.MaxAttempts != attempts {
+			return nil, fmt.Errorf("core: resume: journal was collected with attempts=%d, this run has attempts=%d", opts.Resume.MaxAttempts, attempts)
+		}
+	}
+	opts.Resume.Apply(list)
 	col := collector.New(svc, a.Apps, a.Prices, a.Catalog, d.Region, d.Name)
 	return col.Run(list, a.Store, collector.Options{
 		DeletePoolAfter:  opts.DeletePoolAfter,
@@ -323,6 +360,12 @@ func (a *Advisor) Collect(deploymentName string, cfg *config.Config, opts Collec
 		Progress:         opts.Progress,
 		UseSpot:          opts.UseSpot,
 		MaxParallelPools: opts.MaxParallelPools,
+		Journal:          opts.Journal,
+		Resume:           opts.Resume,
+		Interrupt:        opts.Interrupt,
+		Backoff:          opts.Backoff,
+		Breaker:          opts.Breaker,
+		Stats:            a.Collection,
 	})
 }
 

@@ -1,0 +1,136 @@
+// collection.go holds the resilience counters of the collection write
+// path: attempts by failure class, retries, circuit-breaker state per SKU,
+// and resume accounting. The collector increments them as it works; the
+// service layer snapshots them for the Prometheus /metrics endpoint. All
+// methods are nil-safe so the collector never has to guard its stats
+// calls — a nil *CollectionStats is a no-op sink.
+package monitor
+
+import "sync"
+
+// CollectionStats accumulates resilience counters across collection runs.
+// Safe for concurrent use (lanes increment while the API snapshots).
+type CollectionStats struct {
+	mu       sync.Mutex
+	attempts map[string]uint64 // failure class -> attempts that ended in it
+	retries  map[string]uint64 // failure class -> retries it caused
+	breaker  map[string]string // SKU -> breaker state (closed/open/half-open)
+	trips    uint64
+	resumed  uint64
+	rerun    uint64
+	records  uint64
+}
+
+// NewCollectionStats returns an empty counter set.
+func NewCollectionStats() *CollectionStats {
+	return &CollectionStats{
+		attempts: make(map[string]uint64),
+		retries:  make(map[string]uint64),
+		breaker:  make(map[string]string),
+	}
+}
+
+// Attempt counts one execution attempt that ended in the given class
+// ("none" for success).
+func (s *CollectionStats) Attempt(class string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attempts[class]++
+	s.mu.Unlock()
+}
+
+// Retry counts one retry scheduled because of the given class.
+func (s *CollectionStats) Retry(class string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.retries[class]++
+	s.mu.Unlock()
+}
+
+// Breaker records the breaker state of a SKU, counting open transitions.
+func (s *CollectionStats) Breaker(sku, state string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if state == "open" && s.breaker[sku] != "open" {
+		s.trips++
+	}
+	s.breaker[sku] = state
+	s.mu.Unlock()
+}
+
+// TaskResumed counts a journaled task restored on resume without
+// re-collecting its datapoint.
+func (s *CollectionStats) TaskResumed() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.resumed++
+	s.mu.Unlock()
+}
+
+// TaskRerun counts a journaled task that had to be re-collected on resume
+// because its datapoint never became durable.
+func (s *CollectionStats) TaskRerun() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.rerun++
+	s.mu.Unlock()
+}
+
+// JournalRecord counts one record appended to the sweep journal.
+func (s *CollectionStats) JournalRecord() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.records++
+	s.mu.Unlock()
+}
+
+// CollectionSnapshot is a point-in-time copy of the counters.
+type CollectionSnapshot struct {
+	AttemptsByClass map[string]uint64 `json:"attempts_by_class"`
+	RetriesByClass  map[string]uint64 `json:"retries_by_class"`
+	BreakerState    map[string]string `json:"breaker_state"`
+	BreakerTrips    uint64            `json:"breaker_trips"`
+	TasksResumed    uint64            `json:"tasks_resumed"`
+	TasksRerun      uint64            `json:"tasks_rerun"`
+	JournalRecords  uint64            `json:"journal_records"`
+}
+
+// Snapshot copies the counters. A nil receiver snapshots to empty maps.
+func (s *CollectionStats) Snapshot() CollectionSnapshot {
+	snap := CollectionSnapshot{
+		AttemptsByClass: make(map[string]uint64),
+		RetriesByClass:  make(map[string]uint64),
+		BreakerState:    make(map[string]string),
+	}
+	if s == nil {
+		return snap
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.attempts {
+		snap.AttemptsByClass[k] = v
+	}
+	for k, v := range s.retries {
+		snap.RetriesByClass[k] = v
+	}
+	for k, v := range s.breaker {
+		snap.BreakerState[k] = v
+	}
+	snap.BreakerTrips = s.trips
+	snap.TasksResumed = s.resumed
+	snap.TasksRerun = s.rerun
+	snap.JournalRecords = s.records
+	return snap
+}

@@ -15,6 +15,7 @@ import (
 
 	"hpcadvisor/internal/core"
 	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/monitor"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
 	"hpcadvisor/internal/predictor"
@@ -429,4 +430,11 @@ func (s *Service) Scenarios() ([]DeploymentScenarios, error) {
 // EngineStats exposes the query engine's cache counters for /metrics.
 func (s *Service) EngineStats() queryengine.Stats {
 	return s.engine().Stats()
+}
+
+// CollectionStats snapshots the advisor's collection-resilience counters
+// (attempts by failure class, retries, breaker state, resume accounting)
+// for /metrics.
+func (s *Service) CollectionStats() monitor.CollectionSnapshot {
+	return s.adv.Collection.Snapshot()
 }
