@@ -1,0 +1,70 @@
+// Command hpcvet is the project's invariant checker: it runs the custom
+// analyzer suite from internal/analyzers (simdeterminism, atomicwrite,
+// snapshotpin, lockdiscipline, walhygiene) over the module and then drives
+// the toolchain's `go vet` (copylocks, lostcancel, errorsas, and the rest
+// of the stock suite) so one command gates CI.
+//
+//	go run ./cmd/hpcvet ./...
+//
+// Exit status is non-zero if any analyzer reports a finding. Deliberate
+// exceptions are annotated at the site:
+//
+//	//hpcvet:allow <analyzer> <reason>
+//
+// See docs/ARCHITECTURE.md "Static analysis & invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"hpcadvisor/internal/analyzers"
+	"hpcadvisor/internal/analyzers/analysis"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the stock `go vet` pass")
+	list := flag.Bool("list", false, "list the custom analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hpcvet [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Checks the project's load-bearing invariants. Default pattern: ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	diags, err := analysis.Vet(".", flag.Args(), analyzers.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpcvet:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	failed := len(diags) > 0
+
+	if !*novet {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

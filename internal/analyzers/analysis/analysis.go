@@ -1,0 +1,202 @@
+// Package analysis is a deliberately small, dependency-free skeleton of
+// golang.org/x/tools/go/analysis: just enough structure — Analyzer, Pass,
+// Diagnostic — to write syntax-level invariant checkers for this module
+// without pulling x/tools into the build (the toolchain image carries no
+// module proxy). Passes here are purely syntactic: they see parsed files
+// with comments, the package's import path, and per-file import tables,
+// but no type information. The invariants hpcvet enforces (see package
+// analyzers) are all expressible at that level; type-aware stock passes
+// (copylocks, lostcancel, errorsas, ...) come from `go vet`, which
+// cmd/hpcvet drives alongside this suite.
+//
+// Suppression: any diagnostic can be silenced at a specific site with a
+// comment on the same line or the line directly above it:
+//
+//	//hpcvet:allow <analyzer> <reason>
+//
+// The analyzer name must match and a non-empty reason is required — an
+// annotation without a reason does not suppress, so every exception in the
+// tree documents why it is one.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single package via the
+// Pass and reports findings through pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //hpcvet:allow
+	Doc  string // one-paragraph description of the invariant
+	Run  func(pass *Pass) error
+}
+
+// Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Package is one loaded (parsed, not type-checked) package.
+type Package struct {
+	Path  string // module-qualified import path, e.g. "hpcadvisor/internal/storage"
+	Name  string // package clause name
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, parsed with comments
+
+	allows map[string]map[int]string // filename -> line -> analyzer name allowed there
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Reportf records a diagnostic at pos unless an //hpcvet:allow annotation
+// for this analyzer covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Pkg.allowed(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the package and returns their combined
+// findings sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkg.buildAllows()
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// AllowPrefix is the comment directive that suppresses a finding.
+const AllowPrefix = "//hpcvet:allow "
+
+// buildAllows indexes every //hpcvet:allow comment by file and line. An
+// allow on line N suppresses findings on line N and line N+1, so the
+// annotation can sit at the end of the offending line or on its own line
+// directly above.
+func (pkg *Package) buildAllows() {
+	if pkg.allows != nil {
+		return
+	}
+	pkg.allows = make(map[string]map[int]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, strings.TrimSuffix(AllowPrefix, " "))
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: annotation is inert by design
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := pkg.allows[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					pkg.allows[pos.Filename] = m
+				}
+				m[pos.Line] = fields[0]
+			}
+		}
+	}
+}
+
+func (pkg *Package) allowed(analyzer string, pos token.Position) bool {
+	m := pkg.allows[pos.Filename]
+	if m == nil {
+		return false
+	}
+	return m[pos.Line] == analyzer || m[pos.Line-1] == analyzer
+}
+
+// Imports maps each file-local package name to its import path for the
+// given file ("_" and "." imports are skipped). Names follow Go's rules:
+// an explicit alias wins, otherwise the path's last element.
+func Imports(f *ast.File) map[string]string {
+	out := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// PkgCall reports whether call is a selector call through a package
+// identifier imported as importPath in file imports (from Imports), and if
+// so returns the function name. It rejects selectors whose base is not a
+// bare identifier, so method calls on variables never match.
+func PkgCall(imports map[string]string, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID || id.Obj != nil { // Obj != nil: resolved to a local object, not an import
+		return "", "", false
+	}
+	path, imported := imports[id.Name]
+	if !imported {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// LastSegment returns the final path element of a package path.
+func LastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir parses every non-test .go file in dir into a Package with the
+// given import path. The path matters: analyzers scope themselves by
+// package path, so fixture packages in testdata are loaded under the
+// module path they impersonate.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Path: pkgPath, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Name = f.Name.Name
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+	return pkg, nil
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// Expand resolves package patterns relative to the module root into
+// package directories. Supported patterns: "./..." (every package under
+// root), "./dir/..." (every package under dir), and plain "./dir". Vendor,
+// testdata, hidden, and git directories are skipped.
+func Expand(root string, patterns []string) (dirs []string, err error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "." || base == "" {
+			base = root
+		} else {
+			base = filepath.Join(root, base)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Vet loads every package matched by patterns under the module root at
+// dir and runs the analyzers, returning the combined findings.
+func Vet(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	pkgDirs, err := Expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkgDir := range pkgDirs {
+		rel, err := filepath.Rel(root, pkgDir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := mod
+		if rel != "." {
+			pkgPath = mod + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := LoadDir(pkgDir, pkgPath)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", pkgPath, err)
+		}
+		diags, err := Run(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	return all, nil
+}

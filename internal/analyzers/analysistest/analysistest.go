@@ -1,0 +1,104 @@
+// Package analysistest runs one analyzer over a golden fixture package and
+// checks its findings against // want "regexp" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the in-tree
+// analysis skeleton.
+//
+// A fixture is a directory of ordinary Go files. Every line that should
+// trigger a diagnostic carries a trailing comment:
+//
+//	time.Now() // want `wall clock`
+//
+// The quoted text is a regular expression matched against the diagnostic
+// message. Lines without a want comment must produce no diagnostic, and
+// every want comment must be matched by exactly one diagnostic — missing
+// and unexpected findings both fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"hpcadvisor/internal/analyzers/analysis"
+)
+
+var wantRE = regexp.MustCompile("// want (`[^`]*`|\"[^\"]*\")")
+
+// Run loads the fixture package at dir under the import path pkgPath and
+// checks analyzer a's findings against the fixture's want comments.
+// pkgPath is what scopes the analyzer: a fixture impersonating the
+// collector loads as "hpcadvisor/internal/collector".
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pat := m[1][1 : len(m[1])-1]
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}
+
+// RunClean asserts the analyzer reports nothing on the fixture.
+func RunClean(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,27 @@
+// Package analyzers holds hpcvet's custom analysis passes: syntax-level
+// checkers for the invariants this codebase's guarantees rest on —
+// byte-identical deterministic resume, crash-safe atomic state writes,
+// one-snapshot-per-request ETag coherence, annotated lock discipline, and
+// WAL framing hygiene. Each pass documents the invariant it encodes; the
+// cmd/hpcvet multichecker runs them all (plus `go vet`) and CI blocks on
+// the result.
+//
+// Exceptions are site-annotated, never globally disabled:
+//
+//	deadline := time.Now().Add(wait) //hpcvet:allow simdeterminism long-poll deadlines are wall-clock by design
+//
+// See docs/ARCHITECTURE.md "Static analysis & invariants".
+package analyzers
+
+import "hpcadvisor/internal/analyzers/analysis"
+
+// All returns every custom analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		SimDeterminism,
+		AtomicWrite,
+		SnapshotPin,
+		LockDiscipline,
+		WALHygiene,
+	}
+}

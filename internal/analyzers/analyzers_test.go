@@ -1,0 +1,53 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"hpcadvisor/internal/analyzers"
+	"hpcadvisor/internal/analyzers/analysistest"
+)
+
+// Each analyzer has a golden fixture package per behavior class: violating
+// code is reported, sanctioned idioms are not, and //hpcvet:allow
+// annotations suppress only with a matching name and a reason.
+
+func TestSimDeterminism(t *testing.T) {
+	a := analyzers.SimDeterminism
+	analysistest.Run(t, "testdata/simdeterminism/violation", "hpcadvisor/internal/collector", a)
+	analysistest.RunClean(t, "testdata/simdeterminism/allowed", "hpcadvisor/internal/collector", a)
+	analysistest.Run(t, "testdata/simdeterminism/annotated", "hpcadvisor/internal/collector", a)
+}
+
+func TestAtomicWrite(t *testing.T) {
+	a := analyzers.AtomicWrite
+	analysistest.Run(t, "testdata/atomicwrite/violation", "hpcadvisor/internal/core", a)
+	analysistest.RunClean(t, "testdata/atomicwrite/exempt", "hpcadvisor/internal/storage", a)
+	analysistest.RunClean(t, "testdata/atomicwrite/exempt", "hpcadvisor/internal/fsatomic", a)
+	analysistest.Run(t, "testdata/atomicwrite/annotated", "hpcadvisor/internal/core", a)
+}
+
+func TestSnapshotPin(t *testing.T) {
+	a := analyzers.SnapshotPin
+	analysistest.Run(t, "testdata/snapshotpin/violation", "hpcadvisor/internal/api", a)
+	analysistest.RunClean(t, "testdata/snapshotpin/allowed", "hpcadvisor/internal/api", a)
+	analysistest.Run(t, "testdata/snapshotpin/annotated", "hpcadvisor/internal/api", a)
+	// The rule scopes to serving packages only: the same double fetch is
+	// legal in, say, the collector.
+	analysistest.RunClean(t, "testdata/snapshotpin/violation", "hpcadvisor/internal/collector", a)
+}
+
+func TestLockDiscipline(t *testing.T) {
+	a := analyzers.LockDiscipline
+	analysistest.Run(t, "testdata/lockdiscipline/violation", "hpcadvisor/internal/dataset", a)
+	analysistest.RunClean(t, "testdata/lockdiscipline/allowed", "hpcadvisor/internal/dataset", a)
+	analysistest.Run(t, "testdata/lockdiscipline/annotated", "hpcadvisor/internal/dataset", a)
+}
+
+func TestWALHygiene(t *testing.T) {
+	a := analyzers.WALHygiene
+	analysistest.Run(t, "testdata/walhygiene/violation", "hpcadvisor/internal/storage", a)
+	analysistest.RunClean(t, "testdata/walhygiene/allowed", "hpcadvisor/internal/storage", a)
+	analysistest.RunClean(t, "testdata/walhygiene/annotated", "hpcadvisor/internal/storage", a)
+	// Outside the WAL-owning packages the raw-write rule does not apply.
+	analysistest.RunClean(t, "testdata/walhygiene/violation", "hpcadvisor/internal/core", a)
+}

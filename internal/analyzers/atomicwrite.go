@@ -1,0 +1,62 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"hpcadvisor/internal/analyzers/analysis"
+)
+
+// atomicWriteExempt are the packages that own raw file mutation: fsatomic
+// is the tmp+fsync+rename primitive itself, and storage implements the WAL
+// and segment formats over raw descriptors (its internal ordering is
+// checked by walhygiene instead).
+var atomicWriteExempt = map[string]bool{
+	"fsatomic": true,
+	"storage":  true,
+}
+
+// forbiddenOSWrites are the os entry points that replace or create file
+// contents non-atomically. A crash mid-call leaves a torn file; every
+// state write must go through fsatomic.WriteFile (or a storage backend).
+var forbiddenOSWrites = map[string]bool{
+	"WriteFile": true,
+	"Rename":    true,
+	"Create":    true,
+}
+
+// AtomicWrite forbids direct os.WriteFile / os.Rename / os.Create outside
+// internal/fsatomic and internal/storage. Crash-safe durable state (PR 4)
+// holds only if every publish is an atomic replace; a raw os.WriteFile on
+// a state path reintroduces torn-file windows that no test will reliably
+// catch. Deliberately non-atomic sites (none today) must be annotated.
+var AtomicWrite = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc: "forbid raw os.WriteFile/os.Rename/os.Create outside fsatomic and " +
+		"storage; state publishes must be atomic (fsatomic.WriteFile)",
+	Run: runAtomicWrite,
+}
+
+func runAtomicWrite(pass *analysis.Pass) error {
+	if atomicWriteExempt[analysis.LastSegment(pass.Pkg.Path)] {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		imports := analysis.Imports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn, ok := analysis.PkgCall(imports, call)
+			if !ok || pkgPath != "os" || !forbiddenOSWrites[fn] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"os.%s is not crash-safe; route the write through fsatomic.WriteFile "+
+					"(or annotate a deliberately non-atomic site with %s%s <reason>)",
+				fn, analysis.AllowPrefix, pass.Analyzer.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+
+	"hpcadvisor/internal/analyzers/analysis"
+)
+
+// GuardedByMarker is the struct-field comment that declares lock
+// discipline. A field annotated
+//
+//	deployments map[string]*deploy.Deployment // guarded-by: mu
+//
+// may only be read or written from methods that acquire the named mutex
+// (recv.mu.Lock / RLock / TryLock) somewhere in their body, or from
+// methods whose name ends in "Locked" (the repo convention for helpers
+// whose callers hold the lock). Field access from free functions is out of
+// scope: constructors initialize fields before the value escapes.
+const GuardedByMarker = "guarded-by:"
+
+// LockDiscipline checks guarded-by field annotations. It is syntactic — it
+// proves a method that touches a guarded field at least takes the right
+// lock somewhere, not that the access happens inside the critical section —
+// but that is exactly the class of regression review keeps missing: a new
+// method reading a registry map with no locking at all.
+var LockDiscipline = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "methods touching a `guarded-by: mu` struct field must acquire that " +
+		"mutex (or be *Locked helpers whose callers hold it)",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *analysis.Pass) error {
+	// typeName -> fieldName -> mutex field name
+	guarded := map[string]map[string]string{}
+	for _, f := range pass.Pkg.Files {
+		collectGuardedFields(f, guarded)
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvType, recvName := receiverInfo(fd)
+			fields := guarded[recvType]
+			if fields == nil || recvName == "" {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // convention: caller holds the lock
+			}
+			checkLockDiscipline(pass, fd, recvName, fields)
+		}
+	}
+	return nil
+}
+
+func collectGuardedFields(f *ast.File, out map[string]map[string]string) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			mu := guardedByName(field)
+			if mu == "" {
+				continue
+			}
+			m := out[ts.Name.Name]
+			if m == nil {
+				m = map[string]string{}
+				out[ts.Name.Name] = m
+			}
+			for _, name := range field.Names {
+				m[name.Name] = mu
+			}
+		}
+		return true
+	})
+}
+
+// guardedByName extracts the mutex name from a field's doc or trailing
+// comment, or "" if the field is unannotated.
+func guardedByName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := c.Text
+			i := strings.Index(text, GuardedByMarker)
+			if i < 0 {
+				continue
+			}
+			rest := strings.Fields(text[i+len(GuardedByMarker):])
+			if len(rest) > 0 {
+				return strings.TrimRight(rest[0], ";,.")
+			}
+		}
+	}
+	return ""
+}
+
+func receiverInfo(fd *ast.FuncDecl) (typeName, recvName string) {
+	if len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	recv := fd.Recv.List[0]
+	t := recv.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(recv.Names) == 1 {
+		recvName = recv.Names[0].Name
+	}
+	return id.Name, recvName
+}
+
+func checkLockDiscipline(pass *analysis.Pass, fd *ast.FuncDecl, recvName string, fields map[string]string) {
+	// Which mutexes does this method acquire anywhere in its body?
+	locked := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := muSel.X.(*ast.Ident); ok && id.Name == recvName {
+			locked[muSel.Sel.Name] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != recvName {
+			return true
+		}
+		mu, isGuarded := fields[sel.Sel.Name]
+		if !isGuarded || locked[mu] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded-by: %s but method %s never acquires %s.%s "+
+				"(take the lock, rename the helper *Locked, or annotate)",
+			recvName, sel.Sel.Name, mu, fd.Name.Name, recvName, mu)
+		return true
+	})
+}

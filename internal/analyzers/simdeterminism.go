@@ -1,0 +1,81 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"hpcadvisor/internal/analyzers/analysis"
+)
+
+// forbiddenTimeFuncs are the time package entry points that read or wait on
+// the wall clock. Everything simulated runs on vclock.Clock; a wall-clock
+// read inside a collection or simulation path silently breaks byte-identical
+// resume (PR 7) and deterministic parallel merge (PR 1).
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+}
+
+// allowedRandFuncs are the math/rand constructors that build an explicitly
+// seeded, locally owned source — the only sanctioned way to use math/rand.
+// Package-level draws (rand.Intn, rand.Float64, ...) share the global
+// source, whose state depends on goroutine interleaving.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// SimDeterminism forbids wall-clock reads (time.Now, time.Since, timers)
+// and global math/rand draws everywhere in the module. Simulation and
+// collection run on injected vclock.Clock instances and seeded local rand
+// sources; the handful of legitimate wall-clock sites (the replication
+// transport's long-poll deadlines and retry backoff in internal/replica)
+// carry //hpcvet:allow annotations explaining why.
+var SimDeterminism = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid time.Now/time.Since/timers and global math/rand draws; " +
+		"simulated time comes from vclock, randomness from seeded local sources",
+	Run: runSimDeterminism,
+}
+
+func runSimDeterminism(pass *analysis.Pass) error {
+	for _, f := range pass.Pkg.Files {
+		imports := analysis.Imports(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn, ok := analysis.PkgCall(imports, call)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if forbiddenTimeFuncs[fn] {
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock; use the injected vclock.Clock "+
+							"(or annotate a deliberate wall-clock site with %s%s <reason>)",
+						fn, analysis.AllowPrefix, pass.Analyzer.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRandFuncs[fn] {
+					pass.Reportf(call.Pos(),
+						"rand.%s draws from the shared global source; use a seeded "+
+							"rand.New(rand.NewSource(...)) owned by the caller", fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

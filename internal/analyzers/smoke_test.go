@@ -1,0 +1,41 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"hpcadvisor/internal/analyzers"
+	"hpcadvisor/internal/analyzers/analysis"
+)
+
+// TestRepoIsClean runs the whole custom suite over the whole module — the
+// same pass CI blocks on. Any finding here means either a real invariant
+// violation or a missing //hpcvet:allow annotation; the output names the
+// offending line.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := analysis.Vet(".", []string{"./..."}, analyzers.All())
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuiteHasFiveAnalyzers pins the contract the CI step assumes: all
+// five invariant checkers are registered.
+func TestSuiteHasFiveAnalyzers(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range analyzers.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing name, doc, or run", a)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{
+		"simdeterminism", "atomicwrite", "snapshotpin", "lockdiscipline", "walhygiene",
+	} {
+		if !names[want] {
+			t.Errorf("suite is missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+// Fixture: a deliberately non-atomic site carries an annotation with a
+// reason (loaded as hpcadvisor/internal/core).
+package core
+
+import "os"
+
+func dumpArtifact(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) //hpcvet:allow atomicwrite regenerable artifact, not state
+}
+
+func unexplained(path string, data []byte) error {
+	//hpcvet:allow atomicwrite
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile is not crash-safe`
+}

@@ -1,0 +1,13 @@
+// Fixture: the identical raw writes are legal inside the packages that
+// own file mutation (loaded as hpcadvisor/internal/storage).
+package storage
+
+import "os"
+
+func saveState(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func publish(tmp, path string) error {
+	return os.Rename(tmp, path)
+}

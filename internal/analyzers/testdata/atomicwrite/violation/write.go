@@ -1,0 +1,22 @@
+// Fixture: raw non-atomic writes in a governed package (loaded as
+// hpcadvisor/internal/core).
+package core
+
+import "os"
+
+func saveState(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile is not crash-safe`
+}
+
+func publish(tmp, path string) error {
+	return os.Rename(tmp, path) // want `os.Rename is not crash-safe`
+}
+
+func create(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create is not crash-safe`
+}
+
+// readsAreFine: only the mutating entry points are forbidden.
+func readsAreFine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

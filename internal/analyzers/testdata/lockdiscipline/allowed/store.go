@@ -1,0 +1,44 @@
+// Fixture: the compliant shapes — Lock, RLock, deferred unlock patterns,
+// *Locked helpers, and constructors.
+package dataset
+
+import "sync"
+
+type Store struct {
+	mu     sync.RWMutex
+	points []int  // guarded-by: mu
+	gen    uint64 // guarded-by: mu
+}
+
+func NewStore() *Store {
+	// Constructors are free functions: the value has not escaped yet.
+	return &Store{points: make([]int, 0)}
+}
+
+func (s *Store) Add(p int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points = append(s.points, p)
+	s.gen++
+}
+
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.points)
+}
+
+// appendLocked follows the convention: the caller holds s.mu.
+func (s *Store) appendLocked(p int) {
+	s.points = append(s.points, p)
+}
+
+// Grow acquires once and may touch fields through a closure.
+func (s *Store) Grow(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	grow := func() { s.points = append(s.points, 0) }
+	for i := 0; i < n; i++ {
+		grow()
+	}
+}

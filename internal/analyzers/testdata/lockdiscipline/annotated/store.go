@@ -1,0 +1,22 @@
+// Fixture: a documented lock-free fast path carries an annotation.
+package dataset
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Store struct {
+	mu  sync.RWMutex
+	gen uint64 // guarded-by: mu
+}
+
+// Generation reads gen racily for a monitoring gauge; the annotation
+// records that the tear is acceptable there.
+func (s *Store) Generation() uint64 {
+	return atomic.LoadUint64(&s.gen) //hpcvet:allow lockdiscipline atomic load on the gauge fast path
+}
+
+func (s *Store) Bump() {
+	s.gen++ // want `s\.gen is guarded-by: mu but method Bump never acquires s\.mu`
+}

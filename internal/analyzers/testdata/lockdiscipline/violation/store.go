@@ -1,0 +1,40 @@
+// Fixture: methods touching guarded-by fields without acquiring the named
+// mutex (any package path; lockdiscipline is annotation-driven).
+package dataset
+
+import "sync"
+
+type Store struct {
+	mu     sync.RWMutex
+	points []int  // guarded-by: mu
+	gen    uint64 // guarded-by: mu
+
+	engMu sync.Mutex
+	eng   *int // guarded-by: engMu
+
+	free int // unannotated: never checked
+}
+
+// Len forgets the lock entirely — the classic regression.
+func (s *Store) Len() int {
+	return len(s.points) // want `s\.points is guarded-by: mu but method Len never acquires s\.mu`
+}
+
+// WrongLock takes a mutex, just not the one guarding the field.
+func (s *Store) WrongLock() *int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.eng // want `s\.eng is guarded-by: engMu but method WrongLock never acquires s\.engMu`
+}
+
+// Mixed locks mu for points but reads gen after... still fine syntactically
+// (one acquisition anywhere in the body covers the method), while the
+// engMu field stays flagged.
+func (s *Store) Mixed() (int, *int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.points), s.eng // want `s\.eng is guarded-by: engMu but method Mixed never acquires s\.engMu`
+}
+
+// Unannotated fields are never reported.
+func (s *Store) Free() int { return s.free }

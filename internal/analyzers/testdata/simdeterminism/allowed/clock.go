@@ -1,0 +1,42 @@
+// Fixture: the sanctioned idioms — seeded local rand sources, duration
+// constants, vclock injection, and locals shadowing the time package.
+package collector
+
+import (
+	"math/rand"
+	"time"
+)
+
+type clock interface {
+	Now() int64
+	Since(int64) time.Duration
+}
+
+// injectedClock uses the simulation clock: Now/Since on a non-package
+// receiver are fine.
+func injectedClock(c clock) time.Duration {
+	start := c.Now()
+	return c.Since(start)
+}
+
+// seededSource builds a locally owned, explicitly seeded source.
+func seededSource(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// durations only reference time constants, never the clock.
+func durations() time.Duration {
+	return 3 * time.Second
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int64 { return 0 }
+
+// shadowed calls Now on a local variable named after the package;
+// resolution must not mistake it for the time import.
+func shadowed() int64 {
+	time := fakeClock{}
+	return time.Now()
+}

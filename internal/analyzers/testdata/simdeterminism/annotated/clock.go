@@ -1,0 +1,24 @@
+// Fixture: //hpcvet:allow annotations — with a reason they suppress, on
+// the same line or the line above; without a reason they are inert.
+package collector
+
+import "time"
+
+func annotatedSameLine() time.Time {
+	return time.Now() //hpcvet:allow simdeterminism long-poll deadline is wall-clock by design
+}
+
+func annotatedLineAbove() time.Time {
+	//hpcvet:allow simdeterminism long-poll deadline is wall-clock by design
+	return time.Now()
+}
+
+func annotationWithoutReason() time.Time {
+	//hpcvet:allow simdeterminism
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func wrongAnalyzerName() time.Time {
+	//hpcvet:allow atomicwrite this names the wrong analyzer
+	return time.Now() // want `time.Now reads the wall clock`
+}

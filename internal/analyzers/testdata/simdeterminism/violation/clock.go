@@ -1,0 +1,35 @@
+// Fixture: wall-clock reads and global rand draws in a vclock-governed
+// package (loaded as hpcadvisor/internal/collector).
+package collector
+
+import (
+	"math/rand"
+	"time"
+
+	wall "time"
+)
+
+func wallClockReads() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Since(start)     // want `time.Since reads the wall clock`
+}
+
+func sleepsAndTimers() {
+	time.Sleep(time.Second)         // want `time.Sleep reads the wall clock`
+	t := time.NewTimer(time.Second) // want `time.NewTimer reads the wall clock`
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-time.After(time.Second): // want `time.After reads the wall clock`
+	}
+}
+
+func aliasedImport() time.Time {
+	return wall.Now() // want `time.Now reads the wall clock`
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle draws from the shared global source`
+	return rand.Intn(10)               // want `rand.Intn draws from the shared global source`
+}

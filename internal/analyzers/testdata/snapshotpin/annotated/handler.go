@@ -1,0 +1,17 @@
+// Fixture: an annotated second fetch — the /metrics gauge page samples
+// independent counters and is exempt by design (loaded as
+// hpcadvisor/internal/api).
+package api
+
+type engine struct{}
+
+func (engine) Snapshot() *snap    { return nil }
+func (engine) Generation() uint64 { return 0 }
+
+type snap struct{}
+
+func metricsPage(eng engine) (uint64, uint64) {
+	live := eng.Generation()
+	again := eng.Generation() //hpcvet:allow snapshotpin metrics gauges are independent samples, not one response body
+	return live, again
+}

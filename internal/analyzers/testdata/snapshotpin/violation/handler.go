@@ -1,0 +1,34 @@
+// Fixture: request paths that fetch the live snapshot or generation more
+// than once (loaded as hpcadvisor/internal/api).
+package api
+
+type engine struct{}
+
+func (engine) Snapshot() *snap    { return nil }
+func (engine) Generation() uint64 { return 0 }
+
+type snap struct{}
+
+func (*snap) Generation() uint64 { return 0 }
+
+func doubleSnapshot(eng engine) {
+	a := eng.Snapshot()
+	b := eng.Snapshot() // want `second live Snapshot\(\) in one request path`
+	_, _ = a, b
+}
+
+func generationThenSnapshot(eng engine) uint64 {
+	tag := eng.Generation()
+	sn := eng.Snapshot() // want `second live Snapshot\(\) in one request path`
+	_ = sn
+	return tag
+}
+
+func doubleGeneration(eng engine) uint64 {
+	// Revalidate against one generation, stamp the response with another:
+	// exactly the incoherence snapshotpin exists to catch.
+	if eng.Generation() == 0 {
+		return 0
+	}
+	return eng.Generation() // want `second live Generation\(\) in one request path`
+}

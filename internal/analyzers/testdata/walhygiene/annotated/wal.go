@@ -1,0 +1,14 @@
+// Fixture: an annotated raw write (loaded as hpcadvisor/internal/storage).
+package storage
+
+import "os"
+
+type DebugDump struct {
+	f *os.File
+}
+
+// WriteRaw is a debugging tap that deliberately bypasses framing.
+func (d *DebugDump) WriteRaw(b []byte) error {
+	_, err := d.f.Write(b) //hpcvet:allow walhygiene debug tap never feeds recovery
+	return err
+}

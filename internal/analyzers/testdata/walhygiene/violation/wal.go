@@ -1,0 +1,37 @@
+// Fixture: framing and durability violations in a WAL-owning package
+// (loaded as hpcadvisor/internal/storage).
+package storage
+
+import "os"
+
+type SegmentStore struct {
+	f *os.File
+}
+
+// appendRecord writes unframed bytes straight to the descriptor.
+func (s *SegmentStore) appendRecord(payload []byte) error {
+	_, err := s.f.Write(payload) // want `raw Write on a \*os\.File outside the framing helpers`
+	return err
+}
+
+// writeMagic sidesteps the frame encoder with WriteString.
+func (s *SegmentStore) writeMagic() error {
+	_, err := s.f.WriteString("MAGIC") // want `raw WriteString on a \*os\.File outside the framing helpers`
+	return err
+}
+
+// stage writes through a local descriptor.
+func stage(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data) // want `raw Write on a \*os\.File outside the framing helpers`
+	return err
+}
+
+// publishUnsynced renames bytes that were never fsynced.
+func publishUnsynced(tmp, path string) error {
+	return os.Rename(tmp, path) // want `os\.Rename publishes bytes that were never fsynced`
+}

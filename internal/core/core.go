@@ -25,6 +25,7 @@ import (
 	"hpcadvisor/internal/config"
 	"hpcadvisor/internal/dataset"
 	"hpcadvisor/internal/deploy"
+	"hpcadvisor/internal/fsatomic"
 	"hpcadvisor/internal/monitor"
 	"hpcadvisor/internal/pareto"
 	"hpcadvisor/internal/plot"
@@ -64,14 +65,14 @@ type Advisor struct {
 	// race a live collect. Dataset serving does not touch the registry and
 	// never blocks on it.
 	mu          sync.RWMutex
-	deployments map[string]*deploy.Deployment
-	services    map[string]*batchsim.Service
-	lists       map[string]*scenario.List
+	deployments map[string]*deploy.Deployment // guarded-by: mu
+	services    map[string]*batchsim.Service  // guarded-by: mu
+	lists       map[string]*scenario.List     // guarded-by: mu
 
 	// engMu guards the lazily (re)bound query engine; see Engine.
 	engMu    sync.Mutex
-	eng      *queryengine.Engine
-	engStore *dataset.Store
+	eng      *queryengine.Engine // guarded-by: engMu
+	engStore *dataset.Store      // guarded-by: engMu
 }
 
 // New creates an advisor bound to one cloud subscription, with the default
@@ -435,7 +436,10 @@ func (a *Advisor) WritePredictedPlotsSVG(dir string, f dataset.Filter, cfg predi
 }
 
 // writeSVGs renders every plot of the set through render and writes one
-// .svg file per canonical plot name into dir.
+// .svg file per canonical plot name into dir. Writes are atomic
+// (fsatomic): a crash or failed render mid-set leaves each output either
+// absent or complete from a previous run, never torn, so a dashboard
+// re-reading the directory cannot pick up half an SVG.
 func writeSVGs(dir string, render func(name string) ([]byte, error)) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -447,7 +451,7 @@ func writeSVGs(dir string, render func(name string) ([]byte, error)) ([]string, 
 			return nil, err
 		}
 		path := filepath.Join(dir, name+".svg")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
+		if err := fsatomic.WriteFile(path, data, 0o644); err != nil {
 			return nil, err
 		}
 		paths = append(paths, path)

@@ -80,11 +80,11 @@ type Sink interface {
 // surfaced by Flush, keeping the hot Add path signature-free.
 type Store struct {
 	mu      sync.RWMutex
-	points  []Point
-	gen     uint64
-	snap    *Snapshot // cached; valid iff snap.gen == gen, kept stale for merge amortization
-	sink    Sink
-	sinkErr error // first write-through failure, surfaced by Flush
+	points  []Point   // guarded-by: mu
+	gen     uint64    // guarded-by: mu
+	snap    *Snapshot // guarded-by: mu; cached, valid iff snap.gen == gen, kept stale for merge amortization
+	sink    Sink      // guarded-by: mu
+	sinkErr error     // guarded-by: mu; first write-through failure, surfaced by Flush
 }
 
 // NewStore returns an empty store.
@@ -188,9 +188,9 @@ func (s *Store) Flush() error {
 	return s.sinkErr
 }
 
-// appendThrough forwards one point to the sink, recording the first error.
+// appendThroughLocked forwards one point to the sink, recording the first error.
 // Callers hold s.mu.
-func (s *Store) appendThrough(p Point) {
+func (s *Store) appendThroughLocked(p Point) {
 	if s.sink == nil {
 		return
 	}
@@ -204,7 +204,7 @@ func (s *Store) Add(p Point) {
 	s.mu.Lock()
 	s.points = append(s.points, p)
 	s.gen++
-	s.appendThrough(p)
+	s.appendThroughLocked(p)
 	s.mu.Unlock()
 }
 
@@ -218,7 +218,7 @@ func (s *Store) AddAll(pts []Point) {
 	s.points = append(s.points, pts...)
 	s.gen += uint64(len(pts))
 	for i := range pts {
-		s.appendThrough(pts[i])
+		s.appendThroughLocked(pts[i])
 	}
 	s.mu.Unlock()
 }

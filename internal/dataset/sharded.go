@@ -13,14 +13,14 @@ import "sync"
 // concurrency-safe, but the intended pattern is one producer per shard.
 type Sharded struct {
 	mu     sync.Mutex
-	order  []string
-	shards map[string]*Store
+	order  []string          // guarded-by: mu
+	shards map[string]*Store // guarded-by: mu
 
 	// view caches the merged read-optimized snapshot; valid while every
 	// shard is still at the generation recorded in viewGens.
-	view     *Snapshot
-	viewGens []uint64
-	viewSeq  uint64
+	view     *Snapshot // guarded-by: mu
+	viewGens []uint64  // guarded-by: mu
+	viewSeq  uint64    // guarded-by: mu
 }
 
 // NewSharded returns an empty sharded store.

@@ -12,13 +12,13 @@ import "sync"
 // Safe for concurrent use (lanes increment while the API snapshots).
 type CollectionStats struct {
 	mu       sync.Mutex
-	attempts map[string]uint64 // failure class -> attempts that ended in it
-	retries  map[string]uint64 // failure class -> retries it caused
-	breaker  map[string]string // SKU -> breaker state (closed/open/half-open)
-	trips    uint64
-	resumed  uint64
-	rerun    uint64
-	records  uint64
+	attempts map[string]uint64 // guarded-by: mu; failure class -> attempts that ended in it
+	retries  map[string]uint64 // guarded-by: mu; failure class -> retries it caused
+	breaker  map[string]string // guarded-by: mu; SKU -> breaker state (closed/open/half-open)
+	trips    uint64            // guarded-by: mu
+	resumed  uint64            // guarded-by: mu
+	rerun    uint64            // guarded-by: mu
+	records  uint64            // guarded-by: mu
 }
 
 // NewCollectionStats returns an empty counter set.

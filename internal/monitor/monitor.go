@@ -82,8 +82,8 @@ func (s Sample) Validate() error {
 // NewAggregator.
 type Aggregator struct {
 	mu     sync.Mutex
-	sums   map[string]Sample
-	counts map[string]int
+	sums   map[string]Sample // guarded-by: mu
+	counts map[string]int    // guarded-by: mu
 }
 
 // NewAggregator returns an empty aggregator.

@@ -48,10 +48,10 @@ type Engine struct {
 	max int
 
 	mu       sync.Mutex
-	entries  map[string]*list.Element
-	lru      *list.List // front = most recently used
-	inflight map[string]*call
-	stats    Stats
+	entries  map[string]*list.Element // guarded-by: mu
+	lru      *list.List               // guarded-by: mu; front = most recently used
+	inflight map[string]*call         // guarded-by: mu
+	stats    Stats                    // guarded-by: mu
 }
 
 type entry struct {

@@ -705,7 +705,7 @@ func (f *Follower) notify() {
 }
 
 func sleep(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //hpcvet:allow simdeterminism replication retry backoff waits on real time
 	defer t.Stop()
 	select {
 	case <-t.C:

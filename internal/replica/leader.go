@@ -66,7 +66,7 @@ func (l *Leader) handleManifest(w http.ResponseWriter, r *http.Request) {
 		}
 		ifVersion, hasVersion = v, true
 	}
-	deadline := time.Now().Add(waitFor(q.Get("wait_ms")))
+	deadline := time.Now().Add(waitFor(q.Get("wait_ms"))) //hpcvet:allow simdeterminism long-poll deadlines are real wall-clock HTTP timeouts
 	for {
 		// Grab the watch channel before reading state: a change that lands
 		// between the read and the select still closes this channel, so no
@@ -81,14 +81,14 @@ func (l *Leader) handleManifest(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, m)
 			return
 		}
-		remain := time.Until(deadline)
+		remain := time.Until(deadline) //hpcvet:allow simdeterminism long-poll deadlines are real wall-clock HTTP timeouts
 		if remain <= 0 {
 			writeJSON(w, m) // timed out: report unchanged state
 			return
 		}
 		select {
 		case <-changed:
-		case <-time.After(remain):
+		case <-time.After(remain): //hpcvet:allow simdeterminism long-poll park on the wall clock by design
 		case <-r.Context().Done():
 			return
 		}
@@ -134,7 +134,7 @@ func (l *Leader) handleSegment(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	deadline := time.Now().Add(waitFor(q.Get("wait_ms")))
+	deadline := time.Now().Add(waitFor(q.Get("wait_ms"))) //hpcvet:allow simdeterminism long-poll deadlines are real wall-clock HTTP timeouts
 	for {
 		changed := l.store.Watch()
 		data, info, err := l.store.ReadSegmentAt(seq, from)
@@ -149,7 +149,7 @@ func (l *Leader) handleSegment(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		remain := time.Until(deadline)
+		remain := time.Until(deadline) //hpcvet:allow simdeterminism long-poll deadlines are real wall-clock HTTP timeouts
 		if len(data) > 0 || info.Sealed || remain <= 0 {
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Header().Set("X-Replica-Size", strconv.FormatInt(info.Size, 10))
@@ -160,7 +160,7 @@ func (l *Leader) handleSegment(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-changed:
-		case <-time.After(remain):
+		case <-time.After(remain): //hpcvet:allow simdeterminism long-poll park on the wall clock by design
 		case <-r.Context().Done():
 			return
 		}
