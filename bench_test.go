@@ -1008,6 +1008,75 @@ func BenchmarkAblationIndexVsScan(b *testing.B) {
 	}
 }
 
+// BenchmarkColumnarSelect is the headline number for the columnar snapshot:
+// the interned-symbol columnar path (Select, columnar match + posting
+// intersection) against the row-struct scan it replaced (SelectScan), on
+// the same prebuilt ~10k-point snapshot. The acceptance bar is columnar
+// at least 2x the row baseline on uncached filtered selects.
+func BenchmarkColumnarSelect(b *testing.B) {
+	store := queryBenchStore(10000)
+	store.Snapshot() // build columns, postings, and hot fronts once up front
+	cases := []struct {
+		name string
+		f    dataset.Filter
+	}{
+		{"selective", dataset.Filter{AppName: "openfoam", SKU: "hb120rs_v3", InputDesc: "atoms=4B"}},
+		{"one-app", dataset.Filter{AppName: "lammps"}},
+		{"node-bounds", dataset.Filter{AppName: "lammps", MinNodes: 2, MaxNodes: 8}},
+		{"tag-fallback", dataset.Filter{Tags: map[string]string{"run": "r1"}}},
+	}
+	for _, tc := range cases {
+		b.Run("columnar/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = store.Select(tc.f)
+			}
+		})
+		b.Run("rowscan/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = store.SelectScan(tc.f)
+			}
+		})
+	}
+}
+
+// BenchmarkHotFrontServe measures advice cost right after a generation
+// roll — the case the precomputed hot fronts exist for. Every iteration
+// appends one point, invalidating the engine's per-generation caches, and
+// then asks for a front. "precomputed" serves through Engine.Advice, which
+// hands out the snapshot's hot front; "recompute" is the pre-tentpole
+// shape: a fresh Select copy plus an on-demand Pareto sweep.
+func BenchmarkHotFrontServe(b *testing.B) {
+	filters := []dataset.Filter{
+		{},
+		{AppName: "lammps"},
+		{SKU: "hb120rs_v3"},
+		{InputDesc: "atoms=4B"},
+	}
+	b.Run("precomputed", func(b *testing.B) {
+		store := queryBenchStore(10000)
+		eng := queryengine.New(store, 0)
+		store.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store.Add(appendPoint(i))
+			if len(eng.Advice(filters[i%len(filters)], pareto.ByTime)) == 0 {
+				b.Fatal("empty advice")
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		store := queryBenchStore(10000)
+		store.Snapshot()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store.Add(appendPoint(i))
+			if len(pareto.Advice(store.Select(filters[i%len(filters)]), pareto.ByTime)) == 0 {
+				b.Fatal("empty advice")
+			}
+		}
+	})
+}
+
 //
 // Extension: adaptive budgeted collection — front recall per dollar.
 //

@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"hpcadvisor/internal/service"
@@ -42,15 +43,92 @@ type Server struct {
 	requests    atomic.Uint64
 	notModified atomic.Uint64
 
+	// Encode/write failure counters for /metrics: a response body that
+	// failed to marshal (encodeErrors) or could not be fully written to the
+	// client (writeErrors) is otherwise invisible — by the time a write
+	// fails the status line is already out, so the counter is the only
+	// place a truncated response surfaces.
+	encodeErrors atomic.Uint64
+	writeErrors  atomic.Uint64
+
+	// bodyHits counts advice responses served straight from the
+	// per-generation body cache, skipping even the query parse.
+	bodyHits atomic.Uint64
+
 	// etagCache memoizes the rendered ETag of the current generation, so a
 	// fleet of revalidating clients costs a pointer load per request
 	// instead of an integer format.
 	etagCache atomic.Pointer[etagEntry]
+
+	// adviceBodies caches fully rendered /api/v1/advice bodies for the
+	// current generation, keyed by raw query string, so the hot serving
+	// path is a map probe plus a write — no URL parsing, no filter
+	// canonicalization, no engine probe. A generation roll swaps in a
+	// fresh cache; stale entries die with their cache.
+	adviceBodies atomic.Pointer[bodyCache]
 }
 
 type etagEntry struct {
 	gen uint64
 	tag string
+}
+
+// maxCachedBodies bounds the per-generation body cache. Distinct raw query
+// strings beyond the cap fall through to the normal (still engine-cached)
+// render path, so an adversarial query stream cannot grow the map without
+// bound.
+const maxCachedBodies = 512
+
+// bodyCache memoizes rendered advice bodies for one generation.
+type bodyCache struct {
+	gen    uint64
+	mu     sync.RWMutex
+	bodies map[string][]byte // guarded-by: mu
+}
+
+func (c *bodyCache) get(rawQuery string) ([]byte, bool) {
+	c.mu.RLock()
+	body, ok := c.bodies[rawQuery]
+	c.mu.RUnlock()
+	return body, ok
+}
+
+func (c *bodyCache) put(rawQuery string, body []byte) {
+	c.mu.Lock()
+	if len(c.bodies) < maxCachedBodies {
+		c.bodies[rawQuery] = body
+	}
+	c.mu.Unlock()
+}
+
+// cachedBody returns the cached advice body for a raw query at gen, if the
+// current cache is for that generation and holds it.
+func (s *Server) cachedBody(gen uint64, rawQuery string) ([]byte, bool) {
+	if c := s.adviceBodies.Load(); c != nil && c.gen == gen {
+		return c.get(rawQuery)
+	}
+	return nil, false
+}
+
+// storeBody records a rendered advice body under the generation its bytes
+// were actually rendered at. A cache for a newer generation is never
+// displaced — a racing older render just goes uncached.
+func (s *Server) storeBody(gen uint64, rawQuery string, body []byte) {
+	for {
+		c := s.adviceBodies.Load()
+		if c != nil && c.gen == gen {
+			c.put(rawQuery, body)
+			return
+		}
+		if c != nil && c.gen > gen {
+			return
+		}
+		nc := &bodyCache{gen: gen, bodies: make(map[string][]byte)}
+		if s.adviceBodies.CompareAndSwap(c, nc) {
+			nc.put(rawQuery, body)
+			return
+		}
+	}
 }
 
 // New builds an API server over a service.
@@ -98,21 +176,45 @@ type errorBody struct {
 	} `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, err error) {
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var body errorBody
 	body.Error.Status = StatusOf(err)
 	body.Error.Message = err.Error()
+	data, mErr := json.Marshal(body)
+	if mErr != nil {
+		// Unreachable for a fixed struct of ints and strings, but counted
+		// rather than silently dropped if it ever happens.
+		s.encodeErrors.Add(1)
+		w.WriteHeader(body.Error.Status)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(body.Error.Status)
-	_ = json.NewEncoder(w).Encode(body)
+	s.writeBody(w, append(data, '\n'))
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Headers are out; nothing to do but drop the connection.
+// writeJSON marshals v and writes it. Marshaling up front (instead of
+// streaming through an Encoder) means an encode failure happens before any
+// byte reaches the client, so it can still be answered with a well-formed
+// 500 — and counted, where the old Encoder path discarded it. The trailing
+// newline preserves the Encoder's framing byte for byte.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.encodeErrors.Add(1)
+		s.writeError(w, service.Internalf(err, "encoding response"))
 		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	s.writeBody(w, append(data, '\n'))
+}
+
+// writeBody writes a fully rendered body, counting short or failed writes:
+// the status line is already out, so the counter is the only observable
+// trace of a truncated response.
+func (s *Server) writeBody(w http.ResponseWriter, body []byte) {
+	if n, err := w.Write(body); err != nil || n < len(body) {
+		s.writeErrors.Add(1)
 	}
 }
 
@@ -160,7 +262,14 @@ func (s *Server) etagFor(gen uint64) string {
 // ETag can never disagree with the bytes under it even while a concurrent
 // collection appends between the check and the render.
 func (s *Server) serveNotModified(w http.ResponseWriter, r *http.Request) bool {
-	tag := s.etagFor(s.svc.Generation())
+	return s.serveNotModifiedAt(w, r, s.svc.Generation())
+}
+
+// serveNotModifiedAt is serveNotModified for a handler that already
+// fetched the generation (to share it with a body-cache probe) and must
+// not fetch it twice.
+func (s *Server) serveNotModifiedAt(w http.ResponseWriter, r *http.Request, gen uint64) bool {
+	tag := s.etagFor(gen)
 	if etagMatch(r.Header.Get("If-None-Match"), tag) {
 		h := w.Header()
 		h.Set("ETag", tag)
@@ -181,25 +290,41 @@ func (s *Server) stampCaching(w http.ResponseWriter, gen uint64) {
 
 // handleAdvice serves the service.AdviceResponse envelope: generation,
 // canonical sort name, row count, and the rows. The encoded body is
-// memoized per (filter, order, generation) in the query engine, so under
-// steady traffic this handler is a parse plus a cache probe.
+// memoized per (filter, order, generation) in the query engine, and the
+// fully rendered response is additionally cached here per (raw query,
+// generation) — so under steady traffic this handler is a header compare
+// and a map probe, with no query parsing at all. The generation is fetched
+// exactly once and threaded through both the revalidation check and the
+// cache probe (snapshot-pinning discipline).
 func (s *Server) handleAdvice(w http.ResponseWriter, r *http.Request) {
-	if s.serveNotModified(w, r) {
+	gen := s.svc.Generation()
+	if s.serveNotModifiedAt(w, r, gen) {
+		return
+	}
+	if body, ok := s.cachedBody(gen, r.URL.RawQuery); ok {
+		s.bodyHits.Add(1)
+		s.stampCaching(w, gen)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s.writeBody(w, body)
 		return
 	}
 	req, err := service.ParseAdviceRequest(r.URL.Query())
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	body, gen, err := s.svc.AdviceJSON(req)
+	body, bgen, err := s.svc.AdviceJSON(req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
-	s.stampCaching(w, gen)
+	// Cache under bgen — the generation the body was actually rendered at,
+	// which may already differ from gen if a collection appended — so the
+	// cached bytes can never be served under a mismatched ETag.
+	s.storeBody(bgen, r.URL.RawQuery, body)
+	s.stampCaching(w, bgen)
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	_, _ = w.Write(body)
+	s.writeBody(w, body)
 }
 
 // handlePredictedAdvice serves the service.PredictedResponse envelope —
@@ -211,12 +336,12 @@ func (s *Server) handlePredictedAdvice(w http.ResponseWriter, r *http.Request) {
 	}
 	req, err := service.ParsePredictRequest(r.URL.Query())
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	body, gen, err := s.svc.PredictedAdviceJSON(req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.stampCaching(w, gen)
@@ -230,17 +355,17 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 	}
 	base, ok := strings.CutSuffix(r.PathValue("name"), ".svg")
 	if !ok {
-		writeError(w, service.NotFoundf("plot artifacts are .svg files (try %s.svg)", r.PathValue("name")))
+		s.writeError(w, service.NotFoundf("plot artifacts are .svg files (try %s.svg)", r.PathValue("name")))
 		return
 	}
 	req, err := service.ParsePlotRequest(base, r.URL.Query())
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	data, gen, err := s.svc.PlotSVG(req)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.stampCaching(w, gen)
@@ -255,13 +380,13 @@ type scenariosResponse struct {
 func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
 	deps, err := s.svc.Scenarios()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	if deps == nil {
 		deps = []service.DeploymentScenarios{}
 	}
-	writeJSON(w, scenariosResponse{Deployments: deps})
+	s.writeJSON(w, scenariosResponse{Deployments: deps})
 }
 
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
@@ -270,11 +395,11 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.svc.Dataset()
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	s.stampCaching(w, info.Generation)
-	writeJSON(w, info)
+	s.writeJSON(w, info)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -291,7 +416,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 		body["replication"] = rs
 	}
-	writeJSON(w, body)
+	s.writeJSON(w, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -311,6 +436,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("hpcadvisor_cache_evictions_total", "Query engine cache evictions.", stats.Evictions)
 	counter("hpcadvisor_http_requests_total", "API requests served.", s.requests.Load())
 	counter("hpcadvisor_http_not_modified_total", "Revalidations answered 304.", s.notModified.Load())
+	counter("hpcadvisor_http_body_cache_hits_total", "Advice responses served from the per-generation body cache.", s.bodyHits.Load())
+	counter("hpcadvisor_http_encode_errors_total", "Response bodies whose JSON encoding failed.", s.encodeErrors.Load())
+	counter("hpcadvisor_http_write_errors_total", "Response bodies truncated by a failed or short client write.", s.writeErrors.Load())
 	if rs, ok := s.svc.Replication(); ok && rs.Role == "follower" {
 		gauge("hpcadvisor_replica_lag_points", "Points behind the leader's durable log position.", uint64(rs.Lag))
 		gauge("hpcadvisor_replica_applied_points", "Points applied from the leader's log.", uint64(rs.Applied))

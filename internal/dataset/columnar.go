@@ -1,0 +1,360 @@
+package dataset
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file implements the columnar side of a Snapshot: a struct-of-arrays
+// mirror of the sorted points plus precomputed Pareto fronts for the hot
+// filters. The row slice stays the source of truth (Select still returns
+// []Point copies); the columns exist so the per-candidate filter predicate
+// is a handful of integer compares over contiguous memory instead of
+// case-folding 20-field structs, and so the Pareto sweep can sort candidate
+// positions instead of copying full points.
+//
+// Everything here is immutable once the snapshot is published, with one
+// carefully-scoped exception: each hotFront computes its rows at most once
+// under a sync.Once (eagerly on bulk builds, on first use under
+// fine-grained appends), which is safe for any number of concurrent
+// readers.
+
+// columns is the struct-of-arrays mirror of Snapshot.sorted. String fields
+// are interned through one shared symbol table: two cells are equal iff
+// their strings are equal, so cross-column compares (a filter SKU against
+// both the full name and the alias column) are plain uint32 equality.
+type columns struct {
+	syms map[string]uint32 // interned symbol -> dense ID
+
+	app    []uint32 // ToLower(AppName) symbol per point
+	sku    []uint32 // ToLower(SKU) symbol per point
+	alias  []uint32 // ToLower(SKUAlias) symbol per point
+	input  []uint32 // exact InputDesc symbol per point
+	nodes  []int32
+	exec   []float64
+	cost   []float64
+	failed []uint64 // bitmap, one bit per point
+}
+
+func (cs *columns) intern(s string) uint32 {
+	if id, ok := cs.syms[s]; ok {
+		return id
+	}
+	id := uint32(len(cs.syms))
+	cs.syms[s] = id
+	return id
+}
+
+func (cs *columns) failedBit(i int) bool {
+	return cs.failed[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// colFilter is a CanonicalFilter with its string constraints resolved to
+// this snapshot's symbol IDs, so matching a candidate does no string work
+// at all (tags excepted — they stay a residual map probe on the row).
+type colFilter struct {
+	c                     *CanonicalFilter
+	appID, skuID, inputID uint32
+	hasApp, hasSKU, hasIn bool
+}
+
+// resolve interns the filter's string constraints against the snapshot's
+// symbol table. A constrained value absent from the table matches nothing
+// in any column, so lookups that miss still yield a correct (never-match)
+// filter; the ok result lets callers skip the scan entirely.
+func (sn *Snapshot) resolve(c *CanonicalFilter) (colFilter, bool) {
+	cf := colFilter{c: c}
+	if c.app != "" {
+		id, ok := sn.col.syms[c.app]
+		if !ok {
+			return cf, false
+		}
+		cf.appID, cf.hasApp = id, true
+	}
+	if c.sku != "" {
+		id, ok := sn.col.syms[c.sku]
+		if !ok {
+			return cf, false
+		}
+		cf.skuID, cf.hasSKU = id, true
+	}
+	if c.input != "" {
+		id, ok := sn.col.syms[c.input]
+		if !ok {
+			return cf, false
+		}
+		cf.inputID, cf.hasIn = id, true
+	}
+	return cf, true
+}
+
+// matchAt reports whether point i passes the resolved filter. It mirrors
+// CanonicalFilter.Match exactly (the property and fuzz suites pin the two
+// together against SelectScan), touching only the columns until the tag
+// residual.
+func (sn *Snapshot) matchAt(cf *colFilter, i int) bool {
+	col := &sn.col
+	if !cf.c.includeFailed && col.failedBit(i) {
+		return false
+	}
+	if cf.hasApp && col.app[i] != cf.appID {
+		return false
+	}
+	if cf.hasSKU && col.sku[i] != cf.skuID && col.alias[i] != cf.skuID {
+		return false
+	}
+	if cf.hasIn && col.input[i] != cf.inputID {
+		return false
+	}
+	if cf.c.minNodes > 0 && int(col.nodes[i]) < cf.c.minNodes {
+		return false
+	}
+	if cf.c.maxNodes > 0 && int(col.nodes[i]) > cf.c.maxNodes {
+		return false
+	}
+	for _, t := range cf.c.tags {
+		if sn.sorted[i].Tags[t.k] != t.v {
+			return false
+		}
+	}
+	return true
+}
+
+// sortByTimeCost stably sorts candidate positions by ascending (exec,
+// cost), comparing column cells. The hand-rolled bottom-up merge avoids
+// sort.SliceStable's reflection-based swaps on the per-generation front
+// path. Stability is load-bearing, not a nicety: a stable sort's output is
+// uniquely determined by keys and input order, so this sort and
+// pareto.Front's sort.SliceStable produce the same permutation of the same
+// candidates — which is what makes precomputed fronts byte-identical to
+// the scan path even for exact (time, cost) duplicates.
+func sortByTimeCost(idx []int32, exec, cost []float64) {
+	n := len(idx)
+	if n < 2 {
+		return
+	}
+	less := func(a, b int32) bool {
+		if exec[a] != exec[b] {
+			return exec[a] < exec[b]
+		}
+		return cost[a] < cost[b]
+	}
+	buf := make([]int32, n)
+	src, dst := idx, buf
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid, hi := lo+width, lo+2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j := lo, mid
+			for k := lo; k < hi; k++ {
+				// Take left on ties: stability.
+				if j >= hi || (i < mid && !less(src[j], src[i])) {
+					dst[k] = src[i]
+					i++
+				} else {
+					dst[k] = src[j]
+					j++
+				}
+			}
+		}
+		src, dst = dst, src
+	}
+	if len(src) > 0 && &src[0] != &idx[0] {
+		copy(idx, src)
+	}
+}
+
+// frontCanonical computes the Pareto front of the filter's matches
+// straight from the columns: candidate positions (already in canonical
+// select order) are stably sorted by (time, cost) and swept once; only the
+// surviving rows are materialized. The sweep replicates pareto.Front
+// expression for expression — including the NaN-tolerant minCost seed —
+// so the result equals pareto.Front(sn.Select(f)) byte for byte without
+// copying the candidate points first.
+func (sn *Snapshot) frontCanonical(c *CanonicalFilter) []Point {
+	cf, ok := sn.resolve(c)
+	if !ok {
+		return nil
+	}
+	var cand []int32
+	if list, indexed := sn.postings(c); indexed {
+		cand = make([]int32, 0, len(list))
+		for _, i := range list {
+			if !sn.col.failedBit(int(i)) && sn.matchAt(&cf, int(i)) {
+				cand = append(cand, i)
+			}
+		}
+	} else {
+		cand = make([]int32, 0, len(sn.sorted))
+		for i := range sn.sorted {
+			if !sn.col.failedBit(i) && sn.matchAt(&cf, i) {
+				cand = append(cand, int32(i))
+			}
+		}
+	}
+	if len(cand) == 0 {
+		return nil
+	}
+	sortByTimeCost(cand, sn.col.exec, sn.col.cost)
+	cost := sn.col.cost
+	var front []Point
+	minCost := cost[cand[0]] + 1
+	for _, i := range cand {
+		if cost[i] < minCost {
+			front = append(front, sn.sorted[i])
+			minCost = cost[i]
+		}
+	}
+	return front
+}
+
+// hotFrontLimit caps how many filters get precomputed fronts per snapshot.
+// Candidates (the unfiltered view, each app, each SKU alias, each input)
+// are ranked by match count, so the cap keeps the filters that are most
+// expensive to front on demand.
+const hotFrontLimit = 24
+
+// hotFront holds the precomputed advice for one hot filter: the Pareto
+// front in both presentation orders plus the rows pre-serialized as a JSON
+// array fragment the serving layer stitches into its envelope without
+// reflection. All result fields are written exactly once inside once and
+// are immutable afterwards.
+type hotFront struct {
+	c    CanonicalFilter
+	once sync.Once
+
+	byTime, byCost     []Point
+	timeJSON, costJSON []byte
+	jsonOK             bool
+}
+
+func (hf *hotFront) compute(sn *Snapshot) {
+	hf.once.Do(func() {
+		front := sn.frontCanonical(&hf.c)
+		hf.byTime = front
+		if len(front) > 0 {
+			// The front's cost is strictly decreasing in time order, so the
+			// cost ordering is its exact reversal — no second sort, and no
+			// tie-break to disagree on.
+			hf.byCost = make([]Point, len(front))
+			for i := range front {
+				hf.byCost[len(front)-1-i] = front[i]
+			}
+		}
+		hf.timeJSON, hf.costJSON, hf.jsonOK = marshalFrontRows(hf.byTime, hf.byCost)
+	})
+}
+
+// marshalFrontRows renders both orderings as JSON array fragments
+// byte-identical to json.Marshal of the (nil-coalesced) slices. ok=false —
+// a row that cannot marshal, e.g. a NaN metric — leaves the serving path
+// on its reflect-based encoder, which surfaces the error properly.
+func marshalFrontRows(byTime, byCost []Point) (timeJSON, costJSON []byte, ok bool) {
+	timeJSON, ok = marshalRows(byTime)
+	if !ok {
+		return nil, nil, false
+	}
+	costJSON, ok = marshalRows(byCost)
+	if !ok {
+		return nil, nil, false
+	}
+	return timeJSON, costJSON, true
+}
+
+func marshalRows(rows []Point) ([]byte, bool) {
+	buf := make([]byte, 0, 2+192*len(rows))
+	buf = append(buf, '[')
+	for i := range rows {
+		b, err := json.Marshal(&rows[i])
+		if err != nil {
+			return nil, false
+		}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, b...)
+	}
+	return append(buf, ']'), true
+}
+
+// buildHotFronts selects the top-K single-field filters by match count and
+// installs their (lazily or eagerly computed) precomputed fronts. The hot
+// map itself is immutable after this returns; see hotFront for the
+// compute-once discipline. Invalidation is the snapshot lifecycle itself:
+// a generation roll builds a new snapshot with new hot entries, and the
+// old ones are garbage the moment the last reader drops the old snapshot.
+func (sn *Snapshot) buildHotFronts(eager bool) {
+	type cand struct {
+		f Filter
+		n int
+	}
+	cands := make([]cand, 0, 1+len(sn.apps)+len(sn.skus)+len(sn.inputs))
+	cands = append(cands, cand{Filter{}, len(sn.sorted)})
+	for _, app := range sn.apps {
+		cands = append(cands, cand{Filter{AppName: app}, len(sn.byApp[strings.ToLower(app)])})
+	}
+	for _, alias := range sn.skus {
+		cands = append(cands, cand{Filter{SKU: alias}, len(sn.bySKU[strings.ToLower(alias)])})
+	}
+	for _, in := range sn.inputs {
+		if in != "" {
+			cands = append(cands, cand{Filter{InputDesc: in}, len(sn.byInput[in])})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].n > cands[j].n })
+	if len(cands) > hotFrontLimit {
+		cands = cands[:hotFrontLimit]
+	}
+	sn.hot = make(map[string]*hotFront, len(cands))
+	for _, cd := range cands {
+		c := cd.f.Canonical()
+		hf := &hotFront{c: c}
+		sn.hot[c.Key()] = hf
+		if eager {
+			hf.compute(sn)
+		}
+	}
+}
+
+// HotAdvice returns the precomputed advice rows for a hot filter in the
+// requested order, or ok=false when the filter is not hot (the caller
+// falls back to the on-demand front). The rows are shared with the
+// snapshot and must be treated as read-only; the query engine copies
+// before handing them to callers, exactly as it does for its own cache.
+func (sn *Snapshot) HotAdvice(c *CanonicalFilter, byCost bool) ([]Point, bool) {
+	hf := sn.hot[c.Key()]
+	if hf == nil {
+		return nil, false
+	}
+	hf.compute(sn)
+	if byCost {
+		return hf.byCost, true
+	}
+	return hf.byTime, true
+}
+
+// HotAdviceJSON returns the pre-serialized rows of a hot filter as a JSON
+// array fragment plus the row count, or ok=false when the filter is not
+// hot or its rows cannot marshal. The bytes are shared and must not be
+// modified.
+func (sn *Snapshot) HotAdviceJSON(c *CanonicalFilter, byCost bool) ([]byte, int, bool) {
+	hf := sn.hot[c.Key()]
+	if hf == nil {
+		return nil, 0, false
+	}
+	hf.compute(sn)
+	if !hf.jsonOK {
+		return nil, 0, false
+	}
+	if byCost {
+		return hf.costJSON, len(hf.byCost), true
+	}
+	return hf.timeJSON, len(hf.byTime), true
+}

@@ -1,0 +1,317 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// naiveAdvice is an independent O(n^2) advice oracle (the FrontNaive
+// pattern, reimplemented here because dataset cannot import pareto):
+// dominance scan with exact duplicates resolved to the first occurrence,
+// then a stable presentation sort. Both the columnar hot fronts and
+// pareto.Advice(SelectScan(f)) must match it byte for byte; the
+// cross-package half of that triangle runs in queryengine's equivalence
+// suite.
+func naiveAdvice(points []Point, byCost bool) []Point {
+	var ok []Point
+	for _, p := range points {
+		if !p.Failed {
+			ok = append(ok, p)
+		}
+	}
+	var front []Point
+	for i, p := range ok {
+		dominated := false
+		for j, q := range ok {
+			if i == j {
+				continue
+			}
+			if q.ExecTimeSec <= p.ExecTimeSec && q.CostUSD <= p.CostUSD &&
+				(q.ExecTimeSec < p.ExecTimeSec || q.CostUSD < p.CostUSD) {
+				dominated = true
+				break
+			}
+			if q.ExecTimeSec == p.ExecTimeSec && q.CostUSD == p.CostUSD && j < i {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	if byCost {
+		sort.SliceStable(front, func(i, j int) bool { return front[i].CostUSD < front[j].CostUSD })
+	} else {
+		sort.SliceStable(front, func(i, j int) bool { return front[i].ExecTimeSec < front[j].ExecTimeSec })
+	}
+	return front
+}
+
+// hotCandidateFilters enumerates every filter the snapshot may have
+// precomputed: unfiltered plus each single app/alias/input.
+func hotCandidateFilters(sn *Snapshot) []Filter {
+	filters := []Filter{{}}
+	for _, app := range sn.Apps() {
+		filters = append(filters, Filter{AppName: app})
+	}
+	for _, alias := range sn.SKUAliases() {
+		filters = append(filters, Filter{SKU: alias})
+	}
+	for _, in := range sn.Inputs() {
+		if in != "" {
+			filters = append(filters, Filter{InputDesc: in})
+		}
+	}
+	return filters
+}
+
+// The columnar Select must agree with the scan baseline on the non-indexed
+// corners the property test only hits probabilistically: tag-only filters,
+// IncludeFailed, node bounds alone, alias vs full-SKU spelling, absent
+// symbols, and the empty filter.
+func TestColumnarSelectCorners(t *testing.T) {
+	s := randomStore(rand.New(rand.NewSource(7)), 400)
+	corners := []Filter{
+		{},
+		{IncludeFailed: true},
+		{Tags: map[string]string{"run": "r1"}},
+		{Tags: map[string]string{"run": "r1"}, IncludeFailed: true},
+		{Tags: map[string]string{"run": "nosuch"}},
+		{MinNodes: 2, MaxNodes: 8},
+		{MinNodes: 16},
+		{MaxNodes: 1},
+		{SKU: "Standard_HB120rs_v3"},           // full SKU name
+		{SKU: "hb120rs_v3"},                    // alias
+		{SKU: "STANDARD_HB120RS_V3"},           // full name, folded
+		{AppName: "GROMACS", SKU: "hc44rs"},    // two indexed fields
+		{AppName: "nosuchapp"},                 // absent symbol
+		{InputDesc: "atoms=864m"},              // inputs are case-sensitive: no match
+		{InputDesc: "atoms=864M", MinNodes: 4}, // indexed + residual
+		{AppName: "lammps", SKU: "hb120rs_v3", InputDesc: "cells=8M", MinNodes: 2, MaxNodes: 16,
+			Tags: map[string]string{"run": "r0"}, IncludeFailed: true},
+	}
+	for i, f := range corners {
+		got, want := s.Select(f), s.SelectScan(f)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("corner %d (%+v): columnar Select diverges from scan (%d vs %d pts)", i, f, len(got), len(want))
+		}
+		groups := s.Snapshot().GroupSeries(f)
+		naive := map[SeriesKey][]Point{}
+		for _, p := range want {
+			k := SeriesKey{SKUAlias: p.SKUAlias, InputDesc: p.InputDesc}
+			naive[k] = append(naive[k], p)
+		}
+		if !reflect.DeepEqual(groups, naive) {
+			t.Errorf("corner %d (%+v): GroupSeries diverges from naive grouping", i, f)
+		}
+	}
+}
+
+// Every precomputed hot front must match the independent dominance oracle
+// applied to the scan baseline, in both presentation orders, and the
+// pre-serialized rows must be byte-identical to encoding/json over the
+// same rows.
+func TestHotFrontMatchesNaiveOracle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := randomStore(rand.New(rand.NewSource(seed)), 300)
+		sn := s.Snapshot()
+		hot := 0
+		for _, f := range hotCandidateFilters(sn) {
+			c := f.Canonical()
+			for _, byCost := range []bool{false, true} {
+				rows, ok := sn.HotAdvice(&c, byCost)
+				if !ok {
+					continue
+				}
+				hot++
+				want := naiveAdvice(s.SelectScan(f), byCost)
+				if !reflect.DeepEqual(rows, want) {
+					t.Fatalf("seed %d filter %+v byCost=%v: hot front diverges from oracle (%d vs %d rows)",
+						seed, f, byCost, len(rows), len(want))
+				}
+				frag, count, ok := sn.HotAdviceJSON(&c, byCost)
+				if !ok || count != len(rows) {
+					t.Fatalf("seed %d filter %+v: HotAdviceJSON ok=%v count=%d, want %d rows", seed, f, ok, count, len(rows))
+				}
+				marshalable := rows
+				if marshalable == nil {
+					marshalable = []Point{}
+				}
+				wantJSON, err := json.Marshal(marshalable)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(frag) != string(wantJSON) {
+					t.Fatalf("seed %d filter %+v: pre-serialized rows differ from json.Marshal\n got: %s\nwant: %s",
+						seed, f, frag, wantJSON)
+				}
+			}
+		}
+		if hot == 0 {
+			t.Fatalf("seed %d: no hot fronts at all", seed)
+		}
+		// Multi-field filters are never hot: the engine must fall back.
+		c := (Filter{AppName: "lammps", SKU: "hb120rs_v3"}).Canonical()
+		if _, ok := sn.HotAdvice(&c, false); ok {
+			t.Error("two-field filter unexpectedly has a precomputed front")
+		}
+	}
+}
+
+// Exact (time, cost) duplicates across different SKUs pin the stable
+// tie-break: the first point in canonical select order wins, matching the
+// oracle's first-occurrence rule. This is the case an unstable sort is
+// free to get wrong.
+func TestHotFrontDuplicateTieBreak(t *testing.T) {
+	s := NewStore()
+	mk := func(id, alias string, n int, t, c float64) Point {
+		return Point{ScenarioID: id, AppName: "lammps", SKU: "Standard_" + alias, SKUAlias: alias, NNodes: n, ExecTimeSec: t, CostUSD: c}
+	}
+	// zz sorts after aa canonically but is appended first; identical
+	// metrics mean only the tie-break decides which survives.
+	s.Add(mk("dup-z", "zz", 1, 100, 5))
+	s.Add(mk("dup-a", "aa", 1, 100, 5))
+	s.Add(mk("cheap", "aa", 2, 200, 1))
+	s.Add(mk("fast", "zz", 2, 50, 9))
+	sn := s.Snapshot()
+	c := (Filter{}).Canonical()
+	for _, byCost := range []bool{false, true} {
+		rows, ok := sn.HotAdvice(&c, byCost)
+		if !ok {
+			t.Fatal("empty filter must be hot")
+		}
+		want := naiveAdvice(s.SelectScan(Filter{}), byCost)
+		if !reflect.DeepEqual(rows, want) {
+			t.Fatalf("byCost=%v: duplicate tie-break diverges from oracle\n got: %v\nwant: %v",
+				byCost, ids(rows), ids(want))
+		}
+		for _, r := range rows {
+			if r.ScenarioID == "dup-z" {
+				t.Error("tie-break kept the later point in canonical order")
+			}
+		}
+	}
+}
+
+func ids(rows []Point) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.ScenarioID
+	}
+	return out
+}
+
+// Fine-grained appends take the lazy hot-front path (compute on first
+// use); bulk builds the eager one. Both must serve the same rows as the
+// oracle at every generation.
+func TestHotFrontLazyAfterAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := randomStore(rng, 200) // bulk: first snapshot builds fronts eagerly
+	f := Filter{AppName: "lammps"}
+	for i := 0; i < 5; i++ {
+		p := randomStore(rand.New(rand.NewSource(int64(100+i))), 1).All()[0]
+		p.ScenarioID = fmt.Sprintf("late-%d", i)
+		s.Add(p) // one-point append: fronts defer to first query
+		sn := s.Snapshot()
+		c := f.Canonical()
+		rows, ok := sn.HotAdvice(&c, false)
+		if !ok {
+			t.Fatalf("append %d: per-app filter must stay hot", i)
+		}
+		if want := naiveAdvice(s.SelectScan(f), false); !reflect.DeepEqual(rows, want) {
+			t.Fatalf("append %d: lazily computed front diverges from oracle", i)
+		}
+	}
+}
+
+// sortByTimeCost must order positions exactly like sort.SliceStable with
+// the same keys — including ties, which the merge must resolve to input
+// order.
+func TestSortByTimeCostStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		exec := make([]float64, n)
+		cost := make([]float64, n)
+		for i := range exec {
+			exec[i] = float64(rng.Intn(5)) // heavy duplication forces tie-breaks
+			cost[i] = float64(rng.Intn(3))
+		}
+		idx := make([]int32, n)
+		want := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(i)
+			want[i] = int32(i)
+		}
+		sortByTimeCost(idx, exec, cost)
+		sort.SliceStable(want, func(a, b int) bool {
+			if exec[want[a]] != exec[want[b]] {
+				return exec[want[a]] < exec[want[b]]
+			}
+			return cost[want[a]] < cost[want[b]]
+		})
+		if !reflect.DeepEqual(idx, want) {
+			t.Fatalf("trial %d: merge sort diverges from SliceStable\n got: %v\nwant: %v", trial, idx, want)
+		}
+	}
+}
+
+// asciiOnly strips non-ASCII bytes from fuzz-generated filter strings.
+// strings.EqualFold (the scan oracle) and the ToLower-keyed indexes
+// disagree on a few exotic folds (e.g. U+017F LATIN SMALL LETTER LONG S
+// folds to "s" but does not lowercase to it) — a divergence that predates
+// the columnar path, since posting keys were always ToLower. The suite
+// pins columnar and scan together on the byte range where the two folds
+// agree.
+func asciiOnly(s string) string {
+	b := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x80 {
+			b = append(b, s[i])
+		}
+	}
+	return string(b)
+}
+
+// FuzzColumnarSelect drives arbitrary filters at randomized stores and
+// requires the columnar Select and GroupSeries to match the scan baseline
+// exactly.
+func FuzzColumnarSelect(f *testing.F) {
+	f.Add(int64(1), "lammps", "hb120rs_v3", "atoms=864M", 0, 0, false, false)
+	f.Add(int64(2), "LAMMPS", "STANDARD_HC44RS", "", 2, 16, true, true)
+	f.Add(int64(3), "", "", "", -3, 0, false, true)
+	f.Add(int64(4), "wrf", "nosuchsku", "cells=8M", 1, 1, true, false)
+	f.Fuzz(func(t *testing.T, seed int64, app, sku, input string, minN, maxN int, includeFailed, tagFilter bool) {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomStore(rng, 30+int(uint64(seed)%150))
+		fl := Filter{
+			AppName:       asciiOnly(app),
+			SKU:           asciiOnly(sku),
+			InputDesc:     asciiOnly(input),
+			MinNodes:      minN % 64,
+			MaxNodes:      maxN % 64,
+			IncludeFailed: includeFailed,
+		}
+		if tagFilter {
+			fl.Tags = map[string]string{"run": "r1"}
+		}
+		got, want := s.Select(fl), s.SelectScan(fl)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("columnar Select diverges from scan for %+v (%d vs %d pts)", fl, len(got), len(want))
+		}
+		groups := s.Snapshot().GroupSeries(fl)
+		naive := map[SeriesKey][]Point{}
+		for _, p := range want {
+			k := SeriesKey{SKUAlias: p.SKUAlias, InputDesc: p.InputDesc}
+			naive[k] = append(naive[k], p)
+		}
+		if !reflect.DeepEqual(groups, naive) {
+			t.Fatalf("GroupSeries diverges from naive grouping for %+v", fl)
+		}
+	})
+}

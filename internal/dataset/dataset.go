@@ -122,8 +122,11 @@ func NewSeededStore(points, sortedPrefix []Point) *Store {
 	seed := &Snapshot{n: len(sortedPrefix), sorted: sortedPrefix}
 	if seed.n == len(points) {
 		// Full coverage: this is the current snapshot, serve it directly.
+		// A seed load is the bulk-build case, so the hot fronts are
+		// precomputed here rather than on the first advice request.
 		seed.gen = s.gen
 		seed.buildIndexes()
+		seed.buildHotFronts(true)
 	} else {
 		// Partial coverage: a stale merge seed (gen != s.gen), used only as
 		// the sorted prefix of the first real snapshot build.

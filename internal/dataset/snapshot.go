@@ -150,6 +150,18 @@ type Snapshot struct {
 	apps   []string // distinct AppNames (original case), sorted
 	skus   []string // distinct SKUAliases (original case), sorted
 	inputs []string // distinct InputDescs, sorted
+
+	// col is the struct-of-arrays mirror of sorted (see columnar.go):
+	// interned symbol IDs and typed columns, so selectCanonical compares
+	// uint32s over contiguous memory instead of case-folding strings per
+	// candidate. Immutable after build, like the rest of the snapshot.
+	col columns
+
+	// hot maps CanonicalFilter.Key() of the top-K single-field filters to
+	// their precomputed Pareto fronts and pre-serialized advice rows. The
+	// map is immutable after build; each entry computes at most once (see
+	// hotFront).
+	hot map[string]*hotFront
 }
 
 // Generation identifies the store state the snapshot was built from.
@@ -210,9 +222,14 @@ func (sn *Snapshot) postings(c *CanonicalFilter) ([]int32, bool) {
 	return out, true
 }
 
-// intersectPostings intersects two ascending posting lists.
+// intersectPostings intersects two ascending posting lists. The result can
+// be no larger than the smaller input, so that is all it allocates.
 func intersectPostings(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a))
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]int32, 0, n)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -238,17 +255,30 @@ func (sn *Snapshot) Select(f Filter) []Point {
 }
 
 func (sn *Snapshot) selectCanonical(c *CanonicalFilter) []Point {
-	var out []Point
-	if list, ok := sn.postings(c); ok {
+	cf, ok := sn.resolve(c)
+	if !ok {
+		return nil // a constrained symbol is absent: nothing can match
+	}
+	if list, indexed := sn.postings(c); indexed {
+		if len(list) == 0 {
+			return nil
+		}
+		// Preallocate from the posting length; return nil (not an empty
+		// non-nil slice) when nothing matches, like the scan baseline.
+		out := make([]Point, 0, len(list))
 		for _, i := range list {
-			if c.Match(&sn.sorted[i]) {
+			if sn.matchAt(&cf, int(i)) {
 				out = append(out, sn.sorted[i])
 			}
 		}
+		if len(out) == 0 {
+			return nil
+		}
 		return out
 	}
+	var out []Point
 	for i := range sn.sorted {
-		if c.Match(&sn.sorted[i]) {
+		if sn.matchAt(&cf, i) {
 			out = append(out, sn.sorted[i])
 		}
 	}
@@ -256,13 +286,23 @@ func (sn *Snapshot) selectCanonical(c *CanonicalFilter) []Point {
 }
 
 // GroupSeries groups filtered points into plot series. Select already
-// returns (SKU alias, input, nodes) order, so each group comes out sorted
-// by node count with no per-group re-sort.
+// returns (SKU alias, input, nodes) order, so each (alias, input) group is
+// one contiguous run of the selection: the groups are subslices of a
+// single allocation, not per-point map appends. Callers treat the series
+// as read-only (the engine's memoized maps already impose that), so the
+// shared backing array is safe; the three-index subslice makes a stray
+// append reallocate instead of clobbering the next group.
 func (sn *Snapshot) GroupSeries(f Filter) map[SeriesKey][]Point {
+	sel := sn.Select(f)
 	out := make(map[SeriesKey][]Point)
-	for _, p := range sn.Select(f) {
-		k := SeriesKey{SKUAlias: p.SKUAlias, InputDesc: p.InputDesc}
-		out[k] = append(out[k], p)
+	for start := 0; start < len(sel); {
+		end := start + 1
+		for end < len(sel) && sel[end].SKUAlias == sel[start].SKUAlias && sel[end].InputDesc == sel[start].InputDesc {
+			end++
+		}
+		k := SeriesKey{SKUAlias: sel[start].SKUAlias, InputDesc: sel[start].InputDesc}
+		out[k] = sel[start:end:end]
+		start = end
 	}
 	return out
 }
@@ -285,6 +325,11 @@ func buildSnapshot(prev *Snapshot, points []Point, gen uint64) *Snapshot {
 	sort.SliceStable(fresh, func(i, j int) bool { return pointLess(&fresh[i], &fresh[j]) })
 	sn.sorted = mergeSorted(sortedPrefix, fresh)
 	sn.buildIndexes()
+	// Hot fronts are precomputed eagerly on bulk builds (seed loads, batch
+	// merges), where the sweep cost amortizes over the whole load; under
+	// fine-grained appends each front defers to its first query, so a
+	// one-point append never pays a full front pass up front.
+	sn.buildHotFronts(covered == 0 || len(fresh)*8 >= len(points))
 	return sn
 }
 
@@ -311,9 +356,21 @@ func mergeSorted(a, b []Point) []Point {
 }
 
 func (sn *Snapshot) buildIndexes() {
+	n := len(sn.sorted)
 	sn.byApp = make(map[string][]int32)
 	sn.bySKU = make(map[string][]int32)
 	sn.byInput = make(map[string][]int32)
+	sn.col = columns{
+		syms:   make(map[string]uint32),
+		app:    make([]uint32, n),
+		sku:    make([]uint32, n),
+		alias:  make([]uint32, n),
+		input:  make([]uint32, n),
+		nodes:  make([]int32, n),
+		exec:   make([]float64, n),
+		cost:   make([]float64, n),
+		failed: make([]uint64, (n+63)/64),
+	}
 	appSeen := make(map[string]bool)
 	for i := range sn.sorted {
 		p := &sn.sorted[i]
@@ -322,10 +379,21 @@ func (sn *Snapshot) buildIndexes() {
 		sn.byApp[app] = append(sn.byApp[app], pos)
 		sku := strings.ToLower(p.SKU)
 		sn.bySKU[sku] = append(sn.bySKU[sku], pos)
-		if alias := strings.ToLower(p.SKUAlias); alias != sku {
+		alias := strings.ToLower(p.SKUAlias)
+		if alias != sku {
 			sn.bySKU[alias] = append(sn.bySKU[alias], pos)
 		}
 		sn.byInput[p.InputDesc] = append(sn.byInput[p.InputDesc], pos)
+		sn.col.app[i] = sn.col.intern(app)
+		sn.col.sku[i] = sn.col.intern(sku)
+		sn.col.alias[i] = sn.col.intern(alias)
+		sn.col.input[i] = sn.col.intern(p.InputDesc)
+		sn.col.nodes[i] = int32(p.NNodes)
+		sn.col.exec[i] = p.ExecTimeSec
+		sn.col.cost[i] = p.CostUSD
+		if p.Failed {
+			sn.col.failed[i>>6] |= 1 << (uint(i) & 63)
+		}
 		if !appSeen[p.AppName] {
 			appSeen[p.AppName] = true
 			sn.apps = append(sn.apps, p.AppName)

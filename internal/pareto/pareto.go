@@ -25,6 +25,13 @@ func Dominates(a, b dataset.Point) bool {
 // sorted by ascending execution time. The skyline sweep runs in O(n log n):
 // sort by (time, cost) and keep points that strictly lower the running
 // minimum cost.
+//
+// The sort is stable, which pins the tie-break for exact (time, cost)
+// duplicates to "first in input order" — the same rule FrontNaive applies —
+// and makes the output uniquely determined by the input sequence. The
+// snapshot's precomputed hot fronts (dataset.Snapshot.HotAdvice) rely on
+// that uniqueness to stay byte-identical to this function without sharing
+// its code.
 func Front(points []dataset.Point) []dataset.Point {
 	var ok []dataset.Point
 	for _, p := range points {
@@ -35,7 +42,7 @@ func Front(points []dataset.Point) []dataset.Point {
 	if len(ok) == 0 {
 		return nil
 	}
-	sort.Slice(ok, func(i, j int) bool {
+	sort.SliceStable(ok, func(i, j int) bool {
 		if ok[i].ExecTimeSec != ok[j].ExecTimeSec {
 			return ok[i].ExecTimeSec < ok[j].ExecTimeSec
 		}

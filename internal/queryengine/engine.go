@@ -189,10 +189,18 @@ func (e *Engine) Select(f dataset.Filter) []dataset.Point {
 }
 
 // adviceAt memoizes the Pareto front at one captured snapshot; the shared
-// cached slice must not be modified.
+// cached slice must not be modified. Hot filters — the snapshot
+// precomputes fronts for the top-K single-field filters — are a slice
+// handoff from the snapshot; only cold filters pay a Select plus an
+// on-demand front. Both paths are byte-identical (the equivalence suite
+// pins them to the scan baseline), so the cache key does not care which
+// one produced the value.
 func (e *Engine) adviceAt(sn *dataset.Snapshot, f dataset.Filter, order pareto.SortOrder) []dataset.Point {
 	c := f.Canonical()
 	v := e.get(key("advice", sn.Generation(), &c, orderKey(order)), func() any {
+		if rows, ok := sn.HotAdvice(&c, order == pareto.ByCost); ok {
+			return rows
+		}
 		return pareto.Advice(sn.Select(f), order)
 	})
 	return v.([]dataset.Point)

@@ -91,6 +91,61 @@ func TestAdviceTableByteIdenticalToScanPath(t *testing.T) {
 	}
 }
 
+// hotFilters enumerates every filter the snapshot may have precomputed a
+// front for: unfiltered plus each single app/alias/input.
+func hotFilters(sn *dataset.Snapshot) []dataset.Filter {
+	filters := []dataset.Filter{{}}
+	for _, app := range sn.Apps() {
+		filters = append(filters, dataset.Filter{AppName: app})
+	}
+	for _, alias := range sn.SKUAliases() {
+		filters = append(filters, dataset.Filter{SKU: alias})
+	}
+	for _, in := range sn.Inputs() {
+		if in != "" {
+			filters = append(filters, dataset.Filter{InputDesc: in})
+		}
+	}
+	return filters
+}
+
+// The precomputed hot fronts serve through Engine.Advice; every row set
+// must equal pareto.Advice over the scan baseline — same points, same
+// order — for the hot filters and the cold multi-field ones alike, on a
+// real collected sweep.
+func TestHotFrontAdviceByteIdenticalToScanPath(t *testing.T) {
+	adv := collectedAdvisor(t)
+	eng := queryengine.New(adv.Store, 0)
+	filters := append(hotFilters(adv.Store.Snapshot()), equivalenceFilters...)
+	for _, f := range filters {
+		for _, order := range []pareto.SortOrder{pareto.ByTime, pareto.ByCost} {
+			want := pareto.Advice(adv.Store.SelectScan(f), order)
+			if want == nil {
+				want = []dataset.Point{} // Advice hands out non-nil copies
+			}
+			got := eng.Advice(f, order)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("filter %+v order %v: advice rows diverge from scan path (%d vs %d rows)",
+					f, order, len(got), len(want))
+			}
+			// The formatted table goes through the same cached rows.
+			wantTable := pareto.FormatAdviceTable(want)
+			if gotTable := eng.AdviceTable(f, order); gotTable != wantTable {
+				t.Errorf("filter %+v order %v: advice table diverges\n--- scan:\n%s--- engine:\n%s",
+					f, order, wantTable, gotTable)
+			}
+		}
+	}
+	// Generation roll: appends must invalidate the precomputed fronts too.
+	adv.Store.Add(dataset.Point{ScenarioID: "hot-roll", AppName: "lammps", SKU: "Standard_HC44rs",
+		SKUAlias: "hc44rs", NNodes: 3, ExecTimeSec: 0.001, CostUSD: 0.0001})
+	f := dataset.Filter{AppName: "lammps"}
+	want := pareto.Advice(adv.Store.SelectScan(f), pareto.ByTime)
+	if got := eng.Advice(f, pareto.ByTime); !reflect.DeepEqual(got, want) {
+		t.Errorf("after append: hot front served stale rows (%d vs %d)", len(got), len(want))
+	}
+}
+
 func TestPlotSetAndSVGByteIdenticalToScanPath(t *testing.T) {
 	adv := collectedAdvisor(t)
 	eng := queryengine.New(adv.Store, 0)

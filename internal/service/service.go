@@ -12,6 +12,7 @@ package service
 import (
 	"encoding/json"
 	"sort"
+	"strconv"
 
 	"hpcadvisor/internal/core"
 	"hpcadvisor/internal/dataset"
@@ -226,6 +227,15 @@ func (s *Service) AdviceJSON(req AdviceRequest) ([]byte, uint64, error) {
 	eng := s.engine()
 	sn := eng.Snapshot()
 	v := eng.CachedAt(sn, "service.advicejson", req.Filter, OrderName(req.Order), func(sn *dataset.Snapshot) any {
+		// Hot filters skip encoding/json entirely: the snapshot holds the
+		// front rows pre-serialized, and only the tiny envelope is stitched
+		// around them. The stitch is byte-identical to the reflect marshal
+		// below (TestAdviceJSONStitchedEqualsMarshal pins it), so clients
+		// and the ETag machinery cannot tell which path rendered a body.
+		c := req.Filter.Canonical()
+		if rowsJSON, count, ok := sn.HotAdviceJSON(&c, req.Order == pareto.ByCost); ok {
+			return stitchAdviceJSON(sn.Generation(), OrderName(req.Order), count, rowsJSON)
+		}
 		rows := pareto.Advice(sn.Select(req.Filter), req.Order)
 		if rows == nil {
 			rows = []dataset.Point{}
@@ -245,6 +255,23 @@ func (s *Service) AdviceJSON(req AdviceRequest) ([]byte, uint64, error) {
 		return nil, 0, Internalf(err, "encoding advice")
 	}
 	return v.([]byte), sn.Generation(), nil
+}
+
+// stitchAdviceJSON renders the AdviceResponse envelope around a
+// pre-serialized rows fragment without reflection. The field order and
+// byte layout match json.Marshal of the struct exactly; sort names are
+// fixed tokens ("time"/"cost"), so no escaping is needed.
+func stitchAdviceJSON(gen uint64, sortName string, count int, rowsJSON []byte) []byte {
+	buf := make([]byte, 0, len(rowsJSON)+len(sortName)+48)
+	buf = append(buf, `{"generation":`...)
+	buf = strconv.AppendUint(buf, gen, 10)
+	buf = append(buf, `,"sort":"`...)
+	buf = append(buf, sortName...)
+	buf = append(buf, `","count":`...)
+	buf = strconv.AppendInt(buf, int64(count), 10)
+	buf = append(buf, `,"rows":`...)
+	buf = append(buf, rowsJSON...)
+	return append(buf, '}')
 }
 
 // PredictedResponse is the wire envelope of /api/v1/predicted-advice: the

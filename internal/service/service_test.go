@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/url"
@@ -211,5 +213,76 @@ func TestGenerationMovesWithAppends(t *testing.T) {
 	adv.Store.Add(dataset.Point{ScenarioID: "x", AppName: "lammps", SKU: "s", SKUAlias: "s", NNodes: 1, ExecTimeSec: 1, CostUSD: 1})
 	if after := svc.Generation(); after == before {
 		t.Fatal("generation did not move on append")
+	}
+}
+
+// The hot-filter serving path stitches a hand-built envelope around the
+// snapshot's pre-serialized rows; the cold path reflect-marshals the same
+// struct. The two must be byte-identical for every filter shape — hot,
+// cold, and empty-result — or ETagged bodies would differ by which path
+// rendered them.
+func TestAdviceJSONStitchedEqualsMarshal(t *testing.T) {
+	adv := seededAdvisor(t)
+	svc := New(adv)
+	queries := []string{
+		"",                          // hot: unfiltered
+		"app=lammps",                // hot: per-app
+		"sku=hc44rs",                // hot: per-alias
+		"input=atoms%3D864M",        // hot: per-input
+		"app=lammps&sort=cost",      // hot, cost order
+		"app=lammps&sku=hb120rs_v3", // cold: two fields
+		"app=nosuchapp",             // empty result
+		"minnodes=2&maxnodes=8",     // cold: scan path
+	}
+	for _, q := range queries {
+		vals, err := url.ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := ParseAdviceRequest(vals)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		body, gen, err := svc.AdviceJSON(req)
+		if err != nil {
+			t.Fatalf("advice json %q: %v", q, err)
+		}
+		rows := pareto.Advice(adv.Store.SelectScan(req.Filter), req.Order)
+		if rows == nil {
+			rows = []dataset.Point{}
+		}
+		want, err := json.Marshal(AdviceResponse{
+			Generation: gen,
+			Sort:       OrderName(req.Order),
+			Count:      len(rows),
+			Rows:       rows,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, want) {
+			t.Errorf("query %q: served body diverges from reflect marshal\n got: %s\nwant: %s", q, body, want)
+		}
+	}
+}
+
+// stitchAdviceJSON must track json.Marshal of the envelope struct exactly,
+// including numeric edge values.
+func TestStitchAdviceJSONEnvelope(t *testing.T) {
+	rows := []byte(`[{"x":1}]`)
+	for _, tc := range []struct {
+		gen   uint64
+		sort  string
+		count int
+	}{
+		{0, "time", 0},
+		{1, "cost", 1},
+		{18446744073709551615, "time", 1 << 30},
+	} {
+		got := stitchAdviceJSON(tc.gen, tc.sort, tc.count, rows)
+		want := fmt.Sprintf(`{"generation":%d,"sort":%q,"count":%d,"rows":%s}`, tc.gen, tc.sort, tc.count, rows)
+		if string(got) != want {
+			t.Errorf("stitch(%d,%s,%d):\n got: %s\nwant: %s", tc.gen, tc.sort, tc.count, got, want)
+		}
 	}
 }

@@ -499,7 +499,10 @@ func (s *SegmentStore) Compact() error {
 	}
 
 	// Canonical sort order over append indexes, stable so ties keep append
-	// order — exactly the order dataset.Snapshot would build.
+	// order — exactly the order dataset.Snapshot would build. A store
+	// seeded from this segment reuses the order verbatim: its first
+	// snapshot skips the re-sort and goes straight to building the
+	// inverted indexes, columns, and hot fronts over the on-disk layout.
 	order := make([]int, len(points))
 	for i := range order {
 		order[i] = i
