@@ -50,4 +50,10 @@ func TestWALHygiene(t *testing.T) {
 	analysistest.RunClean(t, "testdata/walhygiene/annotated", "hpcadvisor/internal/storage", a)
 	// Outside the WAL-owning packages the raw-write rule does not apply.
 	analysistest.RunClean(t, "testdata/walhygiene/violation", "hpcadvisor/internal/core", a)
+	// The mmap rule is module-wide: mapFile/mmapRegion in storage are the
+	// one sanctioned site; the same syscalls anywhere else — including
+	// elsewhere in storage — are reported.
+	analysistest.RunClean(t, "testdata/walhygiene/mmapallowed", "hpcadvisor/internal/storage", a)
+	analysistest.Run(t, "testdata/walhygiene/mmapviolation", "hpcadvisor/internal/replica", a)
+	analysistest.Run(t, "testdata/walhygiene/mmapviolation", "hpcadvisor/internal/storage", a)
 }

@@ -1,0 +1,40 @@
+// Fixture: the sanctioned mapping site (loaded as
+// hpcadvisor/internal/storage). mapFile and mmapRegion methods are the one
+// place mmap syscalls may appear.
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+type mmapRegion struct {
+	data []byte
+}
+
+// mapFile is the sanctioned constructor: the mapping it creates is
+// finalizer-managed through mmapRegion.
+func mapFile(path string) (*mmapRegion, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(fi.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	return &mmapRegion{data: data}, nil
+}
+
+// unmap is an mmapRegion method: releasing its own mapping is its job.
+func (r *mmapRegion) unmap() {
+	if r.data != nil {
+		_ = syscall.Munmap(r.data)
+		r.data = nil
+	}
+}

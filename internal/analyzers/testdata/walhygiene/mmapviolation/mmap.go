@@ -1,0 +1,27 @@
+// Fixture: mmap syscalls outside the storage mmap helper. The rule is
+// module-wide, so this fixture is run both as a serving package
+// (hpcadvisor/internal/replica) and as hpcadvisor/internal/storage, where
+// these functions are still not the sanctioned mapFile/mmapRegion site.
+package replica
+
+import (
+	"os"
+	"syscall"
+)
+
+// openDirect maps a file without going through mapFile: the mapping has no
+// finalizer and nothing pins it under live snapshots.
+func openDirect(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED) // want `syscall\.Mmap outside the storage mmap helper`
+}
+
+// flushPages msyncs a mapping it does not own.
+func flushPages(data []byte) error {
+	return syscall.Msync(data, syscall.MS_SYNC) // want `syscall\.Msync outside the storage mmap helper`
+}
+
+// dropMapping unmaps behind the region's back: reads through any snapshot
+// still aliasing these pages would fault.
+func dropMapping(data []byte) {
+	_ = syscall.Munmap(data) // want `syscall\.Munmap outside the storage mmap helper`
+}

@@ -32,32 +32,71 @@ var walFramingTypes = map[string]bool{
 	"FrameLog": true,
 }
 
-// WALHygiene enforces two orderings in internal/storage and
-// internal/collector: (1) any os.Rename must be preceded by an fsync in
+// mmapSyscalls are the memory-mapping syscalls the mmap rule bans outside
+// the storage mmap helper. A stray Mmap means a slice whose lifetime the
+// snapshot pinning machinery doesn't know about; a stray Munmap can pull
+// pages out from under a live Snapshot and turn reads into faults.
+var mmapSyscalls = map[string]bool{
+	"Mmap":     true,
+	"Munmap":   true,
+	"Msync":    true,
+	"Mprotect": true,
+	"Mlock":    true,
+	"Munlock":  true,
+}
+
+// mmapExemptFuncs / mmapExemptTypes name the one sanctioned mapping site:
+// storage's mapFile constructor and the mmapRegion methods that own the
+// mapping's finalizer-managed lifetime.
+var mmapExemptFuncs = map[string]bool{
+	"mapFile": true,
+}
+
+var mmapExemptTypes = map[string]bool{
+	"mmapRegion": true,
+}
+
+// WALHygiene enforces three orderings: in internal/storage and
+// internal/collector, (1) any os.Rename must be preceded by an fsync in
 // the same function (publish-after-durable; fsatomic does this for
 // everyone else, these packages manage descriptors directly), and (2) raw
 // writes to *os.File values go only through the framing helpers listed
-// above, so every durable append is CRC-framed.
+// above, so every durable append is CRC-framed. Module-wide, (3)
+// memory-mapping syscalls (Mmap/Munmap/Msync/...) appear only inside
+// storage's mmap helper (mapFile and the mmapRegion methods), so every
+// mapping's lifetime is finalizer-managed and pinned by the snapshots
+// built over it.
 var WALHygiene = &analysis.Analyzer{
 	Name: "walhygiene",
 	Doc: "in storage/collector: fsync before rename, and raw *os.File writes " +
-		"only inside the CRC framing helpers (FrameLog, appendFrame)",
+		"only inside the CRC framing helpers (FrameLog, appendFrame); " +
+		"module-wide: mmap syscalls only inside the storage mmap helper " +
+		"(mapFile, mmapRegion)",
 	Run: runWALHygiene,
 }
 
 func runWALHygiene(pass *analysis.Pass) error {
-	if !walHygienePackages[analysis.LastSegment(pass.Pkg.Path)] {
-		return nil
-	}
+	inStorage := analysis.LastSegment(pass.Pkg.Path) == "storage"
+	inWALPkg := walHygienePackages[analysis.LastSegment(pass.Pkg.Path)]
 	fileFields := map[string]bool{}
-	for _, f := range pass.Pkg.Files {
-		collectFileFields(f, fileFields)
+	if inWALPkg {
+		for _, f := range pass.Pkg.Files {
+			collectFileFields(f, fileFields)
+		}
 	}
 	for _, f := range pass.Pkg.Files {
 		imports := analysis.Imports(f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
+				continue
+			}
+			// The mmap rule applies everywhere, with the single exemption
+			// of the storage mmap helper.
+			if !(inStorage && mmapExempt(fd)) {
+				checkMmapCalls(pass, fd, imports)
+			}
+			if !inWALPkg {
 				continue
 			}
 			checkSyncBeforeRename(pass, fd, imports)
@@ -67,6 +106,34 @@ func runWALHygiene(pass *analysis.Pass) error {
 		}
 	}
 	return nil
+}
+
+func mmapExempt(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return mmapExemptFuncs[fd.Name.Name]
+	}
+	typeName, _ := receiverInfo(fd)
+	return mmapExemptTypes[typeName]
+}
+
+// checkMmapCalls reports memory-mapping syscalls outside the storage mmap
+// helper.
+func checkMmapCalls(pass *analysis.Pass, fd *ast.FuncDecl, imports map[string]string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, fn, ok := analysis.PkgCall(imports, call)
+		if !ok || pkgPath != "syscall" || !mmapSyscalls[fn] {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"syscall.%s outside the storage mmap helper; map files only through "+
+				"mapFile/mmapRegion so mapping lifetimes stay finalizer-managed",
+			fn)
+		return true
+	})
 }
 
 // collectFileFields records struct field names declared as *os.File, so a

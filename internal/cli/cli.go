@@ -125,7 +125,8 @@ commands (paper Table II):
                                    live while a collection streams points
                                    through the attached store
   dataset info [-store path]       describe the dataset store (format, points,
-                                   segments, recovery)
+                                   segments, snapshot format + columnar
+                                   footprint, mmap serving, recovery)
   dataset compact [-store path]    fold the segment log into a sorted snapshot
                                    segment for fast loads
   dataset convert -to dst [-store src]
@@ -965,6 +966,12 @@ func (c *CLI) cmdDataset(args []string) error {
 			return err
 		}
 		defer b.Close()
+		if b.Format() == storage.FormatSegment {
+			// Best-effort load so the report reflects the real serve
+			// path on this machine (mmap vs heap fallback); a corrupt
+			// store still prints its on-disk state.
+			_, _ = b.Load()
+		}
 		info, err := b.Info()
 		if err != nil {
 			return err

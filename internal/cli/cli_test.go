@@ -586,6 +586,19 @@ func TestDatasetSubcommands(t *testing.T) {
 			adviceSeg.out.String(), after.out.String())
 	}
 
+	// info on the compacted store reports the v2 columnar layout and
+	// whether this machine serves it via mmap.
+	r = exec(t, state, "dataset", "info")
+	if r.code != 0 {
+		t.Fatalf("post-compact info: %s", r.err.String())
+	}
+	for _, sub := range []string{"snapshot format: v2", "symbol table", "columns",
+		"failed bitmap", "row data", "hot fronts", "mmap served"} {
+		if !strings.Contains(r.out.String(), sub) {
+			t.Errorf("post-compact info missing %q:\n%s", sub, r.out.String())
+		}
+	}
+
 	// unknown subcommand and missing -to
 	if r = exec(t, state, "dataset", "bogus"); r.code == 0 {
 		t.Error("unknown dataset subcommand should fail")

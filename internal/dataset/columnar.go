@@ -114,9 +114,12 @@ func (sn *Snapshot) matchAt(cf *colFilter, i int) bool {
 	if cf.c.maxNodes > 0 && int(col.nodes[i]) > cf.c.maxNodes {
 		return false
 	}
-	for _, t := range cf.c.tags {
-		if sn.sorted[i].Tags[t.k] != t.v {
-			return false
+	if len(cf.c.tags) > 0 {
+		sn.ensureRow(i) // tags are a row residual; lazy rows must exist first
+		for _, t := range cf.c.tags {
+			if sn.sorted[i].Tags[t.k] != t.v {
+				return false
+			}
 		}
 	}
 	return true
@@ -171,14 +174,15 @@ func sortByTimeCost(idx []int32, exec, cost []float64) {
 	}
 }
 
-// frontCanonical computes the Pareto front of the filter's matches
+// frontPositions computes the Pareto front of the filter's matches
 // straight from the columns: candidate positions (already in canonical
-// select order) are stably sorted by (time, cost) and swept once; only the
-// surviving rows are materialized. The sweep replicates pareto.Front
-// expression for expression — including the NaN-tolerant minCost seed —
-// so the result equals pareto.Front(sn.Select(f)) byte for byte without
-// copying the candidate points first.
-func (sn *Snapshot) frontCanonical(c *CanonicalFilter) []Point {
+// select order) are stably sorted by (time, cost) and swept once. The
+// sweep replicates pareto.Front expression for expression — including the
+// NaN-tolerant minCost seed — so materializing the surviving positions
+// equals pareto.Front(sn.Select(f)) byte for byte without copying the
+// candidate points first. The returned positions are in by-time order and
+// are exactly what the v2 snapshot format persists per hot front.
+func (sn *Snapshot) frontPositions(c *CanonicalFilter) []int32 {
 	cf, ok := sn.resolve(c)
 	if !ok {
 		return nil
@@ -204,13 +208,27 @@ func (sn *Snapshot) frontCanonical(c *CanonicalFilter) []Point {
 	}
 	sortByTimeCost(cand, sn.col.exec, sn.col.cost)
 	cost := sn.col.cost
-	var front []Point
+	front := cand[:0] // survivors are a subsequence of cand: reuse it
 	minCost := cost[cand[0]] + 1
 	for _, i := range cand {
 		if cost[i] < minCost {
-			front = append(front, sn.sorted[i])
+			front = append(front, i)
 			minCost = cost[i]
 		}
+	}
+	return front
+}
+
+// frontCanonical materializes the front rows in by-time order.
+func (sn *Snapshot) frontCanonical(c *CanonicalFilter) []Point {
+	pos := sn.frontPositions(c)
+	if len(pos) == 0 {
+		return nil
+	}
+	front := make([]Point, len(pos))
+	for i, p := range pos {
+		sn.ensureRow(int(p))
+		front[i] = sn.sorted[p]
 	}
 	return front
 }
@@ -224,12 +242,22 @@ const hotFrontLimit = 24
 // hotFront holds the precomputed advice for one hot filter: the Pareto
 // front in both presentation orders plus the rows pre-serialized as a JSON
 // array fragment the serving layer stitches into its envelope without
-// reflection. All result fields are written exactly once inside once and
-// are immutable afterwards.
+// reflection. Two provenances share the struct: a heap build computes
+// everything inside once on first use, while a mapped snapshot arrives
+// with the persisted positions and fragments preloaded (fromPos non-nil,
+// jsonReady) so JSON serving never touches a row. All once-written fields
+// are immutable after their single write.
 type hotFront struct {
 	c    CanonicalFilter
 	once sync.Once
 
+	// fromPos and the jsonReady fragment fields are set at construction
+	// for persisted fronts and never written again; compute consumes them
+	// instead of re-running the columnar sweep.
+	fromPos   []int32
+	jsonReady bool
+
+	posByTime          []int32 // surviving positions, by-time order
 	byTime, byCost     []Point
 	timeJSON, costJSON []byte
 	jsonOK             bool
@@ -237,18 +265,26 @@ type hotFront struct {
 
 func (hf *hotFront) compute(sn *Snapshot) {
 	hf.once.Do(func() {
-		front := sn.frontCanonical(&hf.c)
-		hf.byTime = front
-		if len(front) > 0 {
+		pos := hf.fromPos
+		if pos == nil {
+			pos = sn.frontPositions(&hf.c)
+		}
+		hf.posByTime = pos
+		if len(pos) > 0 {
 			// The front's cost is strictly decreasing in time order, so the
 			// cost ordering is its exact reversal — no second sort, and no
 			// tie-break to disagree on.
-			hf.byCost = make([]Point, len(front))
-			for i := range front {
-				hf.byCost[len(front)-1-i] = front[i]
+			hf.byTime = make([]Point, len(pos))
+			hf.byCost = make([]Point, len(pos))
+			for i, p := range pos {
+				sn.ensureRow(int(p))
+				hf.byTime[i] = sn.sorted[p]
+				hf.byCost[len(pos)-1-i] = sn.sorted[p]
 			}
 		}
-		hf.timeJSON, hf.costJSON, hf.jsonOK = marshalFrontRows(hf.byTime, hf.byCost)
+		if !hf.jsonReady {
+			hf.timeJSON, hf.costJSON, hf.jsonOK = marshalFrontRows(hf.byTime, hf.byCost)
+		}
 	})
 }
 
@@ -343,11 +379,22 @@ func (sn *Snapshot) HotAdvice(c *CanonicalFilter, byCost bool) ([]Point, bool) {
 // HotAdviceJSON returns the pre-serialized rows of a hot filter as a JSON
 // array fragment plus the row count, or ok=false when the filter is not
 // hot or its rows cannot marshal. The bytes are shared and must not be
-// modified.
+// modified. Persisted fronts (mapped snapshots) serve straight from the
+// preloaded fragments without triggering row materialization — the
+// fragment bytes may alias the mapped file.
 func (sn *Snapshot) HotAdviceJSON(c *CanonicalFilter, byCost bool) ([]byte, int, bool) {
 	hf := sn.hot[c.Key()]
 	if hf == nil {
 		return nil, 0, false
+	}
+	if hf.jsonReady {
+		if !hf.jsonOK {
+			return nil, 0, false
+		}
+		if byCost {
+			return hf.costJSON, len(hf.fromPos), true
+		}
+		return hf.timeJSON, len(hf.fromPos), true
 	}
 	hf.compute(sn)
 	if !hf.jsonOK {

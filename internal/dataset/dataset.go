@@ -80,7 +80,9 @@ type Sink interface {
 // surfaced by Flush, keeping the hot Add path signature-free.
 type Store struct {
 	mu      sync.RWMutex
-	points  []Point   // guarded-by: mu
+	points  []Point   // guarded-by: mu; append order (only the tail past base while base != nil)
+	base    *Snapshot // guarded-by: mu; mapped seed not yet expanded into points (see lazy.go)
+	baseN   int       // guarded-by: mu; points covered by base
 	gen     uint64    // guarded-by: mu
 	snap    *Snapshot // guarded-by: mu; cached, valid iff snap.gen == gen, kept stale for merge amortization
 	sink    Sink      // guarded-by: mu
@@ -166,6 +168,38 @@ func pointFingerprint(p *Point) uint64 {
 	h ^= uint64(p.NNodes)
 	h *= prime64
 	return h
+}
+
+// materializeBaseLocked expands a mapped seed snapshot into the points
+// slice: every row decodes (lazy chunks force) and scatters back to append
+// order, with any tail appended after it. Mapped stores pay this once, on
+// the first operation that needs the append-order view (All, Marshal,
+// SelectScan, or a snapshot rebuild after an append); pure snapshot
+// serving never does. Callers hold s.mu.
+func (s *Store) materializeBaseLocked() {
+	if s.base == nil {
+		return
+	}
+	pts := s.base.appendOrderPoints()
+	if len(s.points) > 0 {
+		pts = append(pts, s.points...)
+	}
+	s.points = pts
+	s.base, s.baseN = nil, 0
+}
+
+// ensureMaterialized is the lock-acquiring wrapper for read paths that
+// need the full append-order points slice.
+func (s *Store) ensureMaterialized() {
+	s.mu.RLock()
+	mapped := s.base != nil
+	s.mu.RUnlock()
+	if !mapped {
+		return
+	}
+	s.mu.Lock()
+	s.materializeBaseLocked()
+	s.mu.Unlock()
 }
 
 // Attach installs (or, with nil, removes) the write-through sink. Points
@@ -255,6 +289,7 @@ func (s *Store) Snapshot() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.snap == nil || s.snap.gen != s.gen {
+		s.materializeBaseLocked() // rebuilds merge over append-order points
 		s.snap = buildSnapshot(s.snap, s.points, s.gen)
 	}
 	return s.snap
@@ -264,11 +299,12 @@ func (s *Store) Snapshot() *Snapshot {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.points)
+	return s.baseN + len(s.points)
 }
 
 // All returns a copy of every point.
 func (s *Store) All() []Point {
+	s.ensureMaterialized()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]Point, len(s.points))
@@ -311,6 +347,7 @@ func (s *Store) Select(f Filter) []Point {
 // tests and the baseline for the index-vs-scan ablation benchmarks.
 func (s *Store) SelectScan(f Filter) []Point {
 	c := f.Canonical()
+	s.ensureMaterialized()
 	s.mu.RLock()
 	var out []Point
 	for i := range s.points {
@@ -352,6 +389,7 @@ func (s *Store) Apps() []string {
 
 // Marshal renders the store as JSON Lines, points in append order.
 func (s *Store) Marshal() ([]byte, error) {
+	s.ensureMaterialized()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var buf bytes.Buffer

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements parallel partitioned select: when a filter leaves a
+// large candidate domain (a cold one-app scan, a tag-only scan, an
+// unconstrained GroupSeries), the domain is split into ~GOMAXPROCS
+// contiguous chunks, matchAt runs per chunk, and the per-chunk hits are
+// copied into one output slice at precomputed offsets — so the result is
+// byte-identical to the sequential path (and to the SelectScan oracle):
+// same rows, same canonical order, same nil-on-empty convention.
+
+// parallelSelectMinCandidates is the fan-out cutoff. Below it the
+// goroutine handoff and the second (copy) phase cost more than the match
+// loop itself — matchAt is a handful of integer compares, so a few
+// thousand candidates run in single-digit microseconds sequentially —
+// and small snapshots stay on the allocation-light single-threaded path.
+const parallelSelectMinCandidates = 4096
+
+// selectWorkers overrides the worker count; 0 means GOMAXPROCS.
+var selectWorkers atomic.Int32
+
+// SetSelectParallelism overrides how many workers parallel partitioned
+// selects use; n <= 0 restores the default (GOMAXPROCS at query time).
+// Serving processes keep the default — this exists for the worker-scaling
+// benchmarks and the equivalence tests, which pin both sides of the
+// comparison to a known width.
+func SetSelectParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	selectWorkers.Store(int32(n))
+}
+
+func selectParallelism() int {
+	if n := selectWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// selectParallel evaluates the resolved filter over a candidate domain of
+// size n — positions list[i] when list is non-nil (an indexed probe), or
+// 0..n-1 over the sorted rows (a full scan) — using the given number of
+// workers. Two phases, both partitioned by contiguous chunk: match (each
+// worker collects hit positions for its chunk) and copy (prefix sums place
+// every chunk's hits at their final offsets, so output order is exactly
+// candidate order, which is canonical order).
+func (sn *Snapshot) selectParallel(cf *colFilter, list []int32, n, workers int) []Point {
+	if workers > n {
+		workers = n
+	}
+	chunkLo := make([]int, workers+1)
+	per, rem := n/workers, n%workers
+	for w := 0; w < workers; w++ {
+		size := per
+		if w < rem {
+			size++
+		}
+		chunkLo[w+1] = chunkLo[w] + size
+	}
+	hits := make([][]int32, workers)
+	var wg sync.WaitGroup
+	match := func(w int) {
+		var out []int32
+		if list != nil {
+			for _, pos := range list[chunkLo[w]:chunkLo[w+1]] {
+				if sn.matchAt(cf, int(pos)) {
+					out = append(out, pos)
+				}
+			}
+		} else {
+			for i := chunkLo[w]; i < chunkLo[w+1]; i++ {
+				if sn.matchAt(cf, i) {
+					out = append(out, int32(i))
+				}
+			}
+		}
+		hits[w] = out
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			match(w)
+		}(w)
+	}
+	match(0)
+	wg.Wait()
+
+	total := 0
+	off := make([]int, workers)
+	for w := range hits {
+		off[w] = total
+		total += len(hits[w])
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Point, total)
+	fill := func(w int) {
+		for k, pos := range hits[w] {
+			sn.ensureRow(int(pos))
+			out[off[w]+k] = sn.sorted[pos]
+		}
+	}
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fill(w)
+		}(w)
+	}
+	fill(0)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,111 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// The parallel partitioned select's contract: output byte-identical to the
+// sequential path (and so to the SelectScan oracle) for every filter, at
+// every worker count, including under concurrent use.
+
+func TestParallelSelectMatchesSequentialAndScan(t *testing.T) {
+	defer SetSelectParallelism(0)
+	rng := rand.New(rand.NewSource(42))
+	// Big enough that full scans and the popular app/SKU candidate lists
+	// clear the parallel cutoff; small enough to stay fast.
+	s := randomStore(rng, 3*parallelSelectMinCandidates)
+	sn := s.Snapshot()
+
+	filters := []Filter{
+		{},
+		{IncludeFailed: true},
+		{AppName: "lammps"},
+		{AppName: "lammps", SKU: "hb120rs_v3"},
+		{MinNodes: 2, MaxNodes: 8},
+		{Tags: map[string]string{"run": "r1"}},
+		{AppName: "no-such-app"},
+	}
+	for i := 0; i < 60; i++ {
+		filters = append(filters, randomFilter(rng))
+	}
+	for _, f := range filters {
+		SetSelectParallelism(1)
+		seq := sn.Select(f)
+		scan := s.SelectScan(f)
+		if !reflect.DeepEqual(seq, scan) {
+			t.Fatalf("filter %+v: sequential select disagrees with scan oracle", f)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			SetSelectParallelism(workers)
+			par := sn.Select(f)
+			if !reflect.DeepEqual(par, seq) {
+				t.Fatalf("filter %+v at %d workers: parallel select (%d rows) "+
+					"differs from sequential (%d rows)", f, workers, len(par), len(seq))
+			}
+		}
+	}
+}
+
+func TestParallelGroupSeriesMatchesSequential(t *testing.T) {
+	defer SetSelectParallelism(0)
+	rng := rand.New(rand.NewSource(7))
+	s := randomStore(rng, 2*parallelSelectMinCandidates)
+	sn := s.Snapshot()
+	for _, f := range []Filter{{}, {AppName: "openfoam"}, {MinNodes: 2}} {
+		SetSelectParallelism(1)
+		seq := sn.GroupSeries(f)
+		SetSelectParallelism(4)
+		par := sn.GroupSeries(f)
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("filter %+v: parallel GroupSeries differs from sequential", f)
+		}
+	}
+}
+
+// TestParallelSelectConcurrent drives the parallel path from many
+// goroutines at once — the race detector's target.
+func TestParallelSelectConcurrent(t *testing.T) {
+	defer SetSelectParallelism(0)
+	rng := rand.New(rand.NewSource(99))
+	s := randomStore(rng, 2*parallelSelectMinCandidates)
+	sn := s.Snapshot()
+	SetSelectParallelism(1)
+	want := map[string]int{}
+	filters := []Filter{{}, {AppName: "wrf"}, {SKU: "hc44rs"}, {IncludeFailed: true}}
+	keys := []string{"all", "wrf", "hc44rs", "failed"}
+	for i, f := range filters {
+		want[keys[i]] = len(sn.Select(f))
+	}
+	SetSelectParallelism(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				f := filters[(g+i)%len(filters)]
+				got := sn.Select(f)
+				if len(got) != want[keys[(g+i)%len(filters)]] {
+					t.Errorf("concurrent select row count changed: %d", len(got))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSetSelectParallelismClamps(t *testing.T) {
+	defer SetSelectParallelism(0)
+	SetSelectParallelism(-5)
+	if got := selectParallelism(); got < 1 {
+		t.Fatalf("selectParallelism() = %d after reset, want >= 1", got)
+	}
+	SetSelectParallelism(3)
+	if got := selectParallelism(); got != 3 {
+		t.Fatalf("selectParallelism() = %d, want 3", got)
+	}
+}

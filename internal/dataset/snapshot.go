@@ -162,6 +162,17 @@ type Snapshot struct {
 	// map is immutable after build; each entry computes at most once (see
 	// hotFront).
 	hot map[string]*hotFront
+
+	// lazy, when non-nil, defers row materialization (mmap-backed
+	// snapshots): sorted[i] starts zero and is decoded from the row bytes
+	// chunk-by-chunk on first touch (see lazy.go). Every read of sorted[i]
+	// must go through ensureRow(i) first.
+	lazy *lazyRows
+
+	// mapRef pins whatever owns the memory the columns, row bytes, and hot
+	// fragments may alias — an mmap region whose finalizer unmaps it — for
+	// the snapshot's lifetime.
+	mapRef any
 }
 
 // Generation identifies the store state the snapshot was built from.
@@ -259,15 +270,31 @@ func (sn *Snapshot) selectCanonical(c *CanonicalFilter) []Point {
 	if !ok {
 		return nil // a constrained symbol is absent: nothing can match
 	}
-	if list, indexed := sn.postings(c); indexed {
-		if len(list) == 0 {
-			return nil
+	list, indexed := sn.postings(c)
+	if indexed && len(list) == 0 {
+		return nil
+	}
+	// Large candidate domains fan out across cores; the cutoff keeps small
+	// snapshots and tight index probes on the single-threaded path (see
+	// parallel.go). Both paths emit candidates in the same order, so the
+	// output is byte-identical either way.
+	domain := len(sn.sorted)
+	if indexed {
+		domain = len(list)
+	}
+	if workers := selectParallelism(); workers > 1 && domain >= parallelSelectMinCandidates {
+		if !indexed {
+			list = nil
 		}
+		return sn.selectParallel(&cf, list, domain, workers)
+	}
+	if indexed {
 		// Preallocate from the posting length; return nil (not an empty
 		// non-nil slice) when nothing matches, like the scan baseline.
 		out := make([]Point, 0, len(list))
 		for _, i := range list {
 			if sn.matchAt(&cf, int(i)) {
+				sn.ensureRow(int(i))
 				out = append(out, sn.sorted[i])
 			}
 		}
@@ -279,6 +306,7 @@ func (sn *Snapshot) selectCanonical(c *CanonicalFilter) []Point {
 	var out []Point
 	for i := range sn.sorted {
 		if sn.matchAt(&cf, i) {
+			sn.ensureRow(i)
 			out = append(out, sn.sorted[i])
 		}
 	}

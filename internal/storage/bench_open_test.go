@@ -1,0 +1,79 @@
+package storage
+
+// BenchmarkStoreOpenCold measures the cold-open path the tentpole targets:
+// OpenSegments + Load + the first Snapshot over a ~100k-point store, for
+// the v1 frame parse, the v2 heap parse, and the v2 mmap path. The mmap
+// subbenchmark is the one core.OpenStore takes on Linux.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hpcadvisor/internal/dataset"
+)
+
+const benchOpenPoints = 100_000
+
+// benchSnapshotDir fabricates a segment dir whose whole dataset lives in
+// one compacted snapshot of the requested format.
+func benchSnapshotDir(b *testing.B, pts []dataset.Point, order []int, v2 bool) string {
+	b.Helper()
+	dir := b.TempDir()
+	path := filepath.Join(dir, snapName(1))
+	var err error
+	if v2 {
+		err = writeSnapshotSegmentV2(path, 1, pts, order)
+	} else {
+		err = writeSnapshotSegmentV1(path, 1, pts, order)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dir
+}
+
+func benchOpenCold(b *testing.B, dir string, opts *SegmentOptions, wantLen int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seg, err := OpenSegments(dir, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := seg.Load()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sn := st.Snapshot()
+		if sn.Len() != wantLen {
+			b.Fatalf("snapshot len %d, want %d", sn.Len(), wantLen)
+		}
+		if err := seg.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreOpenCold(b *testing.B) {
+	pts := make([]dataset.Point, benchOpenPoints)
+	for i := range pts {
+		pts[i] = point(i)
+	}
+	order := canonicalOrder(pts)
+	dirV1 := benchSnapshotDir(b, pts, order, false)
+	dirV2 := benchSnapshotDir(b, pts, order, true)
+
+	b.Run("v1-parse", func(b *testing.B) {
+		benchOpenCold(b, dirV1, nil, len(pts))
+	})
+	b.Run("v2-heap", func(b *testing.B) {
+		benchOpenCold(b, dirV2, &SegmentOptions{NoMmap: true}, len(pts))
+	})
+	b.Run("v2-mmap", func(b *testing.B) {
+		if !mmapSupported {
+			b.Skip("mmap unsupported on this build")
+		}
+		benchOpenCold(b, dirV2, nil, len(pts))
+	})
+}

@@ -1,0 +1,20 @@
+//go:build !linux || nommap
+
+package storage
+
+import "errors"
+
+// mmapSupported: this build always takes the portable heap path.
+const mmapSupported = false
+
+// mmapRegion is a stub so loadMappedSnapshot compiles on portable builds;
+// mapFile never returns one.
+type mmapRegion struct {
+	data []byte
+}
+
+func mapFile(path string) (*mmapRegion, error) {
+	return nil, errors.New("storage: mmap unsupported on this build")
+}
+
+func (r *mmapRegion) unmap() {}

@@ -34,11 +34,16 @@ import (
 //	frames  u32le payload len | u32le CRC-32C(payload) | payload
 //	        payload = one dataset.Point as JSON
 //
-// Snapshot segment file:
+// Snapshot segment file, format v1 (still read; no longer written):
 //
 //	header  8B magic "HPASNAP1" | u64le folded-through seq | u64le count
 //	frames  same framing; payload = u32le append index | point JSON,
 //	        frames ordered by dataset.PointLess (stable by append index)
+//
+// Snapshot segment file, format v2 ("HPASNAP2", what Compact writes): the
+// columnar section layout documented in snapshotv2.go. Readers that can
+// mmap serve dataset snapshots directly over the mapped sections; portable
+// readers decode the row sections into exactly what a v1 parse yields.
 //
 // Durability: frames are buffered and fsynced every SyncEvery appends and
 // on Sync/Close — a point is acknowledged when the covering fsync returns.
@@ -66,6 +71,10 @@ type SegmentOptions struct {
 	// MaxSegmentBytes seals the active segment once it grows past this
 	// size and starts a new one. Default 8 MiB.
 	MaxSegmentBytes int64
+	// NoMmap forces Load onto the portable heap parse even where mmap is
+	// available — the ablation knob for benchmarks and the byte-identity
+	// tests (mmap-served vs heap-served must be indistinguishable).
+	NoMmap bool
 }
 
 func (o *SegmentOptions) withDefaults() SegmentOptions {
@@ -77,6 +86,7 @@ func (o *SegmentOptions) withDefaults() SegmentOptions {
 		if o.MaxSegmentBytes > 0 {
 			out.MaxSegmentBytes = o.MaxSegmentBytes
 		}
+		out.NoMmap = o.NoMmap
 	}
 	return out
 }
@@ -103,10 +113,15 @@ type SegmentStore struct {
 	// fsyncs cover them wholly).
 	durableBytes int64
 
-	walSeqs   []uint64 // live log segments, ascending; last may be active
-	snapSeq   uint64   // snapshot's folded-through seq (0 = none)
-	snapCount int      // points covered by the snapshot
-	count     int      // total points (snapshot + all log segments)
+	walSeqs     []uint64 // live log segments, ascending; last may be active
+	snapSeq     uint64   // snapshot's folded-through seq (0 = none)
+	snapCount   int      // points covered by the snapshot
+	snapVersion int      // snapshot format: 1 (frames) or 2 (columnar); 0 = none
+	count       int      // total points (snapshot + all log segments)
+
+	// mmapServed records whether the most recent Load served the snapshot
+	// straight from a mapping (vs the portable heap parse).
+	mmapServed bool
 
 	// changed is closed and replaced whenever replication-visible state
 	// advances (durability, seal, new segment, compaction); version counts
@@ -183,13 +198,14 @@ func OpenSegments(dir string, opts *SegmentOptions) (*SegmentStore, error) {
 		for _, old := range snaps[:len(snaps)-1] {
 			os.Remove(filepath.Join(dir, snapName(old)))
 		}
-		folded, count, err := readSnapshotHeader(filepath.Join(dir, snapName(s.snapSeq)))
+		version, folded, count, err := readSnapshotHeader(filepath.Join(dir, snapName(s.snapSeq)))
 		if err != nil {
 			return nil, err
 		}
 		if folded != s.snapSeq {
 			return nil, fmt.Errorf("storage: snapshot %s header claims seq %d", snapName(s.snapSeq), folded)
 		}
+		s.snapVersion = version
 		s.snapCount = count
 		s.count = count
 	}
@@ -422,8 +438,18 @@ func (s *SegmentStore) Close() error {
 
 // Load reads the dataset in append order: the snapshot segment's points
 // (scattered back to their append positions), then each live log segment.
-// The snapshot's canonical order seeds the returned store, so its first
-// dataset.Snapshot build rebuilds indexes without re-sorting.
+//
+// The fallback ladder, fastest first:
+//
+//  1. v2 snapshot on an mmap-capable build: the snapshot maps read-only
+//     and dataset queries serve straight over the mapped columns (rows
+//     decode lazily). Any mmap, CRC, or validation failure drops to 2.
+//  2. Heap parse: v2 row sections or v1 frames decode into points, and the
+//     snapshot's canonical order seeds the store so its first
+//     dataset.Snapshot build skips the re-sort.
+//
+// Either way the WAL tail replays on top, so the two paths return stores
+// with identical contents and generations.
 func (s *SegmentStore) Load() (*dataset.Store, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -432,11 +458,45 @@ func (s *SegmentStore) Load() (*dataset.Store, error) {
 			return nil, err
 		}
 	}
+	s.mmapServed = false
+	if s.snapSeq > 0 && s.snapVersion == 2 && mmapSupported && !s.opts.NoMmap {
+		if st, err := s.loadMappedLocked(); err == nil {
+			s.mmapServed = true
+			return st, nil
+		}
+		// Fall through: the heap parse re-reads from scratch and surfaces
+		// its own (more precise) error if the file is truly unreadable.
+	}
 	points, sorted, err := s.readAll()
 	if err != nil {
 		return nil, err
 	}
 	return dataset.NewSeededStore(points, sorted), nil
+}
+
+// loadMappedLocked maps the v2 snapshot and replays the WAL tail on top.
+// Callers hold s.mu with the write buffer drained.
+func (s *SegmentStore) loadMappedLocked() (*dataset.Store, error) {
+	st, err := loadMappedSnapshot(filepath.Join(s.dir, snapName(s.snapSeq)), s.snapSeq)
+	if err != nil {
+		return nil, err
+	}
+	var tail []dataset.Point
+	for _, seq := range s.walSeqs {
+		_, err := readLogSegment(filepath.Join(s.dir, walName(seq)), seq, func(payload []byte) error {
+			var p dataset.Point
+			if err := json.Unmarshal(payload, &p); err != nil {
+				return fmt.Errorf("storage: %s: decoding point: %w", walName(seq), err)
+			}
+			tail = append(tail, p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	st.AddAll(tail)
+	return st, nil
 }
 
 // readAll decodes the whole store: points in append order plus the
@@ -511,11 +571,13 @@ func (s *SegmentStore) Compact() error {
 		return dataset.PointLess(&points[order[a]], &points[order[b]])
 	})
 
-	if err := writeSnapshotSegment(filepath.Join(s.dir, snapName(foldThrough)), foldThrough, points, order); err != nil {
+	if err := writeSnapshotSegmentV2(filepath.Join(s.dir, snapName(foldThrough)), foldThrough, points, order); err != nil {
 		return err
 	}
 
-	// The new snapshot is durable; retire what it folded.
+	// The new snapshot is durable; retire what it folded. A v1 snapshot
+	// folded here compacts forward: old state dirs upgrade to v2 on their
+	// first compaction.
 	if s.snapSeq > 0 && s.snapSeq != foldThrough {
 		os.Remove(filepath.Join(s.dir, snapName(s.snapSeq)))
 	}
@@ -523,6 +585,7 @@ func (s *SegmentStore) Compact() error {
 		os.Remove(filepath.Join(s.dir, walName(seq)))
 	}
 	s.snapSeq = foldThrough
+	s.snapVersion = 2
 	s.snapCount = len(points)
 	s.walSeqs = nil
 	s.nextSeq = foldThrough + 1
@@ -540,8 +603,19 @@ func (s *SegmentStore) Info() (Info, error) {
 		Points:         s.count,
 		Segments:       len(s.walSeqs),
 		SnapshotPoints: s.snapCount,
+		SnapshotFormat: s.snapVersion,
+		MmapServed:     s.mmapServed,
 		Recovered:      s.recovered,
 		RecoveredBytes: s.recoveredBytes,
+	}
+	if s.snapVersion == 2 {
+		if fp, err := readSnapshotFootprintV2(filepath.Join(s.dir, snapName(s.snapSeq))); err == nil {
+			info.SymbolTableBytes = fp.symtabBytes
+			info.ColumnBytes = fp.columnBytes
+			info.FailedBitmapBytes = fp.failedBytes
+			info.RowDataBytes = fp.rowDataBytes
+			info.HotFronts = fp.hotFronts
+		}
 	}
 	if s.f != nil {
 		if err := s.w.Flush(); err != nil {
@@ -701,34 +775,58 @@ func recoverLogTail(path string, seq uint64) (frames int, kept, cut int64, err e
 	}
 }
 
-// readSnapshotHeader reads and validates a snapshot segment's header.
-func readSnapshotHeader(path string) (foldThrough uint64, count int, err error) {
+// readSnapshotHeader reads and validates a snapshot segment's header,
+// sniffing the format version from the magic ("HPASNAP1" frames vs
+// "HPASNAP2" columnar sections).
+func readSnapshotHeader(path string) (version int, foldThrough uint64, count int, err error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	defer f.Close()
-	var hdr [snapHeaderSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return 0, 0, fmt.Errorf("storage: %s: short header: %w", path, err)
+	var hdr [v2HeaderSize]byte
+	n, rerr := io.ReadFull(f, hdr[:])
+	if n < snapHeaderSize {
+		return 0, 0, 0, fmt.Errorf("storage: %s: short header: %w", path, rerr)
 	}
-	if string(hdr[:8]) != snapMagic {
-		return 0, 0, fmt.Errorf("storage: %s: bad magic %q", path, hdr[:8])
+	switch string(hdr[:8]) {
+	case snapMagic:
+		cnt := binary.LittleEndian.Uint64(hdr[16:])
+		if cnt > 1<<31 {
+			return 0, 0, 0, fmt.Errorf("storage: %s: implausible point count %d", path, cnt)
+		}
+		return 1, binary.LittleEndian.Uint64(hdr[8:]), int(cnt), nil
+	case snapMagicV2:
+		if n < v2HeaderSize {
+			return 0, 0, 0, fmt.Errorf("storage: %s: short v2 header: %w", path, rerr)
+		}
+		cnt := binary.LittleEndian.Uint64(hdr[16:])
+		if cnt > 1<<31 {
+			return 0, 0, 0, fmt.Errorf("storage: %s: implausible point count %d", path, cnt)
+		}
+		if marker := binary.LittleEndian.Uint32(hdr[24:]); marker != v2EndianMarker {
+			return 0, 0, 0, fmt.Errorf("storage: %s: bad endian marker %#x", path, marker)
+		}
+		if nsec := binary.LittleEndian.Uint32(hdr[28:]); nsec == 0 || nsec > v2MaxSections {
+			return 0, 0, 0, fmt.Errorf("storage: %s: implausible section count %d", path, nsec)
+		}
+		return 2, binary.LittleEndian.Uint64(hdr[8:]), int(cnt), nil
+	default:
+		return 0, 0, 0, fmt.Errorf("storage: %s: bad magic %q", path, hdr[:8])
 	}
-	n := binary.LittleEndian.Uint64(hdr[16:])
-	if n > 1<<31 {
-		return 0, 0, fmt.Errorf("storage: %s: implausible point count %d", path, n)
-	}
-	return binary.LittleEndian.Uint64(hdr[8:]), int(n), nil
 }
 
-// readSnapshotSegment reads a snapshot segment: points come back in append
-// order (scattered via the per-frame append index) and in the snapshot's
-// canonical sorted order. The index set must be exactly 0..count-1.
+// readSnapshotSegment reads a snapshot segment of either format: points
+// come back in append order (scattered via the per-row append index) and
+// in the snapshot's canonical sorted order. The index set must be exactly
+// 0..count-1.
 func readSnapshotSegment(path string, seq uint64) (points, sorted []dataset.Point, err error) {
-	foldThrough, count, err := readSnapshotHeader(path)
+	version, foldThrough, count, err := readSnapshotHeader(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	if version == 2 {
+		return readSnapshotSegmentV2(path, seq)
 	}
 	if foldThrough != seq {
 		return nil, nil, fmt.Errorf("storage: %s: header seq %d does not match name", path, foldThrough)
@@ -773,9 +871,12 @@ func readSnapshotSegment(path string, seq uint64) (points, sorted []dataset.Poin
 	return points, sorted, nil
 }
 
-// writeSnapshotSegment stages and atomically publishes a snapshot segment
-// holding points (append order) rendered in the given sorted order.
-func writeSnapshotSegment(path string, foldThrough uint64, points []dataset.Point, order []int) error {
+// writeSnapshotSegmentV1 stages and atomically publishes a v1 (frame
+// format) snapshot segment holding points (append order) rendered in the
+// given sorted order. Compact writes v2 now; this writer is retained for
+// the forward-compat tests and the v1-vs-v2 cold-open benchmark, and as
+// documentation of what old state dirs hold.
+func writeSnapshotSegmentV1(path string, foldThrough uint64, points []dataset.Point, order []int) error {
 	var buf bytes.Buffer
 	var hdr [snapHeaderSize]byte
 	copy(hdr[:8], snapMagic)

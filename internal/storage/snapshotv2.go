@@ -1,0 +1,698 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"unsafe"
+
+	"hpcadvisor/internal/dataset"
+	"hpcadvisor/internal/fsatomic"
+)
+
+// Columnar snapshot segment format (v2). Everything v1 carries — the rows
+// in canonical sorted order plus their append indexes — is still here, but
+// alongside it the file persists the struct-of-arrays layout a
+// dataset.Snapshot builds in RAM: symbol table, interned uint32 string
+// columns, typed numeric columns, the failed bitmap, and the serialized
+// hot-front fragments. A reader that can mmap constructs the snapshot
+// directly over the mapped sections (rows decode lazily); any other reader
+// parses the row sections exactly like v1.
+//
+//	header   40B  magic "HPASNAP2" | u64le folded-through seq | u64le count
+//	              | u32le endian marker 0x0A0B0C0D | u32le section count
+//	              | u32le reserved | u32le CRC-32C(header[0:36] + table)
+//	table    32B per section: u32le kind | u32le reserved | u64le offset
+//	              | u64le length | u32le CRC-32C(section) | u32le reserved
+//	sections page-aligned (4096), in table order, zero-padded between
+//
+// All integers little-endian (the endian marker re-states it so a mapped
+// reader on a foreign-endian host bails to the portable parse instead of
+// misreading columns). Published like every snapshot: staged, fsynced,
+// renamed (fsatomic.WriteFile).
+const (
+	snapMagicV2      = "HPASNAP2"
+	v2HeaderSize     = 40
+	v2SecDescSize    = 32
+	v2Align          = 4096
+	v2EndianMarker   = 0x0A0B0C0D
+	v2MaxSections    = 64
+	v2MaxHotFronts   = 4096
+	v2MaxStringLen   = 1 << 20 // one interned symbol / name
+	v2MaxFragmentLen = 64 << 20
+)
+
+// Section kinds. The row sections (rows, rowindex, appendidx) are all a
+// portable reader needs; the rest reconstruct the columnar layout.
+const (
+	secRows      uint32 = 1 // concatenated row JSON, sorted order
+	secRowIndex  uint32 = 2 // (count+1) u64le row bounds into secRows
+	secAppendIdx uint32 = 3 // count u32le append indexes (a permutation)
+	secSymtab    uint32 = 4 // u32le count, then per symbol u32le len | bytes
+	secColApp    uint32 = 5 // count u32le symbol ids
+	secColSKU    uint32 = 6
+	secColAlias  uint32 = 7
+	secColInput  uint32 = 8
+	secColNodes  uint32 = 9  // count i32le
+	secColExec   uint32 = 10 // count f64le
+	secColCost   uint32 = 11
+	secColFailed uint32 = 12 // ceil(count/64) u64le bitmap words
+	secNames     uint32 = 13 // three string lists: apps, sku aliases, inputs
+	secHotFronts uint32 = 14 // see writeHotFronts
+)
+
+func alignUp(n int) int { return (n + v2Align - 1) &^ (v2Align - 1) }
+
+//
+// Writer
+//
+
+// writeSnapshotSegmentV2 stages and atomically publishes a v2 snapshot
+// segment holding points (append order) rendered in the given sorted
+// order, plus the columnar state a snapshot over them builds.
+func writeSnapshotSegmentV2(path string, foldThrough uint64, points []dataset.Point, order []int) error {
+	n := len(points)
+	sorted := make([]dataset.Point, n)
+	appendIdx := make([]uint32, n)
+	for k, idx := range order {
+		sorted[k] = points[idx]
+		appendIdx[k] = uint32(idx)
+	}
+	var rows []byte
+	offs := make([]uint64, n+1)
+	for k := range sorted {
+		enc, err := json.Marshal(&sorted[k])
+		if err != nil {
+			return err
+		}
+		rows = append(rows, enc...)
+		offs[k+1] = uint64(len(rows))
+	}
+	// The columnar sections come from a real snapshot build over the same
+	// decoded points, so what lands on disk is bit-for-bit what a heap load
+	// would reconstruct — including the hot-front JSON fragments, which
+	// must stay byte-identical between mmap and heap serving.
+	col := dataset.NewSeededStore(points, sorted).Snapshot().ExportColumnar()
+
+	secs := []struct {
+		kind uint32
+		data []byte
+	}{
+		{secRows, rows},
+		{secRowIndex, putU64s(offs)},
+		{secAppendIdx, putU32s(appendIdx)},
+		{secSymtab, putStringList(col.Syms)},
+		{secColApp, putU32s(col.App)},
+		{secColSKU, putU32s(col.SKU)},
+		{secColAlias, putU32s(col.Alias)},
+		{secColInput, putU32s(col.Input)},
+		{secColNodes, putI32s(col.Nodes)},
+		{secColExec, putF64s(col.Exec)},
+		{secColCost, putF64s(col.Cost)},
+		{secColFailed, putU64s(col.Failed)},
+		{secNames, putNames(col.Apps, col.SKUAliases, col.Inputs)},
+		{secHotFronts, putHotFronts(col.Hot)},
+	}
+
+	tableEnd := v2HeaderSize + len(secs)*v2SecDescSize
+	off := alignUp(tableEnd)
+	offsets := make([]int, len(secs))
+	for i, s := range secs {
+		offsets[i] = off
+		off = alignUp(off + len(s.data))
+	}
+	buf := make([]byte, off)
+	copy(buf[0:8], snapMagicV2)
+	binary.LittleEndian.PutUint64(buf[8:], foldThrough)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(n))
+	binary.LittleEndian.PutUint32(buf[24:], v2EndianMarker)
+	binary.LittleEndian.PutUint32(buf[28:], uint32(len(secs)))
+	for i, s := range secs {
+		d := v2HeaderSize + i*v2SecDescSize
+		binary.LittleEndian.PutUint32(buf[d:], s.kind)
+		binary.LittleEndian.PutUint64(buf[d+8:], uint64(offsets[i]))
+		binary.LittleEndian.PutUint64(buf[d+16:], uint64(len(s.data)))
+		binary.LittleEndian.PutUint32(buf[d+24:], crc32.Checksum(s.data, crcTable))
+		copy(buf[offsets[i]:], s.data)
+	}
+	crc := crc32.Checksum(buf[0:36], crcTable)
+	crc = crc32.Update(crc, crcTable, buf[v2HeaderSize:tableEnd])
+	binary.LittleEndian.PutUint32(buf[36:], crc)
+	return fsatomic.WriteFile(path, buf, 0o644)
+}
+
+func putU32s(v []uint32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], x)
+	}
+	return out
+}
+
+func putI32s(v []int32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(x))
+	}
+	return out
+}
+
+func putU64s(v []uint64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], x)
+	}
+	return out
+}
+
+func putF64s(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+func putString(out []byte, s string) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(s)))
+	return append(out, s...)
+}
+
+func putStringList(list []string) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(list)))
+	for _, s := range list {
+		out = putString(out, s)
+	}
+	return out
+}
+
+func putNames(apps, aliases, inputs []string) []byte {
+	out := putStringList(apps)
+	out = append(out, putStringList(aliases)...)
+	return append(out, putStringList(inputs)...)
+}
+
+// putHotFronts encodes the hot-front set: u32le count, then per front the
+// three filter strings, u32le jsonOK flag, u32le position count with the
+// positions as u32le, and the two length-prefixed (u32le) JSON fragments.
+func putHotFronts(fronts []dataset.ColumnarFront) []byte {
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(fronts)))
+	for _, f := range fronts {
+		out = putString(out, f.App)
+		out = putString(out, f.SKU)
+		out = putString(out, f.Input)
+		flag := uint32(0)
+		if f.JSONOK {
+			flag = 1
+		}
+		out = binary.LittleEndian.AppendUint32(out, flag)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(f.Positions)))
+		for _, p := range f.Positions {
+			out = binary.LittleEndian.AppendUint32(out, uint32(p))
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(f.TimeJSON)))
+		out = append(out, f.TimeJSON...)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(f.CostJSON)))
+		out = append(out, f.CostJSON...)
+	}
+	return out
+}
+
+//
+// Parser (shared by the heap reader, the mmap loader, and Info)
+//
+
+type v2Section struct {
+	kind   uint32
+	off    uint64
+	length uint64
+	crc    uint32
+}
+
+type v2Parsed struct {
+	fold  uint64
+	count int
+	data  []byte
+	secs  []v2Section
+}
+
+// parseV2 validates the v2 header and section table over the whole file
+// bytes: magic, endian marker, plausible counts, header+table CRC, and
+// every section's bounds and alignment. Section payload CRCs are checked
+// by section() callers per their needs.
+func parseV2(data []byte, path string) (*v2Parsed, error) {
+	hdr, secs, fold, count, err := parseV2Table(data, path)
+	if err != nil {
+		return nil, err
+	}
+	_ = hdr
+	for _, s := range secs {
+		if s.off%v2Align != 0 || s.off > uint64(len(data)) || s.length > uint64(len(data))-s.off {
+			return nil, fmt.Errorf("storage: %s: section %d out of bounds", path, s.kind)
+		}
+	}
+	return &v2Parsed{fold: fold, count: count, data: data, secs: secs}, nil
+}
+
+// parseV2Table parses and CRC-checks the fixed header and section table.
+// It needs only the first v2HeaderSize + nsec*v2SecDescSize bytes of data,
+// so Info can call it on a small prefix read.
+func parseV2Table(data []byte, path string) (hdr []byte, secs []v2Section, fold uint64, count int, err error) {
+	if len(data) < v2HeaderSize {
+		return nil, nil, 0, 0, fmt.Errorf("storage: %s: short v2 header", path)
+	}
+	if string(data[0:8]) != snapMagicV2 {
+		return nil, nil, 0, 0, fmt.Errorf("storage: %s: bad magic %q", path, data[0:8])
+	}
+	if got := binary.LittleEndian.Uint32(data[24:]); got != v2EndianMarker {
+		return nil, nil, 0, 0, fmt.Errorf("storage: %s: bad endian marker %#x", path, got)
+	}
+	n := binary.LittleEndian.Uint64(data[16:])
+	if n > 1<<31 {
+		return nil, nil, 0, 0, fmt.Errorf("storage: %s: implausible point count %d", path, n)
+	}
+	nsec := binary.LittleEndian.Uint32(data[28:])
+	if nsec == 0 || nsec > v2MaxSections {
+		return nil, nil, 0, 0, fmt.Errorf("storage: %s: implausible section count %d", path, nsec)
+	}
+	tableEnd := v2HeaderSize + int(nsec)*v2SecDescSize
+	if len(data) < tableEnd {
+		return nil, nil, 0, 0, fmt.Errorf("storage: %s: short section table", path)
+	}
+	crc := crc32.Checksum(data[0:36], crcTable)
+	crc = crc32.Update(crc, crcTable, data[v2HeaderSize:tableEnd])
+	if crc != binary.LittleEndian.Uint32(data[36:]) {
+		return nil, nil, 0, 0, fmt.Errorf("storage: %s: header/table CRC mismatch", path)
+	}
+	secs = make([]v2Section, nsec)
+	for i := range secs {
+		d := v2HeaderSize + i*v2SecDescSize
+		secs[i] = v2Section{
+			kind:   binary.LittleEndian.Uint32(data[d:]),
+			off:    binary.LittleEndian.Uint64(data[d+8:]),
+			length: binary.LittleEndian.Uint64(data[d+16:]),
+			crc:    binary.LittleEndian.Uint32(data[d+24:]),
+		}
+	}
+	return data[:tableEnd], secs, binary.LittleEndian.Uint64(data[8:]), int(n), nil
+}
+
+// section returns a section's bytes, optionally CRC-verified.
+func (p *v2Parsed) section(kind uint32, verify bool) ([]byte, error) {
+	for _, s := range p.secs {
+		if s.kind != kind {
+			continue
+		}
+		b := p.data[s.off : s.off+s.length]
+		if verify && crc32.Checksum(b, crcTable) != s.crc {
+			return nil, fmt.Errorf("storage: section %d CRC mismatch", kind)
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("storage: missing section %d", kind)
+}
+
+func getU32s(b []byte, n int) ([]uint32, error) {
+	if len(b) != 4*n {
+		return nil, fmt.Errorf("storage: u32 section holds %d bytes, want %d", len(b), 4*n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+func getU64s(b []byte, n int) ([]uint64, error) {
+	if len(b) != 8*n {
+		return nil, fmt.Errorf("storage: u64 section holds %d bytes, want %d", len(b), 8*n)
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out, nil
+}
+
+// byteCursor decodes the variable-length sections sequentially.
+type byteCursor struct {
+	b   []byte
+	err error
+}
+
+func (c *byteCursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.b) < 4 {
+		c.err = errors.New("storage: truncated section")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b)
+	c.b = c.b[4:]
+	return v
+}
+
+// bytes returns the next n raw bytes without copying; callers that retain
+// them beyond the mapped region's life must copy.
+func (c *byteCursor) bytes(n uint32) []byte {
+	if c.err != nil {
+		return nil
+	}
+	if uint64(len(c.b)) < uint64(n) {
+		c.err = errors.New("storage: truncated section")
+		return nil
+	}
+	v := c.b[:n:n]
+	c.b = c.b[n:]
+	return v
+}
+
+func (c *byteCursor) str(max uint32) string {
+	n := c.u32()
+	if c.err == nil && n > max {
+		c.err = fmt.Errorf("storage: implausible string length %d", n)
+		return ""
+	}
+	return string(c.bytes(n)) // heap copy: strings never alias mapped memory
+}
+
+func getStringList(c *byteCursor, maxItems uint32) ([]string, error) {
+	n := c.u32()
+	if c.err == nil && n > maxItems {
+		c.err = fmt.Errorf("storage: implausible list length %d", n)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, c.str(v2MaxStringLen))
+		if c.err != nil {
+			return nil, c.err
+		}
+	}
+	return out, nil
+}
+
+// getHotFronts decodes the hot-front section. copyFragments controls
+// whether the JSON fragments are copied to the heap (portable loads) or
+// subsliced in place (mmap loads, where the snapshot pins the region).
+func getHotFronts(b []byte, count int, copyFragments bool) ([]dataset.ColumnarFront, error) {
+	c := &byteCursor{b: b}
+	n := c.u32()
+	if c.err == nil && n > v2MaxHotFronts {
+		c.err = fmt.Errorf("storage: implausible hot front count %d", n)
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	out := make([]dataset.ColumnarFront, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var f dataset.ColumnarFront
+		f.App = c.str(v2MaxStringLen)
+		f.SKU = c.str(v2MaxStringLen)
+		f.Input = c.str(v2MaxStringLen)
+		f.JSONOK = c.u32() != 0
+		npos := c.u32()
+		if c.err == nil && int(npos) > count {
+			c.err = fmt.Errorf("storage: hot front %d claims %d positions over %d points", i, npos, count)
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		f.Positions = make([]int32, npos)
+		for j := range f.Positions {
+			f.Positions[j] = int32(c.u32())
+		}
+		for _, dst := range []*[]byte{&f.TimeJSON, &f.CostJSON} {
+			ln := c.u32()
+			if c.err == nil && ln > v2MaxFragmentLen {
+				c.err = fmt.Errorf("storage: implausible fragment length %d", ln)
+			}
+			frag := c.bytes(ln)
+			if c.err != nil {
+				return nil, c.err
+			}
+			if copyFragments {
+				frag = append([]byte(nil), frag...)
+			}
+			*dst = frag
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+//
+// Heap reader (portable fallback: same result as the v1 frame parse)
+//
+
+// readSnapshotSegmentV2 reads a v2 segment the portable way: CRC-verify
+// the row sections, decode every row, scatter by append index. Only the
+// row sections are required to be intact — a bit flip in a columnar
+// section degrades the mmap fast path but never this one.
+func readSnapshotSegmentV2(path string, seq uint64) (points, sorted []dataset.Point, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := parseV2(data, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.fold != seq {
+		return nil, nil, fmt.Errorf("storage: %s: header seq %d does not match name", path, p.fold)
+	}
+	rows, err := p.section(secRows, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	idxRaw, err := p.section(secRowIndex, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	offs, err := getU64s(idxRaw, p.count+1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	aidxRaw, err := p.section(secAppendIdx, true)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	aidx, err := getU32s(aidxRaw, p.count)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	if p.count > 0 && offs[0] != 0 {
+		return nil, nil, fmt.Errorf("storage: %s: row index does not start at 0", path)
+	}
+	points = make([]dataset.Point, p.count)
+	sorted = make([]dataset.Point, p.count)
+	seen := make([]bool, p.count)
+	for k := 0; k < p.count; k++ {
+		if offs[k+1] < offs[k] || offs[k+1] > uint64(len(rows)) {
+			return nil, nil, fmt.Errorf("storage: %s: row %d bounds invalid", path, k)
+		}
+		if err := json.Unmarshal(rows[offs[k]:offs[k+1]], &sorted[k]); err != nil {
+			return nil, nil, fmt.Errorf("storage: %s: row %d: decoding point: %w", path, k, err)
+		}
+		idx := aidx[k]
+		if int(idx) >= p.count || seen[idx] {
+			return nil, nil, fmt.Errorf("storage: %s: row %d: bad append index %d", path, k, idx)
+		}
+		seen[idx] = true
+		points[idx] = sorted[k]
+	}
+	return points, sorted, nil
+}
+
+//
+// Mmap loader
+//
+
+// hostLittleEndian reports the host byte order; the mapped column casts
+// are only valid on little-endian hosts (everything baked into the format
+// is little-endian).
+func hostLittleEndian() bool {
+	var x uint32 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// castSlice reinterprets a mapped section as a typed column without
+// copying. The section must hold exactly n elements and be element-aligned
+// (guaranteed by the page-aligned layout; re-checked anyway).
+func castSlice[T uint32 | int32 | uint64 | float64](b []byte, n int) ([]T, error) {
+	var zero T
+	sz := int(unsafe.Sizeof(zero))
+	if len(b) != n*sz {
+		return nil, fmt.Errorf("storage: section holds %d bytes, want %d", len(b), n*sz)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	p := unsafe.Pointer(&b[0])
+	if uintptr(p)%uintptr(sz) != 0 {
+		return nil, errors.New("storage: section not element-aligned")
+	}
+	return unsafe.Slice((*T)(p), n), nil
+}
+
+// loadMappedSnapshot mmaps a v2 segment and builds a store whose snapshot
+// serves directly over the mapped sections — zero-copy columns, lazy row
+// decode. Every section CRC is verified up front (tens of MB/s-irrelevant
+// sequential pass) so a bit-flipped file can never reach query results;
+// any failure returns an error and the caller falls back to the heap path.
+func loadMappedSnapshot(path string, seq uint64) (st *dataset.Store, err error) {
+	if !mmapSupported {
+		return nil, errors.New("storage: mmap unsupported on this build")
+	}
+	if !hostLittleEndian() {
+		return nil, errors.New("storage: mmap serving requires a little-endian host")
+	}
+	region, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			region.unmap()
+		}
+	}()
+	p, err := parseV2(region.data, path)
+	if err != nil {
+		return nil, err
+	}
+	if p.fold != seq {
+		return nil, fmt.Errorf("storage: %s: header seq %d does not match name", path, p.fold)
+	}
+	sec := func(kind uint32) []byte {
+		if err != nil {
+			return nil
+		}
+		var b []byte
+		b, err = p.section(kind, true)
+		return b
+	}
+	rows := sec(secRows)
+	idxRaw := sec(secRowIndex)
+	aidxRaw := sec(secAppendIdx)
+	symRaw := sec(secSymtab)
+	appRaw, skuRaw, aliasRaw, inputRaw := sec(secColApp), sec(secColSKU), sec(secColAlias), sec(secColInput)
+	nodesRaw, execRaw, costRaw, failedRaw := sec(secColNodes), sec(secColExec), sec(secColCost), sec(secColFailed)
+	namesRaw := sec(secNames)
+	hotRaw := sec(secHotFronts)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+
+	c := &dataset.Columnar{Count: p.count, Rows: rows, Ref: region}
+	if c.RowOffs, err = castSlice[uint64](idxRaw, p.count+1); err != nil {
+		return nil, err
+	}
+	if c.AppendIdx, err = castSlice[uint32](aidxRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.App, err = castSlice[uint32](appRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.SKU, err = castSlice[uint32](skuRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.Alias, err = castSlice[uint32](aliasRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.Input, err = castSlice[uint32](inputRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.Nodes, err = castSlice[int32](nodesRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.Exec, err = castSlice[float64](execRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.Cost, err = castSlice[float64](costRaw, p.count); err != nil {
+		return nil, err
+	}
+	if c.Failed, err = castSlice[uint64](failedRaw, (p.count+63)/64); err != nil {
+		return nil, err
+	}
+	symCur := &byteCursor{b: symRaw}
+	if c.Syms, err = getStringList(symCur, uint32(4*p.count+8)); err != nil {
+		return nil, err
+	}
+	nameCur := &byteCursor{b: namesRaw}
+	maxNames := uint32(p.count + 1)
+	if c.Apps, err = getStringList(nameCur, maxNames); err != nil {
+		return nil, err
+	}
+	if c.SKUAliases, err = getStringList(nameCur, maxNames); err != nil {
+		return nil, err
+	}
+	if c.Inputs, err = getStringList(nameCur, maxNames); err != nil {
+		return nil, err
+	}
+	// Fragments alias the mapped region; the snapshot's mapRef keeps it
+	// alive as long as any serving path can hand them out.
+	if c.Hot, err = getHotFronts(hotRaw, p.count, false); err != nil {
+		return nil, err
+	}
+	return dataset.NewMappedStore(c)
+}
+
+//
+// Info support
+//
+
+// v2Footprint is the per-section size breakdown `dataset info` reports.
+type v2Footprint struct {
+	symtabBytes  int64
+	columnBytes  int64
+	failedBytes  int64
+	rowDataBytes int64
+	hotFronts    int
+}
+
+// readSnapshotFootprintV2 reads just the header, table, and the hot-front
+// count (4 bytes) — no section payloads, so Info stays cheap on large
+// stores.
+func readSnapshotFootprintV2(path string) (v2Footprint, error) {
+	var fp v2Footprint
+	f, err := os.Open(path)
+	if err != nil {
+		return fp, err
+	}
+	defer f.Close()
+	prefix := make([]byte, v2HeaderSize+v2MaxSections*v2SecDescSize)
+	n, err := io.ReadAtLeast(f, prefix, v2HeaderSize)
+	if err != nil {
+		return fp, fmt.Errorf("storage: %s: short v2 header: %w", path, err)
+	}
+	_, secs, _, _, err := parseV2Table(prefix[:n], path)
+	if err != nil {
+		return fp, err
+	}
+	for _, s := range secs {
+		switch s.kind {
+		case secSymtab:
+			fp.symtabBytes = int64(s.length)
+		case secColApp, secColSKU, secColAlias, secColInput, secColNodes, secColExec, secColCost:
+			fp.columnBytes += int64(s.length)
+		case secColFailed:
+			fp.failedBytes = int64(s.length)
+		case secRows, secRowIndex, secAppendIdx:
+			fp.rowDataBytes += int64(s.length)
+		case secHotFronts:
+			var cnt [4]byte
+			if _, err := f.ReadAt(cnt[:], int64(s.off)); err == nil {
+				fp.hotFronts = int(binary.LittleEndian.Uint32(cnt[:]))
+			}
+		}
+	}
+	return fp, nil
+}

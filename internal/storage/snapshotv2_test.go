@@ -1,0 +1,388 @@
+package storage
+
+// Tests for the v2 columnar snapshot format: mmap and heap loads must be
+// byte-identical to each other and to a v1 parse of the same points; v1
+// state dirs must open and compact forward to v2; and corruption anywhere
+// in a v2 file must be caught by CRC — columnar damage degrades to the
+// heap parse, row damage is a load error, never silently wrong data.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"hpcadvisor/internal/dataset"
+)
+
+// canonicalOrder computes the sort order Compact persists.
+func canonicalOrder(pts []dataset.Point) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return dataset.PointLess(&pts[order[a]], &pts[order[b]])
+	})
+	return order
+}
+
+// compactedDir builds a segment dir holding n points folded into a v2
+// snapshot, and returns the dir plus the points' canonical marshal.
+func compactedDir(t *testing.T, n int) (string, []byte) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "data.seg")
+	seg, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := points(n)
+	appendAll(t, seg, pts)
+	if err := seg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, marshalOf(t, pts)
+}
+
+// snapshotPath returns the single snapshot segment in dir.
+func snapshotPath(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "snapshot-*.seg"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one snapshot segment, got %v (err %v)", matches, err)
+	}
+	return matches[0]
+}
+
+// loadWith opens dir with opts, loads, and returns the store's marshal and
+// the backend info after the load.
+func loadWith(t *testing.T, dir string, opts *SegmentOptions) ([]byte, Info) {
+	t.Helper()
+	seg, err := OpenSegments(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenSegments: %v", err)
+	}
+	defer seg.Close()
+	st, err := seg.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	data, err := st.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := seg.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, info
+}
+
+func TestV2LoadMmapVsHeapVsV1Identical(t *testing.T) {
+	dir, want := compactedDir(t, 120)
+
+	gotMmap, infoMmap := loadWith(t, dir, nil)
+	if !bytes.Equal(gotMmap, want) {
+		t.Fatal("default (mmap where supported) load differs from the appended points")
+	}
+	if infoMmap.MmapServed != mmapSupported {
+		t.Fatalf("MmapServed = %t, want %t", infoMmap.MmapServed, mmapSupported)
+	}
+
+	gotHeap, infoHeap := loadWith(t, dir, &SegmentOptions{NoMmap: true})
+	if infoHeap.MmapServed {
+		t.Fatal("NoMmap load reported MmapServed")
+	}
+	if !bytes.Equal(gotHeap, gotMmap) {
+		t.Fatal("heap load differs from mmap load")
+	}
+
+	// Rewrite the same fold as a v1 snapshot: the frame parse must hand
+	// back byte-identical data.
+	seg, err := OpenSegments(dir, &SegmentOptions{NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := seg.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := st.All()
+	seq := seg.snapSeq
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotSegmentV1(snapshotPath(t, dir), seq, pts, canonicalOrder(pts)); err != nil {
+		t.Fatal(err)
+	}
+	gotV1, infoV1 := loadWith(t, dir, nil)
+	if infoV1.SnapshotFormat != 1 {
+		t.Fatalf("SnapshotFormat = %d, want 1", infoV1.SnapshotFormat)
+	}
+	if infoV1.MmapServed {
+		t.Fatal("v1 snapshot reported MmapServed")
+	}
+	if !bytes.Equal(gotV1, gotMmap) {
+		t.Fatal("v1 parse differs from v2 load")
+	}
+}
+
+func TestV2SelectAndGenerationMatchHeap(t *testing.T) {
+	dir, _ := compactedDir(t, 90)
+
+	load := func(opts *SegmentOptions) *dataset.Store {
+		seg, err := OpenSegments(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer seg.Close()
+		st, err := seg.Load()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	mm, heap := load(nil), load(&SegmentOptions{NoMmap: true})
+	if g1, g2 := mm.Snapshot().Generation(), heap.Snapshot().Generation(); g1 != g2 {
+		t.Fatalf("generation mismatch: mmap %d, heap %d", g1, g2)
+	}
+	filters := []dataset.Filter{
+		{},
+		{AppName: "lammps"},
+		{AppName: "lammps", SKU: "hb120v3"},
+		{AppName: "lammps", SKU: "Standard_HC44rs", InputDesc: "BOXFACTOR=11"},
+		{MinNodes: 2, MaxNodes: 4},
+		{Tags: map[string]string{"sweep": "t1"}},
+		{AppName: "no-such-app"},
+		{IncludeFailed: true},
+	}
+	for _, f := range filters {
+		a, b := mm.Select(f), heap.Select(f)
+		if len(a) != len(b) {
+			t.Fatalf("filter %+v: mmap %d rows, heap %d rows", f, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].ScenarioID != b[i].ScenarioID || a[i].ExecTimeSec != b[i].ExecTimeSec {
+				t.Fatalf("filter %+v row %d differs: %+v vs %+v", f, i, a[i], b[i])
+			}
+		}
+		oracle := mm.SelectScan(f)
+		if len(a) != len(oracle) {
+			t.Fatalf("filter %+v: Select %d rows, SelectScan %d", f, len(a), len(oracle))
+		}
+	}
+}
+
+func TestV1DirOpensAndCompactsForwardToV2(t *testing.T) {
+	dir, want := compactedDir(t, 60)
+
+	// Downgrade the snapshot to v1 in place, same fold point.
+	seg, err := OpenSegments(dir, &SegmentOptions{NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := seg.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := st.All()
+	seq := seg.snapSeq
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotSegmentV1(snapshotPath(t, dir), seq, pts, canonicalOrder(pts)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v1 dir opens and serves the same bytes.
+	seg, err = OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatalf("v1 dir failed to open: %v", err)
+	}
+	defer seg.Close()
+	if seg.snapVersion != 1 {
+		t.Fatalf("snapVersion = %d, want 1", seg.snapVersion)
+	}
+	if got := loadMarshal(t, seg); !bytes.Equal(got, want) {
+		t.Fatal("v1 dir load differs from original points")
+	}
+
+	// New appends + Compact upgrade the snapshot to v2.
+	extra := []dataset.Point{point(1000), point(1001)}
+	appendAll(t, seg, extra)
+	if err := seg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Compact(); err != nil {
+		t.Fatalf("Compact over a v1 snapshot: %v", err)
+	}
+	if seg.snapVersion != 2 {
+		t.Fatalf("snapVersion after compact = %d, want 2", seg.snapVersion)
+	}
+	head := make([]byte, 8)
+	f, err := os.Open(snapshotPath(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(head); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if string(head) != snapMagicV2 {
+		t.Fatalf("snapshot magic after compact = %q, want %q", head, snapMagicV2)
+	}
+	if got := loadMarshal(t, seg); !bytes.Equal(got, marshalOf(t, append(append([]dataset.Point{}, pts...), extra...))) {
+		t.Fatal("upgraded snapshot lost or reordered points")
+	}
+}
+
+// flipByteInSection locates a v2 section by kind and flips one byte in it.
+func flipByteInSection(t *testing.T, path string, kind uint32) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, secs, _, _, err := parseV2Table(data, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range secs {
+		if s.kind == kind {
+			if s.length == 0 {
+				t.Fatalf("section kind %d is empty", kind)
+			}
+			data[s.off+s.length/2] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatalf("no section of kind %d", kind)
+}
+
+func TestV2CorruptColumnarSectionFallsBackToHeap(t *testing.T) {
+	dir, want := compactedDir(t, 80)
+	// Damage a columnar-only section: the mmap path's CRC sweep rejects
+	// the file, the heap parse (which decodes rows, not columns) still
+	// serves identical data.
+	flipByteInSection(t, snapshotPath(t, dir), secColExec)
+	got, info := loadWith(t, dir, nil)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback load differs from original points")
+	}
+	if info.MmapServed {
+		t.Fatal("corrupt columnar section was still mmap-served")
+	}
+}
+
+func TestV2CorruptRowsSectionIsALoadError(t *testing.T) {
+	dir, _ := compactedDir(t, 80)
+	flipByteInSection(t, snapshotPath(t, dir), secRows)
+	seg, err := OpenSegments(dir, nil)
+	if err != nil {
+		return // header-level rejection is fine too
+	}
+	defer seg.Close()
+	if _, err := seg.Load(); err == nil {
+		t.Fatal("Load served a snapshot with a corrupt rows section")
+	}
+}
+
+func TestV2TruncatedSnapshotNeverServesGarbage(t *testing.T) {
+	dir, want := compactedDir(t, 80)
+	path := snapshotPath(t, dir)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 7, 24, 39, v2HeaderSize, v2HeaderSize + 16,
+		len(pristine) / 4, len(pristine) / 2, len(pristine) - 1} {
+		if cut >= len(pristine) {
+			continue
+		}
+		if err := os.WriteFile(path, pristine[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		seg, err := OpenSegments(dir, nil)
+		if err != nil {
+			continue // rejected at open — fine
+		}
+		st, err := seg.Load()
+		if err == nil {
+			// A load that somehow succeeded must still be the real data
+			// (possible only if the cut landed past all verified bytes,
+			// which the layout makes impossible — assert anyway).
+			data, merr := st.Marshal()
+			if merr != nil || !bytes.Equal(data, want) {
+				seg.Close()
+				t.Fatalf("truncation at %d served garbage", cut)
+			}
+		}
+		seg.Close()
+	}
+	// Restore and confirm the pristine file still loads.
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := loadWith(t, dir, nil)
+	if !bytes.Equal(got, want) {
+		t.Fatal("pristine reload differs")
+	}
+}
+
+func TestV2CorruptSnapshotFallsBackToWALTail(t *testing.T) {
+	// Points appended after the compaction live in WAL segments; a corrupt
+	// columnar section must not lose them on the fallback path.
+	dir, _ := compactedDir(t, 50)
+	seg, err := OpenSegments(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := []dataset.Point{point(2000), point(2001), point(2002)}
+	appendAll(t, seg, tail)
+	if err := seg.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flipByteInSection(t, snapshotPath(t, dir), secHotFronts)
+	got, info := loadWith(t, dir, nil)
+	want := marshalOf(t, append(points(50), tail...))
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback load lost WAL tail points")
+	}
+	if info.MmapServed {
+		t.Fatal("corrupt hot-front section was still mmap-served")
+	}
+}
+
+func TestV2InfoReportsColumnarFootprint(t *testing.T) {
+	dir, _ := compactedDir(t, 100)
+	_, info := loadWith(t, dir, nil)
+	if info.SnapshotFormat != 2 {
+		t.Fatalf("SnapshotFormat = %d, want 2", info.SnapshotFormat)
+	}
+	if info.SymbolTableBytes <= 0 || info.ColumnBytes <= 0 ||
+		info.FailedBitmapBytes <= 0 || info.RowDataBytes <= 0 {
+		t.Fatalf("zero footprint in %+v", info)
+	}
+	if info.HotFronts <= 0 {
+		t.Fatalf("HotFronts = %d, want > 0", info.HotFronts)
+	}
+	rendered := info.String()
+	for _, sub := range []string{"snapshot format: v2", "symbol table", "hot fronts", "mmap served"} {
+		if !bytes.Contains([]byte(rendered), []byte(sub)) {
+			t.Fatalf("Info.String() missing %q:\n%s", sub, rendered)
+		}
+	}
+}

@@ -51,6 +51,24 @@ type Info struct {
 	// SnapshotPoints is how many points the compacted snapshot segment
 	// covers (0 when never compacted, or for jsonl).
 	SnapshotPoints int `json:"snapshot_points"`
+	// SnapshotFormat is the snapshot segment's format version: 1 (row
+	// frames) or 2 (columnar sections); 0 when there is no snapshot.
+	SnapshotFormat int `json:"snapshot_format,omitempty"`
+	// Columnar footprint of a v2 snapshot, by section group: the interned
+	// symbol table, the typed columns (four uint32 string-id columns,
+	// nodes, exec, cost), the failed bitmap, and the row data (row JSON +
+	// row index + append indexes).
+	SymbolTableBytes  int64 `json:"symbol_table_bytes,omitempty"`
+	ColumnBytes       int64 `json:"column_bytes,omitempty"`
+	FailedBitmapBytes int64 `json:"failed_bitmap_bytes,omitempty"`
+	RowDataBytes      int64 `json:"row_data_bytes,omitempty"`
+	// HotFronts is how many precomputed Pareto fronts the v2 snapshot
+	// persists.
+	HotFronts int `json:"hot_fronts,omitempty"`
+	// MmapServed reports whether the most recent Load served the snapshot
+	// straight from an mmap (false on portable builds, after a fallback,
+	// or before any Load).
+	MmapServed bool `json:"mmap_served,omitempty"`
 	// Bytes is the total on-disk size.
 	Bytes int64 `json:"bytes"`
 	// Recovered reports that opening found and truncated a torn tail left
@@ -68,6 +86,17 @@ func (i Info) String() string {
 	if i.Format == FormatSegment {
 		fmt.Fprintf(&b, "log segments:    %d\n", i.Segments)
 		fmt.Fprintf(&b, "snapshot points: %d\n", i.SnapshotPoints)
+		if i.SnapshotFormat > 0 {
+			fmt.Fprintf(&b, "snapshot format: v%d\n", i.SnapshotFormat)
+		}
+		if i.SnapshotFormat == 2 {
+			fmt.Fprintf(&b, "  symbol table:  %d bytes\n", i.SymbolTableBytes)
+			fmt.Fprintf(&b, "  columns:       %d bytes\n", i.ColumnBytes)
+			fmt.Fprintf(&b, "  failed bitmap: %d bytes\n", i.FailedBitmapBytes)
+			fmt.Fprintf(&b, "  row data:      %d bytes\n", i.RowDataBytes)
+			fmt.Fprintf(&b, "  hot fronts:    %d\n", i.HotFronts)
+		}
+		fmt.Fprintf(&b, "mmap served:     %t\n", i.MmapServed)
 	}
 	fmt.Fprintf(&b, "bytes:           %d\n", i.Bytes)
 	if i.Recovered {
